@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the alias tables, comparing static and dynamic
+//! index-bit selection on the block-access pattern of Section III-B1.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tdm_core::alias::AliasTable;
+use tdm_core::config::IndexPolicy;
+
+fn bench_insert_remove(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alias/insert_remove_1024_blocks");
+    for (name, policy) in [
+        ("dynamic", IndexPolicy::Dynamic),
+        ("static_bit12", IndexPolicy::Static { low_bit: 12 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || AliasTable::new(2048, 8, policy),
+                |mut table| {
+                    for i in 0..1024u64 {
+                        let addr = 0x10_0000_0000 + i * 4096;
+                        let _ = table.insert(addr, 4096);
+                    }
+                    for i in 0..1024u64 {
+                        let addr = 0x10_0000_0000 + i * 4096;
+                        let _ = table.remove(addr, 4096);
+                    }
+                    table
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    c.bench_function("alias/lookup_hit", |b| {
+        let mut table = AliasTable::new(2048, 8, IndexPolicy::Dynamic);
+        for i in 0..1024u64 {
+            table.insert(0x10_0000_0000 + i * 4096, 4096).unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            table.lookup(0x10_0000_0000 + i * 4096, 4096)
+        })
+    });
+}
+
+criterion_group!(benches, bench_insert_remove, bench_lookup);
+criterion_main!(benches);

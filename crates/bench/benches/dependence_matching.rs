@@ -1,0 +1,66 @@
+//! Criterion benchmarks comparing the dependence-tracking engines (software
+//! vs DMU-backed) processing the same task stream.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tdm_core::config::DmuConfig;
+use tdm_runtime::cost::CostModel;
+use tdm_runtime::engine::{DependenceEngine, HardwareEngine, HardwareFlavor, SoftwareEngine};
+use tdm_runtime::task::TaskRef;
+use tdm_sim::clock::Cycle;
+use tdm_workloads::cholesky;
+
+fn bench_engines(c: &mut Criterion) {
+    // A small Cholesky (8×8 blocks = 120 tasks) keeps each iteration short.
+    let workload = cholesky::generate(cholesky::Params { blocks: 8 });
+    let n = workload.len();
+
+    let mut group = c.benchmark_group("dependence_matching/cholesky8");
+    group.bench_function("software_engine", |b| {
+        b.iter_batched(
+            || SoftwareEngine::new(&workload, CostModel::default()),
+            |mut engine| drive(&mut engine, n),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("dmu_engine", |b| {
+        b.iter_batched(
+            || {
+                HardwareEngine::new(
+                    HardwareFlavor::Tdm,
+                    &workload,
+                    DmuConfig::default(),
+                    CostModel::default(),
+                    Cycle::new(16),
+                )
+            },
+            |mut engine| drive(&mut engine, n),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// Creates every task and immediately executes ready tasks FIFO until done.
+fn drive(engine: &mut dyn DependenceEngine, n: usize) -> usize {
+    let mut pool = Vec::new();
+    let mut next = 0;
+    let mut finished = 0;
+    while finished < n {
+        if next < n {
+            let outcome = engine.create_task(Cycle::ZERO, TaskRef(next));
+            pool.extend(outcome.ready);
+            if outcome.completed {
+                next += 1;
+                continue;
+            }
+        }
+        let info = pool.remove(0);
+        let fin = engine.finish_task(Cycle::ZERO, info.task, 0);
+        pool.extend(fin.ready);
+        finished += 1;
+    }
+    finished
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

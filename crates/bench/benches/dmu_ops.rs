@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks of the four DMU operations (host-side model
+//! throughput; the simulated latency is what the figures report).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tdm_core::config::DmuConfig;
+use tdm_core::dmu::Dmu;
+use tdm_core::ids::{DepAddr, DepDirection, DescriptorAddr};
+
+fn desc(i: u64) -> DescriptorAddr {
+    DescriptorAddr(0x10_0000 + i * 64)
+}
+
+fn block(i: u64) -> DepAddr {
+    DepAddr(0x80_0000 + i * 4096)
+}
+
+/// A DMU pre-loaded with `n` producer tasks, each writing one block.
+fn loaded_dmu(n: u64) -> Dmu {
+    let mut dmu = Dmu::new(DmuConfig::default());
+    for i in 0..n {
+        dmu.create_task(desc(i)).unwrap();
+        dmu.add_dependence(desc(i), block(i), 4096, DepDirection::Out)
+            .unwrap();
+        dmu.submit_task(desc(i)).unwrap();
+    }
+    dmu
+}
+
+fn bench_create_task(c: &mut Criterion) {
+    c.bench_function("dmu/create_task", |b| {
+        b.iter_batched(
+            || loaded_dmu(256),
+            |mut dmu| dmu.create_task(desc(10_000)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_add_dependence(c: &mut Criterion) {
+    c.bench_function("dmu/add_dependence_raw", |b| {
+        b.iter_batched(
+            || {
+                let mut dmu = loaded_dmu(256);
+                dmu.create_task(desc(10_000)).unwrap();
+                dmu
+            },
+            |mut dmu| {
+                dmu.add_dependence(desc(10_000), block(7), 4096, DepDirection::In)
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_finish_task(c: &mut Criterion) {
+    c.bench_function("dmu/finish_task", |b| {
+        b.iter_batched(
+            || loaded_dmu(256),
+            |mut dmu| dmu.finish_task(desc(0)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_get_ready_task(c: &mut Criterion) {
+    c.bench_function("dmu/get_ready_task", |b| {
+        b.iter_batched(
+            || loaded_dmu(256),
+            |mut dmu| dmu.get_ready_task(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_create_task,
+    bench_add_dependence,
+    bench_finish_task,
+    bench_get_ready_task
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmarks of complete simulated executions (host-side wall
+//! clock of the simulator itself, one backend per benchmark function).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tdm_runtime::exec::{simulate, Backend, ExecConfig};
+use tdm_runtime::scheduler::SchedulerKind;
+use tdm_workloads::cholesky;
+
+fn bench_backends(c: &mut Criterion) {
+    let workload = cholesky::generate(cholesky::Params { blocks: 12 });
+    let config = ExecConfig::default();
+    let mut group = c.benchmark_group("simulate/cholesky12_32cores");
+    group.sample_size(20);
+    for backend in [
+        Backend::Software,
+        Backend::tdm_default(),
+        Backend::Carbon,
+        Backend::task_superscalar_default(),
+    ] {
+        group.bench_function(backend.name(), |b| {
+            b.iter(|| simulate(&workload, &backend, SchedulerKind::Fifo, &config))
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let workload = cholesky::generate(cholesky::Params { blocks: 12 });
+    let config = ExecConfig::default();
+    let backend = Backend::tdm_default();
+    let mut group = c.benchmark_group("simulate/schedulers_cholesky12");
+    group.sample_size(20);
+    for kind in SchedulerKind::all() {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| simulate(&workload, &backend, kind, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends, bench_schedulers);
+criterion_main!(benches);

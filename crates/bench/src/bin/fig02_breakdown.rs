@@ -1,0 +1,43 @@
+//! Figure 2: execution-time breakdown (DEPS / SCHED / EXEC / IDLE) of the
+//! master and worker threads under the pure software runtime.
+
+use tdm_bench::{pct, print_table, run, Benchmark};
+use tdm_runtime::exec::Backend;
+use tdm_runtime::scheduler::SchedulerKind;
+use tdm_sim::stats::Phase;
+
+fn main() {
+    let mut rows = Vec::new();
+    for bench in Benchmark::ALL {
+        let workload = bench.software_workload();
+        let report = run(&workload, &Backend::Software, SchedulerKind::Fifo);
+        let master = report.stats.master_breakdown();
+        let workers = report.stats.worker_breakdown();
+        rows.push(vec![
+            bench.abbrev().to_string(),
+            pct(master.fraction(Phase::Deps)),
+            pct(master.fraction(Phase::Sched)),
+            pct(master.fraction(Phase::Exec)),
+            pct(master.fraction(Phase::Idle)),
+            pct(workers.fraction(Phase::Deps)),
+            pct(workers.fraction(Phase::Sched)),
+            pct(workers.fraction(Phase::Exec)),
+            pct(workers.fraction(Phase::Idle)),
+        ]);
+    }
+    print_table(
+        "Figure 2: time breakdown with the software runtime (master | workers)",
+        &[
+            "bench",
+            "M-DEPS",
+            "M-SCHED",
+            "M-EXEC",
+            "M-IDLE",
+            "W-DEPS",
+            "W-SCHED",
+            "W-EXEC",
+            "W-IDLE",
+        ],
+        &rows,
+    );
+}

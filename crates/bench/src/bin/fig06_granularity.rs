@@ -1,0 +1,137 @@
+//! Figure 6: execution time as a function of task granularity, with the
+//! software runtime, normalized to the best granularity of each benchmark.
+
+use tdm_bench::{print_table, ratio, run};
+use tdm_runtime::exec::Backend;
+use tdm_runtime::scheduler::SchedulerKind;
+use tdm_runtime::task::Workload;
+use tdm_workloads::{blackscholes, cholesky, fluidanimate, histogram, lu, qr, streamcluster};
+
+fn sweep(name: &str, points: Vec<(String, Workload)>, rows: &mut Vec<Vec<String>>) {
+    let reports: Vec<(String, f64)> = points
+        .into_iter()
+        .map(|(label, workload)| {
+            let report = run(&workload, &Backend::Software, SchedulerKind::Fifo);
+            (label, report.makespan().as_f64())
+        })
+        .collect();
+    let best = reports
+        .iter()
+        .map(|(_, t)| *t)
+        .fold(f64::INFINITY, f64::min);
+    for (label, time) in reports {
+        rows.push(vec![name.to_string(), label, ratio(time / best)]);
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+
+    sweep(
+        "blackscholes",
+        [1024u64, 2048, 4096, 8192]
+            .iter()
+            .map(|&kb| {
+                (
+                    format!("{}KB", kb / 1024),
+                    blackscholes::generate(blackscholes::Params::with_block_bytes(kb)),
+                )
+            })
+            .collect(),
+        &mut rows,
+    );
+
+    sweep(
+        "cholesky",
+        [64usize, 32, 16, 8]
+            .iter()
+            .map(|&blocks| {
+                let tile_kb = (2048 / blocks) * (2048 / blocks) * 4 / 1024;
+                (
+                    format!("{tile_kb}KB"),
+                    cholesky::generate(cholesky::Params { blocks }),
+                )
+            })
+            .collect(),
+        &mut rows,
+    );
+
+    sweep(
+        "fluidanimate",
+        [256usize, 128, 64, 32]
+            .iter()
+            .map(|&partitions| {
+                (
+                    format!("{partitions}"),
+                    fluidanimate::generate(fluidanimate::Params {
+                        partitions,
+                        timesteps: fluidanimate::TIMESTEPS,
+                    }),
+                )
+            })
+            .collect(),
+        &mut rows,
+    );
+
+    sweep(
+        "histogram",
+        [1024usize, 512, 256, 128, 64]
+            .iter()
+            .map(|&stripes| {
+                let stripe_kb = 4096u64 * 4096 * 4 / stripes as u64 / 1024;
+                (
+                    format!("{stripe_kb}KB"),
+                    histogram::generate(histogram::Params { stripes }),
+                )
+            })
+            .collect(),
+        &mut rows,
+    );
+
+    sweep(
+        "LU",
+        [64usize, 32, 16, 8]
+            .iter()
+            .map(|&blocks| {
+                let tile_kb = (2048 / blocks) * (2048 / blocks) * 4 / 1024;
+                (format!("{tile_kb}KB"), lu::generate(lu::Params { blocks }))
+            })
+            .collect(),
+        &mut rows,
+    );
+
+    sweep(
+        "QR",
+        [32usize, 16, 8, 4]
+            .iter()
+            .map(|&blocks| {
+                let tile_kb = (1024 / blocks) * (1024 / blocks) * 4 / 1024;
+                (format!("{tile_kb}KB"), qr::generate(qr::Params { blocks }))
+            })
+            .collect(),
+        &mut rows,
+    );
+
+    sweep(
+        "streamcluster",
+        [1680usize, 840, 420, 210, 105]
+            .iter()
+            .map(|&batches| {
+                (
+                    format!("{batches} batches"),
+                    streamcluster::generate(streamcluster::Params {
+                        batches,
+                        phases: streamcluster::PHASES,
+                    }),
+                )
+            })
+            .collect(),
+        &mut rows,
+    );
+
+    print_table(
+        "Figure 6: execution time vs task granularity (software runtime, normalized to each benchmark's best point)",
+        &["benchmark", "granularity", "normalized time"],
+        &rows,
+    );
+}

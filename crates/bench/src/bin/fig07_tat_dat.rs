@@ -1,0 +1,64 @@
+//! Figure 7: performance with different TAT and DAT sizes, normalized to an
+//! ideal DMU with unlimited entries and the same latency.
+
+use tdm_bench::{geometric_mean, print_table, ratio, run, Benchmark};
+use tdm_core::config::DmuConfig;
+use tdm_runtime::exec::Backend;
+use tdm_runtime::scheduler::SchedulerKind;
+
+/// The five benchmarks the paper plots individually (the rest reach maximum
+/// performance with 512 entries already); the geometric mean covers all nine.
+const PLOTTED: [Benchmark; 5] = [
+    Benchmark::Cholesky,
+    Benchmark::Ferret,
+    Benchmark::Histogram,
+    Benchmark::Lu,
+    Benchmark::Qr,
+];
+
+fn main() {
+    let sizes = [512usize, 1024, 2048, 4096];
+    let mut rows = Vec::new();
+
+    // Ideal baseline per benchmark.
+    let ideal: Vec<(Benchmark, f64)> = Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            let report = run(
+                &b.tdm_workload(),
+                &Backend::Tdm(DmuConfig::ideal()),
+                SchedulerKind::Fifo,
+            );
+            (b, report.makespan().as_f64())
+        })
+        .collect();
+    let ideal_of = |b: Benchmark| ideal.iter().find(|(x, _)| *x == b).unwrap().1;
+
+    for &dat in &sizes {
+        for &tat in &sizes {
+            let config = DmuConfig::default().with_alias_sizes(tat, dat);
+            let mut all_perf = Vec::new();
+            let mut row = vec![format!("{tat} TAT"), format!("{dat} DAT")];
+            for &bench in &Benchmark::ALL {
+                let report = run(
+                    &bench.tdm_workload(),
+                    &Backend::Tdm(config.clone()),
+                    SchedulerKind::Fifo,
+                );
+                let perf = ideal_of(bench) / report.makespan().as_f64();
+                all_perf.push(perf);
+                if PLOTTED.contains(&bench) {
+                    row.push(ratio(perf));
+                }
+            }
+            row.push(ratio(geometric_mean(&all_perf)));
+            rows.push(row);
+        }
+    }
+
+    print_table(
+        "Figure 7: performance vs TAT/DAT size (normalized to ideal DMU)",
+        &["TAT", "DAT", "cholesky", "ferret", "hist", "LU", "QR", "AVG (all 9)"],
+        &rows,
+    );
+}

@@ -1,0 +1,59 @@
+//! Figure 8: average performance with different list-array sizes, normalized
+//! to an ideal DMU with unlimited entries and the same latency.
+
+use tdm_bench::{geometric_mean, print_table, ratio, run, Benchmark};
+use tdm_core::config::DmuConfig;
+use tdm_runtime::exec::Backend;
+use tdm_runtime::scheduler::SchedulerKind;
+
+fn average_perf(config: &DmuConfig, ideal: &[(Benchmark, f64)]) -> f64 {
+    let perfs: Vec<f64> = Benchmark::ALL
+        .iter()
+        .map(|&bench| {
+            let report = run(
+                &bench.tdm_workload(),
+                &Backend::Tdm(config.clone()),
+                SchedulerKind::Fifo,
+            );
+            let ideal_time = ideal.iter().find(|(b, _)| *b == bench).unwrap().1;
+            ideal_time / report.makespan().as_f64()
+        })
+        .collect();
+    geometric_mean(&perfs)
+}
+
+fn main() {
+    let sizes = [128usize, 512, 1024, 2048];
+    let ideal: Vec<(Benchmark, f64)> = Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            let report = run(
+                &b.tdm_workload(),
+                &Backend::Tdm(DmuConfig::ideal()),
+                SchedulerKind::Fifo,
+            );
+            (b, report.makespan().as_f64())
+        })
+        .collect();
+
+    // Sweep the successor and dependence list arrays jointly (the paper's
+    // X axis) against the reader list array size (the grouped series).
+    let mut rows = Vec::new();
+    for &readers in &sizes {
+        for &succ_deps in &sizes {
+            let config =
+                DmuConfig::default().with_list_array_sizes(succ_deps, succ_deps, readers);
+            let perf = average_perf(&config, &ideal);
+            rows.push(vec![
+                format!("{readers}"),
+                format!("{succ_deps}"),
+                ratio(perf),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 8: average performance vs list-array sizes (normalized to ideal DMU)",
+        &["Readers LA", "Successor/Deps LA", "AVG performance"],
+        &rows,
+    );
+}

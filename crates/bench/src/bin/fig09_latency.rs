@@ -1,0 +1,47 @@
+//! Figure 9: performance when the access time of every DMU structure grows
+//! from 1 to 16 cycles, normalized to zero-latency structures.
+
+use tdm_bench::{geometric_mean, print_table, ratio, run, Benchmark};
+use tdm_core::config::DmuConfig;
+use tdm_runtime::exec::Backend;
+use tdm_runtime::scheduler::SchedulerKind;
+use tdm_sim::clock::Cycle;
+
+fn main() {
+    let latencies = [1u64, 4, 16];
+    let mut rows = Vec::new();
+    let mut per_latency: Vec<Vec<f64>> = vec![Vec::new(); latencies.len()];
+
+    for bench in Benchmark::ALL {
+        let workload = bench.tdm_workload();
+        // Zero-latency baseline.
+        let base = run(
+            &workload,
+            &Backend::Tdm(DmuConfig::default().with_access_latency(Cycle::ZERO)),
+            SchedulerKind::Fifo,
+        );
+        let mut row = vec![bench.abbrev().to_string()];
+        for (i, &lat) in latencies.iter().enumerate() {
+            let report = run(
+                &workload,
+                &Backend::Tdm(DmuConfig::default().with_access_latency(Cycle::new(lat))),
+                SchedulerKind::Fifo,
+            );
+            let perf = base.makespan().as_f64() / report.makespan().as_f64();
+            per_latency[i].push(perf);
+            row.push(ratio(perf));
+        }
+        rows.push(row);
+    }
+    let mut avg = vec!["AVG".to_string()];
+    for col in &per_latency {
+        avg.push(ratio(geometric_mean(col)));
+    }
+    rows.push(avg);
+
+    print_table(
+        "Figure 9: performance vs DMU access latency (normalized to zero-latency structures)",
+        &["bench", "1 cycle", "4 cycles", "16 cycles"],
+        &rows,
+    );
+}

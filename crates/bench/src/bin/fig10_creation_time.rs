@@ -1,0 +1,45 @@
+//! Figure 10: percentage of time the master thread spends creating tasks and
+//! managing their dependences, with the pure software runtime and with TDM.
+
+use tdm_bench::{geometric_mean, pct, print_table, run, Benchmark};
+use tdm_runtime::exec::Backend;
+use tdm_runtime::scheduler::SchedulerKind;
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut sw_fracs = Vec::new();
+    let mut tdm_fracs = Vec::new();
+    for bench in Benchmark::ALL {
+        let sw = run(
+            &bench.software_workload(),
+            &Backend::Software,
+            SchedulerKind::Fifo,
+        );
+        let tdm = run(
+            &bench.tdm_workload(),
+            &Backend::tdm_default(),
+            SchedulerKind::Fifo,
+        );
+        let sw_frac = sw.master_deps_fraction();
+        let tdm_frac = tdm.master_deps_fraction();
+        sw_fracs.push(sw_frac.max(1e-6));
+        tdm_fracs.push(tdm_frac.max(1e-6));
+        rows.push(vec![
+            bench.abbrev().to_string(),
+            pct(sw_frac),
+            pct(tdm_frac),
+            format!("{:.1}×", sw_frac / tdm_frac.max(1e-9)),
+        ]);
+    }
+    rows.push(vec![
+        "AVG".to_string(),
+        pct(sw_fracs.iter().sum::<f64>() / sw_fracs.len() as f64),
+        pct(tdm_fracs.iter().sum::<f64>() / tdm_fracs.len() as f64),
+        format!("{:.1}×", geometric_mean(&sw_fracs) / geometric_mean(&tdm_fracs)),
+    ]);
+    print_table(
+        "Figure 10: master time spent in task creation (SW vs TDM)",
+        &["bench", "SW", "TDM", "reduction"],
+        &rows,
+    );
+}

@@ -1,0 +1,52 @@
+//! Figure 11: average number of occupied DAT sets with static index-bit
+//! selection (starting at bits 0, 4, 8, 12, 16) versus the proposed dynamic
+//! selection based on the dependence size.
+
+use tdm_bench::{print_table, run, Benchmark};
+use tdm_core::config::{DmuConfig, IndexPolicy};
+use tdm_runtime::exec::Backend;
+use tdm_runtime::scheduler::SchedulerKind;
+
+/// Benchmarks the paper plots (the ones sensitive to index-bit selection).
+const PLOTTED: [Benchmark; 5] = [
+    Benchmark::Blackscholes,
+    Benchmark::Cholesky,
+    Benchmark::Fluidanimate,
+    Benchmark::Histogram,
+    Benchmark::Qr,
+];
+
+fn main() {
+    let static_bits = [0u32, 4, 8, 12, 16];
+    let mut rows = Vec::new();
+    for bench in PLOTTED {
+        let workload = bench.tdm_workload();
+        let mut row = vec![bench.abbrev().to_string()];
+        for &bit in &static_bits {
+            let config =
+                DmuConfig::default().with_index_policy(IndexPolicy::Static { low_bit: bit });
+            let report = run(&workload, &Backend::Tdm(config), SchedulerKind::Fifo);
+            let occupancy = report
+                .hardware
+                .as_ref()
+                .expect("TDM runs have hardware reports")
+                .dat_average_occupied_sets;
+            row.push(format!("{occupancy:.0}"));
+        }
+        let dynamic = run(
+            &workload,
+            &Backend::Tdm(DmuConfig::default().with_index_policy(IndexPolicy::Dynamic)),
+            SchedulerKind::Fifo,
+        );
+        row.push(format!(
+            "{:.0}",
+            dynamic.hardware.as_ref().unwrap().dat_average_occupied_sets
+        ));
+        rows.push(row);
+    }
+    print_table(
+        "Figure 11: average occupied DAT sets (out of 256) — static index bits vs dynamic selection",
+        &["bench", "bit 0", "bit 4", "bit 8", "bit 12", "bit 16", "DYN"],
+        &rows,
+    );
+}

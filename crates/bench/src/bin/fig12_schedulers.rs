@@ -1,0 +1,82 @@
+//! Figure 12: speedup (top) and normalized EDP (bottom) of the five software
+//! schedulers combined with TDM, plus the best software configuration
+//! (OptSW) and the best TDM configuration (OptTDM), all normalized to the
+//! software runtime with a FIFO scheduler.
+
+use tdm_bench::{
+    best_scheduler, geometric_mean, print_table, ratio, run_with_energy, Benchmark,
+};
+use tdm_runtime::exec::Backend;
+use tdm_runtime::scheduler::SchedulerKind;
+
+fn main() {
+    let tdm_schedulers = SchedulerKind::all();
+    let mut speedup_rows = Vec::new();
+    let mut edp_rows = Vec::new();
+    // Columns: OptSW, FIFO+TDM, LIFO+TDM, Local+TDM, Succ+TDM, Age+TDM, OptTDM.
+    let mut speedup_cols: Vec<Vec<f64>> = vec![Vec::new(); 7];
+    let mut edp_cols: Vec<Vec<f64>> = vec![Vec::new(); 7];
+
+    for bench in Benchmark::ALL {
+        let sw_workload = bench.software_workload();
+        let tdm_workload = bench.tdm_workload();
+
+        let (base_run, base_energy) =
+            run_with_energy(&sw_workload, &Backend::Software, SchedulerKind::Fifo);
+
+        let mut speedups = Vec::new();
+        let mut edps = Vec::new();
+
+        // OptSW: best scheduler on the software runtime.
+        let opt_sw = best_scheduler(&sw_workload, &Backend::Software);
+        speedups.push(opt_sw.report.speedup_over(&base_run));
+        edps.push(opt_sw.energy.normalized_edp(&base_energy));
+
+        // Each scheduler with TDM.
+        for kind in &tdm_schedulers {
+            let (report, energy) = run_with_energy(&tdm_workload, &Backend::tdm_default(), *kind);
+            speedups.push(report.speedup_over(&base_run));
+            edps.push(energy.normalized_edp(&base_energy));
+        }
+
+        // OptTDM: best scheduler with TDM.
+        let opt_tdm = best_scheduler(&tdm_workload, &Backend::tdm_default());
+        speedups.push(opt_tdm.report.speedup_over(&base_run));
+        edps.push(opt_tdm.energy.normalized_edp(&base_energy));
+
+        for (col, &v) in speedups.iter().enumerate() {
+            speedup_cols[col].push(v);
+        }
+        for (col, &v) in edps.iter().enumerate() {
+            edp_cols[col].push(v);
+        }
+
+        let mut sp_row = vec![bench.abbrev().to_string()];
+        sp_row.extend(speedups.iter().map(|&v| ratio(v)));
+        speedup_rows.push(sp_row);
+        let mut edp_row = vec![bench.abbrev().to_string()];
+        edp_row.extend(edps.iter().map(|&v| ratio(v)));
+        edp_rows.push(edp_row);
+    }
+
+    let mut avg_sp = vec!["AVG".to_string()];
+    avg_sp.extend(speedup_cols.iter().map(|c| ratio(geometric_mean(c))));
+    speedup_rows.push(avg_sp);
+    let mut avg_edp = vec!["AVG".to_string()];
+    avg_edp.extend(edp_cols.iter().map(|c| ratio(geometric_mean(c))));
+    edp_rows.push(avg_edp);
+
+    let header = [
+        "bench", "OptSW", "FIFO+TDM", "LIFO+TDM", "Local+TDM", "Succ+TDM", "Age+TDM", "OptTDM",
+    ];
+    print_table(
+        "Figure 12 (top): speedup over software runtime with FIFO",
+        &header,
+        &speedup_rows,
+    );
+    print_table(
+        "Figure 12 (bottom): EDP normalized to software runtime with FIFO",
+        &header,
+        &edp_rows,
+    );
+}

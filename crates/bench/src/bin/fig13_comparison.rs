@@ -1,0 +1,78 @@
+//! Figure 13: speedup and normalized EDP of Carbon, Task Superscalar and TDM
+//! (with the best scheduler per benchmark) over the software runtime with a
+//! FIFO scheduler.
+
+use tdm_bench::{best_scheduler, geometric_mean, print_table, ratio, run_with_energy, Benchmark};
+use tdm_runtime::exec::Backend;
+use tdm_runtime::scheduler::SchedulerKind;
+
+fn main() {
+    let mut speedup_rows = Vec::new();
+    let mut edp_rows = Vec::new();
+    let mut speedup_cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    let mut edp_cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
+
+    for bench in Benchmark::ALL {
+        let sw_workload = bench.software_workload();
+        let tdm_workload = bench.tdm_workload();
+        let (base_run, base_energy) =
+            run_with_energy(&sw_workload, &Backend::Software, SchedulerKind::Fifo);
+
+        // Carbon: hardware FIFO queues, software dependence tracking, software
+        // granularity (its runtime overheads match the software baseline).
+        let (carbon_run, carbon_energy) =
+            run_with_energy(&sw_workload, &Backend::Carbon, SchedulerKind::Fifo);
+        // Task Superscalar: everything in hardware, fixed FIFO; it benefits
+        // from the same reduced overheads as TDM, so it uses the TDM-optimal
+        // granularity.
+        let (tss_run, tss_energy) = run_with_energy(
+            &tdm_workload,
+            &Backend::task_superscalar_default(),
+            SchedulerKind::Fifo,
+        );
+        // TDM with the best scheduler per benchmark (OptTDM).
+        let opt_tdm = best_scheduler(&tdm_workload, &Backend::tdm_default());
+
+        let speedups = [
+            carbon_run.speedup_over(&base_run),
+            tss_run.speedup_over(&base_run),
+            opt_tdm.report.speedup_over(&base_run),
+        ];
+        let edps = [
+            carbon_energy.normalized_edp(&base_energy),
+            tss_energy.normalized_edp(&base_energy),
+            opt_tdm.energy.normalized_edp(&base_energy),
+        ];
+        for (col, &v) in speedups.iter().enumerate() {
+            speedup_cols[col].push(v);
+        }
+        for (col, &v) in edps.iter().enumerate() {
+            edp_cols[col].push(v);
+        }
+        let mut sp_row = vec![bench.abbrev().to_string()];
+        sp_row.extend(speedups.iter().map(|&v| ratio(v)));
+        speedup_rows.push(sp_row);
+        let mut edp_row = vec![bench.abbrev().to_string()];
+        edp_row.extend(edps.iter().map(|&v| ratio(v)));
+        edp_rows.push(edp_row);
+    }
+
+    let mut avg_sp = vec!["AVG".to_string()];
+    avg_sp.extend(speedup_cols.iter().map(|c| ratio(geometric_mean(c))));
+    speedup_rows.push(avg_sp);
+    let mut avg_edp = vec!["AVG".to_string()];
+    avg_edp.extend(edp_cols.iter().map(|c| ratio(geometric_mean(c))));
+    edp_rows.push(avg_edp);
+
+    let header = ["bench", "Carbon", "Task Superscalar", "OptTDM"];
+    print_table(
+        "Figure 13 (top): speedup over software runtime with FIFO",
+        &header,
+        &speedup_rows,
+    );
+    print_table(
+        "Figure 13 (bottom): EDP normalized to software runtime with FIFO",
+        &header,
+        &edp_rows,
+    );
+}

@@ -1,0 +1,86 @@
+//! Debug/inspection harness: run one benchmark on one backend/scheduler and
+//! dump the full report (phase breakdown, DMU statistics, stalls).
+//!
+//! Usage: `inspect <benchmark> <software|tdm|carbon|tss> [fifo|lifo|locality|successor|age]`
+
+use tdm_bench::{pct, run, Benchmark};
+use tdm_runtime::exec::Backend;
+use tdm_runtime::scheduler::SchedulerKind;
+use tdm_sim::stats::Phase;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let bench_name = args.get(1).map(String::as_str).unwrap_or("cholesky");
+    let backend_name = args.get(2).map(String::as_str).unwrap_or("tdm");
+    let sched_name = args.get(3).map(String::as_str).unwrap_or("fifo");
+
+    let bench = Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(bench_name) || b.abbrev() == bench_name)
+        .unwrap_or_else(|| panic!("unknown benchmark {bench_name}"));
+    let backend = match backend_name {
+        "software" | "sw" => Backend::Software,
+        "tdm" => Backend::tdm_default(),
+        "carbon" => Backend::Carbon,
+        "tss" => Backend::task_superscalar_default(),
+        other => panic!("unknown backend {other}"),
+    };
+    let scheduler = match sched_name {
+        "fifo" => SchedulerKind::Fifo,
+        "lifo" => SchedulerKind::Lifo,
+        "locality" => SchedulerKind::Locality,
+        "successor" => SchedulerKind::Successor { threshold: 2 },
+        "age" => SchedulerKind::Age,
+        other => panic!("unknown scheduler {other}"),
+    };
+
+    let workload = match backend {
+        Backend::Software | Backend::Carbon => bench.software_workload(),
+        _ => bench.tdm_workload(),
+    };
+    println!(
+        "benchmark={} backend={} scheduler={} tasks={} avg_task_us={:.0}",
+        bench.name(),
+        backend.name(),
+        scheduler.name(),
+        workload.len(),
+        workload.average_duration().as_f64() / 2000.0
+    );
+    let report = run(&workload, &backend, scheduler);
+    let makespan_ms = report.makespan().as_f64() / 2e6;
+    println!("makespan = {makespan_ms:.2} ms");
+    let master = report.stats.master_breakdown();
+    let workers = report.stats.worker_breakdown();
+    for (name, b) in [("master", *master), ("workers", workers)] {
+        println!(
+            "{name:8} DEPS {:>6} SCHED {:>6} EXEC {:>6} IDLE {:>6}",
+            pct(b.fraction(Phase::Deps)),
+            pct(b.fraction(Phase::Sched)),
+            pct(b.fraction(Phase::Exec)),
+            pct(b.fraction(Phase::Idle)),
+        );
+    }
+    if let Some(hw) = &report.hardware {
+        println!(
+            "DMU: creates={} adds={} finishes={} get_ready={} stalls={} accesses={}",
+            hw.stats.creates,
+            hw.stats.add_dependences,
+            hw.stats.finishes,
+            hw.stats.get_readies,
+            hw.stats.stalls,
+            hw.stats.total_accesses
+        );
+        println!(
+            "DMU peaks: tasks={} deps={} sla={} dla={} rla={} rq={} | stall_cycles={} instrs={}",
+            hw.peak.tasks,
+            hw.peak.deps,
+            hw.peak.successor_la,
+            hw.peak.dependence_la,
+            hw.peak.reader_la,
+            hw.peak.ready_queue,
+            hw.stall_cycles.raw(),
+            hw.instructions
+        );
+        println!("DAT avg occupied sets = {:.1}", hw.dat_average_occupied_sets);
+    }
+}

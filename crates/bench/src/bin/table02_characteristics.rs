@@ -1,0 +1,36 @@
+//! Table II: number of tasks and average task duration per benchmark, at the
+//! optimal granularity for the software runtime and for TDM.
+
+use tdm_bench::{print_table, Benchmark};
+
+fn main() {
+    let mut rows = Vec::new();
+    for bench in Benchmark::ALL {
+        let sw = bench.software_workload();
+        let tdm = bench.tdm_workload();
+        let sw_target = bench.table2_software();
+        let tdm_target = bench.table2_tdm();
+        rows.push(vec![
+            bench.name().to_string(),
+            format!("{}", sw.len()),
+            format!("{:.0}", sw.average_duration().as_f64() / 2000.0),
+            format!("{} / {:.0} µs", sw_target.0, sw_target.1),
+            format!("{}", tdm.len()),
+            format!("{:.0}", tdm.average_duration().as_f64() / 2000.0),
+            format!("{} / {:.0} µs", tdm_target.0, tdm_target.1),
+        ]);
+    }
+    print_table(
+        "Table II: benchmark characteristics (generated vs paper)",
+        &[
+            "Benchmark",
+            "SW #tasks",
+            "SW avg µs",
+            "SW paper",
+            "TDM #tasks",
+            "TDM avg µs",
+            "TDM paper",
+        ],
+        &rows,
+    );
+}

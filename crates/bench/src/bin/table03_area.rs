@@ -1,0 +1,62 @@
+//! Table III: DMU storage and area requirements, plus the comparison against
+//! Task Superscalar's storage (Section VI-C).
+
+use tdm_bench::print_table;
+use tdm_core::area::{carbon_kilobytes, task_superscalar_kilobytes, DmuStorageReport};
+use tdm_core::config::DmuConfig;
+use tdm_energy::sram::{area_mm2, SramKind};
+
+fn main() {
+    let config = DmuConfig::default();
+    let report = DmuStorageReport::for_config(&config);
+    let kind_of = |name: &str| match name {
+        "TAT" | "DAT" => SramKind::SetAssociative,
+        "ReadyQ" => SramKind::Fifo,
+        _ => SramKind::DirectMapped,
+    };
+
+    let mut rows = Vec::new();
+    let mut total_kb = 0.0;
+    let mut total_mm2 = 0.0;
+    for s in &report.structures {
+        let kb = s.kilobytes();
+        let mm2 = area_mm2(kb, kind_of(s.name));
+        total_kb += kb;
+        total_mm2 += mm2;
+        rows.push(vec![
+            s.name.to_string(),
+            format!("{kb:.2}"),
+            format!("{mm2:.3}"),
+        ]);
+    }
+    rows.push(vec![
+        "Total".to_string(),
+        format!("{total_kb:.2}"),
+        format!("{total_mm2:.3}"),
+    ]);
+    print_table(
+        "Table III: DMU storage (KB) and area (mm²) at 22 nm",
+        &["Structure", "Storage (KB)", "Area (mm²)"],
+        &rows,
+    );
+
+    let tss_kb = task_superscalar_kilobytes(config.task_table_entries());
+    let carbon_kb = carbon_kilobytes(32);
+    print_table(
+        "Hardware-complexity comparison (Section VI-C)",
+        &["System", "Storage (KB)", "vs DMU"],
+        &[
+            vec!["TDM (DMU)".into(), format!("{total_kb:.2}"), "1.0×".into()],
+            vec![
+                "Task Superscalar".into(),
+                format!("{tss_kb:.0}"),
+                format!("{:.1}×", tss_kb / total_kb),
+            ],
+            vec![
+                "Carbon (32 queues)".into(),
+                format!("{carbon_kb:.0}"),
+                format!("{:.1}×", carbon_kb / total_kb),
+            ],
+        ],
+    );
+}

@@ -1,0 +1,293 @@
+//! Configuration of the DMU hardware structures.
+//!
+//! Table I of the paper fixes the structure sizes used throughout the
+//! evaluation (2048-entry TAT/DAT/Task Table/Dependence Table, 1024-entry
+//! list arrays with 8 elements per entry, 1-cycle access time). Section V
+//! sweeps these parameters; the same sweeps are reproduced by the
+//! `fig07_tat_dat`, `fig08_list_arrays` and `fig09_latency` harnesses, which
+//! simply construct different [`DmuConfig`] values.
+
+use serde::{Deserialize, Serialize};
+use tdm_sim::clock::Cycle;
+
+/// How the DAT chooses which address bits form the set index
+/// (Section III-B1 and Figure 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IndexPolicy {
+    /// The set index starts at a fixed bit position of the dependence
+    /// address. Low positions collide badly when tasks access consecutive
+    /// blocks of the same array (the low `log2(block size)` bits are equal).
+    Static {
+        /// Bit position at which the index field starts.
+        low_bit: u32,
+    },
+    /// The set index starts at bit `log2(dependence size)`: the DMU uses the
+    /// size provided by the runtime in `add_dependence` to skip exactly the
+    /// bits that are constant across blocks of the same array. This is the
+    /// paper's proposal.
+    Dynamic,
+}
+
+impl Default for IndexPolicy {
+    fn default() -> Self {
+        IndexPolicy::Dynamic
+    }
+}
+
+/// Geometry and timing of every DMU hardware structure.
+///
+/// # Example
+///
+/// ```
+/// use tdm_core::config::DmuConfig;
+///
+/// let dmu = DmuConfig::default();
+/// assert_eq!(dmu.tat_entries, 2048);
+/// assert_eq!(dmu.successor_la_entries, 1024);
+/// assert_eq!(dmu.elems_per_list_entry, 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DmuConfig {
+    /// Entries in the Task Alias Table (task descriptor address → task ID).
+    pub tat_entries: usize,
+    /// TAT associativity (ways per set).
+    pub tat_ways: usize,
+    /// Entries in the Dependence Alias Table (dependence address → dep ID).
+    pub dat_entries: usize,
+    /// DAT associativity (ways per set).
+    pub dat_ways: usize,
+    /// Entries in the Successor List Array.
+    pub successor_la_entries: usize,
+    /// Entries in the Dependence List Array.
+    pub dependence_la_entries: usize,
+    /// Entries in the Reader List Array.
+    pub reader_la_entries: usize,
+    /// Elements stored per list-array entry (8 in the paper).
+    pub elems_per_list_entry: usize,
+    /// Capacity of the Ready Queue, in task IDs.
+    pub ready_queue_entries: usize,
+    /// Access latency of every DMU structure (1 cycle in the selected
+    /// design; Figure 9 sweeps 1/4/16).
+    pub access_latency: Cycle,
+    /// DAT index-bit selection policy.
+    pub index_policy: IndexPolicy,
+}
+
+impl Default for DmuConfig {
+    /// The configuration selected by the design-space exploration
+    /// (Section V-C): 2048-entry TAT/DAT, 1024-entry list arrays, 1-cycle
+    /// accesses, dynamic index-bit selection.
+    fn default() -> Self {
+        DmuConfig {
+            tat_entries: 2048,
+            tat_ways: 8,
+            dat_entries: 2048,
+            dat_ways: 8,
+            successor_la_entries: 1024,
+            dependence_la_entries: 1024,
+            reader_la_entries: 1024,
+            elems_per_list_entry: 8,
+            ready_queue_entries: 2048,
+            access_latency: Cycle::new(1),
+            index_policy: IndexPolicy::Dynamic,
+        }
+    }
+}
+
+impl DmuConfig {
+    /// The Task Table has one entry per TAT entry (the TAT size determines
+    /// the number of in-flight tasks, Section V-A).
+    pub fn task_table_entries(&self) -> usize {
+        self.tat_entries
+    }
+
+    /// The Dependence Table has one entry per DAT entry.
+    pub fn dependence_table_entries(&self) -> usize {
+        self.dat_entries
+    }
+
+    /// An effectively unbounded configuration used as the "ideal DMU with
+    /// unlimited entries and equal latency" baseline of Figures 7–9.
+    pub fn ideal() -> Self {
+        DmuConfig {
+            tat_entries: 1 << 20,
+            tat_ways: 16,
+            dat_entries: 1 << 20,
+            dat_ways: 16,
+            successor_la_entries: 1 << 20,
+            dependence_la_entries: 1 << 20,
+            reader_la_entries: 1 << 20,
+            elems_per_list_entry: 8,
+            ready_queue_entries: 1 << 20,
+            access_latency: Cycle::new(1),
+            index_policy: IndexPolicy::Dynamic,
+        }
+    }
+
+    /// Returns a copy with different TAT/DAT sizes (Figure 7 sweep).
+    pub fn with_alias_sizes(&self, tat_entries: usize, dat_entries: usize) -> Self {
+        DmuConfig {
+            tat_entries,
+            dat_entries,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with different list-array sizes (Figure 8 sweep).
+    pub fn with_list_array_sizes(&self, successor: usize, dependence: usize, reader: usize) -> Self {
+        DmuConfig {
+            successor_la_entries: successor,
+            dependence_la_entries: dependence,
+            reader_la_entries: reader,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with a different structure access latency (Figure 9
+    /// sweep).
+    pub fn with_access_latency(&self, latency: Cycle) -> Self {
+        DmuConfig {
+            access_latency: latency,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with a different DAT index-bit-selection policy
+    /// (Figure 11 sweep).
+    pub fn with_index_policy(&self, policy: IndexPolicy) -> Self {
+        DmuConfig {
+            index_policy: policy,
+            ..self.clone()
+        }
+    }
+
+    /// Number of bits needed to name a task ID with this geometry.
+    pub fn task_id_bits(&self) -> u32 {
+        (self.task_table_entries() as u64).next_power_of_two().trailing_zeros().max(1)
+    }
+
+    /// Number of bits needed to name a dependence ID with this geometry.
+    pub fn dep_id_bits(&self) -> u32 {
+        (self.dependence_table_entries() as u64).next_power_of_two().trailing_zeros().max(1)
+    }
+
+    /// Number of bits needed to name a list-array entry.
+    pub fn list_ptr_bits(&self, entries: usize) -> u32 {
+        (entries as u64).next_power_of_two().trailing_zeros().max(1)
+    }
+
+    /// Validates internal consistency (non-zero sizes, associativity dividing
+    /// the entry count). Returns a human-readable description of the first
+    /// problem found, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        let positive = [
+            ("tat_entries", self.tat_entries),
+            ("tat_ways", self.tat_ways),
+            ("dat_entries", self.dat_entries),
+            ("dat_ways", self.dat_ways),
+            ("successor_la_entries", self.successor_la_entries),
+            ("dependence_la_entries", self.dependence_la_entries),
+            ("reader_la_entries", self.reader_la_entries),
+            ("elems_per_list_entry", self.elems_per_list_entry),
+            ("ready_queue_entries", self.ready_queue_entries),
+        ];
+        for (name, value) in positive {
+            if value == 0 {
+                return Err(format!("{name} must be non-zero"));
+            }
+        }
+        if self.tat_entries % self.tat_ways != 0 {
+            return Err(format!(
+                "tat_entries ({}) must be a multiple of tat_ways ({})",
+                self.tat_entries, self.tat_ways
+            ));
+        }
+        if self.dat_entries % self.dat_ways != 0 {
+            return Err(format!(
+                "dat_entries ({}) must be a multiple of dat_ways ({})",
+                self.dat_entries, self.dat_ways
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_selected_design() {
+        let c = DmuConfig::default();
+        assert_eq!(c.tat_entries, 2048);
+        assert_eq!(c.tat_ways, 8);
+        assert_eq!(c.dat_entries, 2048);
+        assert_eq!(c.dat_ways, 8);
+        assert_eq!(c.successor_la_entries, 1024);
+        assert_eq!(c.dependence_la_entries, 1024);
+        assert_eq!(c.reader_la_entries, 1024);
+        assert_eq!(c.elems_per_list_entry, 8);
+        assert_eq!(c.access_latency, Cycle::new(1));
+        assert_eq!(c.index_policy, IndexPolicy::Dynamic);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn table_sizes_follow_alias_table_sizes() {
+        let c = DmuConfig::default().with_alias_sizes(512, 1024);
+        assert_eq!(c.task_table_entries(), 512);
+        assert_eq!(c.dependence_table_entries(), 1024);
+    }
+
+    #[test]
+    fn id_bit_widths_match_paper() {
+        let c = DmuConfig::default();
+        assert_eq!(c.task_id_bits(), 11);
+        assert_eq!(c.dep_id_bits(), 11);
+        assert_eq!(c.list_ptr_bits(c.successor_la_entries), 10);
+    }
+
+    #[test]
+    fn sweep_constructors_change_only_their_fields() {
+        let base = DmuConfig::default();
+        let swept = base.with_list_array_sizes(128, 512, 2048);
+        assert_eq!(swept.successor_la_entries, 128);
+        assert_eq!(swept.dependence_la_entries, 512);
+        assert_eq!(swept.reader_la_entries, 2048);
+        assert_eq!(swept.tat_entries, base.tat_entries);
+
+        let lat = base.with_access_latency(Cycle::new(16));
+        assert_eq!(lat.access_latency, Cycle::new(16));
+        assert_eq!(lat.dat_entries, base.dat_entries);
+
+        let idx = base.with_index_policy(IndexPolicy::Static { low_bit: 4 });
+        assert_eq!(idx.index_policy, IndexPolicy::Static { low_bit: 4 });
+    }
+
+    #[test]
+    fn ideal_config_is_huge_and_valid() {
+        let c = DmuConfig::ideal();
+        assert!(c.tat_entries >= 1 << 20);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_sizes() {
+        let mut c = DmuConfig::default();
+        c.tat_entries = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_non_divisible_associativity() {
+        let mut c = DmuConfig::default();
+        c.tat_entries = 100;
+        c.tat_ways = 8;
+        assert!(c.validate().unwrap_err().contains("multiple"));
+    }
+
+    #[test]
+    fn default_index_policy_is_dynamic() {
+        assert_eq!(IndexPolicy::default(), IndexPolicy::Dynamic);
+    }
+}

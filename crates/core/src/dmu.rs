@@ -1,0 +1,1095 @@
+//! The Dependence Management Unit (DMU).
+//!
+//! This module ties the alias tables, the Task/Dependence Tables, the list
+//! arrays and the Ready Queue together into the operational model of
+//! Section III-C: `create_task`, `add_dependence` (Algorithm 1),
+//! `finish_task` (Algorithm 2) and `get_ready_task`.
+//!
+//! Two aspects deserve a note:
+//!
+//! * **Blocking semantics.** TDM instructions have barrier semantics and
+//!   block when a DMU structure is full (Section III-D). The DMU model
+//!   checks resource availability *before* mutating any state and returns
+//!   [`DmuError::Stall`] if an operation cannot complete; the execution
+//!   driver keeps the issuing core stalled and retries after the next
+//!   `finish_task` frees entries. This keeps every operation atomic.
+//!
+//! * **Task submission.** The paper's ISA has no explicit "all dependences
+//!   added" instruction, but a task whose dependences are all already
+//!   satisfied at creation time must still reach the Ready Queue somehow.
+//!   This model exposes that commit point as [`Dmu::submit_task`], which the
+//!   runtime issues right after the last `add_dependence` of a task (it can
+//!   be thought of as a flag on the last `add_dependence`, or as part of
+//!   `create_task` for tasks with no dependences). The cost model charges it
+//!   a single Task Table access.
+
+use serde::{Deserialize, Serialize};
+use tdm_sim::clock::Cycle;
+
+use crate::access::{AccessCounter, DmuStructure};
+use crate::alias::{AliasError, AliasTable};
+use crate::config::{DmuConfig, IndexPolicy};
+use crate::ids::{DepAddr, DepDirection, DepId, DescriptorAddr, TaskId};
+use crate::list_array::ListArray;
+use crate::ready_queue::ReadyQueue;
+use crate::tables::{DepEntry, DependenceTable, TaskEntry, TaskTable};
+
+/// Index-bit position used for the TAT. Task descriptors are small heap
+/// objects, so skipping the byte-offset bits of a cache line spreads
+/// consecutive descriptors across sets.
+const TAT_INDEX_LOW_BIT: u32 = 6;
+
+/// The DMU structure that caused an instruction to block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StallReason {
+    /// The TAT set for this descriptor address has no free way.
+    TatConflict,
+    /// The TAT has no free entries at all.
+    TatExhausted,
+    /// The DAT set for this dependence address has no free way.
+    DatConflict,
+    /// The DAT has no free entries at all.
+    DatExhausted,
+    /// The Successor List Array has no free entries.
+    SuccessorLaFull,
+    /// The Dependence List Array has no free entries.
+    DependenceLaFull,
+    /// The Reader List Array has no free entries.
+    ReaderLaFull,
+}
+
+impl std::fmt::Display for StallReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            StallReason::TatConflict => "TAT set conflict",
+            StallReason::TatExhausted => "TAT exhausted",
+            StallReason::DatConflict => "DAT set conflict",
+            StallReason::DatExhausted => "DAT exhausted",
+            StallReason::SuccessorLaFull => "successor list array full",
+            StallReason::DependenceLaFull => "dependence list array full",
+            StallReason::ReaderLaFull => "reader list array full",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors returned by DMU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DmuError {
+    /// The operation cannot proceed until in-flight tasks finish and free
+    /// entries in the named structure. No state was modified.
+    Stall(StallReason),
+    /// The runtime referenced a task descriptor the DMU does not know.
+    /// This indicates a protocol violation by the runtime, not a resource
+    /// limit.
+    UnknownTask(DescriptorAddr),
+}
+
+impl std::fmt::Display for DmuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DmuError::Stall(reason) => write!(f, "DMU stall: {reason}"),
+            DmuError::UnknownTask(desc) => write!(f, "unknown task descriptor {desc}"),
+        }
+    }
+}
+
+impl std::error::Error for DmuError {}
+
+/// The value produced by a DMU operation plus the structure accesses it made.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DmuResult<T> {
+    /// The operation's result.
+    pub value: T,
+    /// SRAM accesses performed, for cycle accounting.
+    pub accesses: AccessCounter,
+}
+
+impl<T> DmuResult<T> {
+    fn new(value: T, accesses: AccessCounter) -> Self {
+        DmuResult { value, accesses }
+    }
+
+    /// Cycles the DMU spends processing this operation with the given
+    /// per-access latency.
+    pub fn cost(&self, access_latency: Cycle) -> Cycle {
+        self.accesses.cost(access_latency)
+    }
+}
+
+/// A ready task as returned by `get_ready_task`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadyTask {
+    /// Task descriptor address, used by the runtime to locate the task.
+    pub descriptor: DescriptorAddr,
+    /// Number of successors registered for the task, exposed so priority
+    /// schedulers (e.g. the Successor scheduler of Section VI) can use it.
+    pub num_successors: u32,
+}
+
+/// Aggregate statistics maintained by the DMU model.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DmuStats {
+    /// `create_task` operations completed.
+    pub creates: u64,
+    /// `add_dependence` operations completed.
+    pub add_dependences: u64,
+    /// `submit_task` operations completed.
+    pub submits: u64,
+    /// `finish_task` operations completed.
+    pub finishes: u64,
+    /// `get_ready_task` operations completed.
+    pub get_readies: u64,
+    /// Operations that returned a stall.
+    pub stalls: u64,
+    /// Total SRAM accesses across all completed operations.
+    pub total_accesses: u64,
+    /// Peak number of in-flight tasks.
+    pub peak_tasks: usize,
+    /// Peak number of in-flight dependences.
+    pub peak_deps: usize,
+}
+
+/// The Dependence Management Unit.
+///
+/// # Example
+///
+/// ```
+/// use tdm_core::config::DmuConfig;
+/// use tdm_core::dmu::Dmu;
+/// use tdm_core::ids::{DepAddr, DepDirection, DescriptorAddr};
+///
+/// let mut dmu = Dmu::new(DmuConfig::default());
+/// let producer = DescriptorAddr(0x1000);
+/// let consumer = DescriptorAddr(0x2000);
+///
+/// dmu.create_task(producer).unwrap();
+/// dmu.add_dependence(producer, DepAddr(0xA000), 4096, DepDirection::Out).unwrap();
+/// dmu.submit_task(producer).unwrap();
+///
+/// dmu.create_task(consumer).unwrap();
+/// dmu.add_dependence(consumer, DepAddr(0xA000), 4096, DepDirection::In).unwrap();
+/// dmu.submit_task(consumer).unwrap();
+///
+/// // Only the producer is ready; the consumer waits for it.
+/// assert_eq!(dmu.get_ready_task().value.unwrap().descriptor, producer);
+/// assert!(dmu.get_ready_task().value.is_none());
+///
+/// dmu.finish_task(producer).unwrap();
+/// assert_eq!(dmu.get_ready_task().value.unwrap().descriptor, consumer);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dmu {
+    config: DmuConfig,
+    tat: AliasTable,
+    dat: AliasTable,
+    tasks: TaskTable,
+    deps: DependenceTable,
+    sla: ListArray,
+    dla: ListArray,
+    rla: ListArray,
+    ready: ReadyQueue,
+    stats: DmuStats,
+}
+
+impl Dmu {
+    /// Builds a DMU with the given structure geometry.
+    ///
+    /// The Ready Queue is sized to at least the Task Table capacity so that
+    /// Algorithm 2 can never fail to enqueue a ready task (there can never be
+    /// more ready tasks than in-flight tasks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`DmuConfig::validate`].
+    pub fn new(config: DmuConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid DMU configuration: {msg}");
+        }
+        let rq_capacity = config.ready_queue_entries.max(config.task_table_entries());
+        Dmu {
+            tat: AliasTable::new(
+                config.tat_entries,
+                config.tat_ways,
+                IndexPolicy::Static {
+                    low_bit: TAT_INDEX_LOW_BIT,
+                },
+            ),
+            dat: AliasTable::new(config.dat_entries, config.dat_ways, config.index_policy),
+            tasks: TaskTable::new(config.task_table_entries()),
+            deps: DependenceTable::new(config.dependence_table_entries()),
+            sla: ListArray::new(config.successor_la_entries, config.elems_per_list_entry),
+            dla: ListArray::new(config.dependence_la_entries, config.elems_per_list_entry),
+            rla: ListArray::new(config.reader_la_entries, config.elems_per_list_entry),
+            ready: ReadyQueue::new(rq_capacity),
+            stats: DmuStats::default(),
+            config,
+        }
+    }
+
+    /// The configuration this DMU was built with.
+    pub fn config(&self) -> &DmuConfig {
+        &self.config
+    }
+
+    /// Aggregate statistics collected so far.
+    pub fn stats(&self) -> DmuStats {
+        self.stats
+    }
+
+    /// Number of tasks currently tracked.
+    pub fn in_flight_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of dependences currently tracked.
+    pub fn in_flight_deps(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Number of tasks currently waiting in the Ready Queue.
+    pub fn ready_count(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Average number of occupied DAT sets over the run (Figure 11 metric).
+    pub fn dat_average_occupied_sets(&self) -> f64 {
+        self.dat.occupancy().average_occupied_sets()
+    }
+
+    /// Current number of occupied DAT sets.
+    pub fn dat_occupied_sets(&self) -> usize {
+        self.dat.occupied_sets()
+    }
+
+    /// Per-access latency configured for every DMU structure.
+    pub fn access_latency(&self) -> Cycle {
+        self.config.access_latency
+    }
+
+    fn stall(&mut self, reason: StallReason) -> DmuError {
+        self.stats.stalls += 1;
+        DmuError::Stall(reason)
+    }
+
+    fn task_id(&self, desc: DescriptorAddr) -> Result<TaskId, DmuError> {
+        self.tat
+            .lookup(desc.raw(), 64)
+            .map(TaskId::new)
+            .ok_or(DmuError::UnknownTask(desc))
+    }
+
+    fn record_completion(&mut self, accesses: &AccessCounter) {
+        self.stats.total_accesses += accesses.total();
+        self.stats.peak_tasks = self.stats.peak_tasks.max(self.tasks.len());
+        self.stats.peak_deps = self.stats.peak_deps.max(self.deps.len());
+    }
+
+    /// `create_task(task_desc)`: registers a new in-flight task.
+    ///
+    /// Allocates a TAT entry and task ID, initializes the Task Table entry
+    /// and reserves empty successor and dependence lists (Section III-C1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmuError::Stall`] if the TAT or either list array is full;
+    /// no state is modified in that case.
+    pub fn create_task(&mut self, desc: DescriptorAddr) -> Result<DmuResult<TaskId>, DmuError> {
+        // Pre-check every resource so the operation is atomic.
+        if self.tat.lookup(desc.raw(), 64).is_some() {
+            // Descriptor reuse while still in flight is a runtime bug.
+            return Err(DmuError::UnknownTask(desc));
+        }
+        if self.sla.free_entries() < 1 {
+            return Err(self.stall(StallReason::SuccessorLaFull));
+        }
+        if self.dla.free_entries() < 1 {
+            return Err(self.stall(StallReason::DependenceLaFull));
+        }
+        let mut accesses = AccessCounter::new();
+        let id = match self.tat.insert(desc.raw(), 64) {
+            Ok(raw) => TaskId::new(raw),
+            Err(AliasError::SetConflict) => return Err(self.stall(StallReason::TatConflict)),
+            Err(AliasError::Exhausted) => return Err(self.stall(StallReason::TatExhausted)),
+        };
+        accesses.touch(DmuStructure::Tat);
+
+        let successor_list = self.sla.alloc_list().expect("pre-checked SLA space");
+        accesses.touch(DmuStructure::SuccessorLa);
+        let dependence_list = self.dla.alloc_list().expect("pre-checked DLA space");
+        accesses.touch(DmuStructure::DependenceLa);
+
+        self.tasks.insert(
+            id,
+            TaskEntry {
+                descriptor: desc,
+                num_predecessors: 0,
+                num_successors: 0,
+                successor_list,
+                dependence_list,
+                under_construction: true,
+            },
+        );
+        accesses.touch(DmuStructure::TaskTable);
+
+        self.stats.creates += 1;
+        self.record_completion(&accesses);
+        Ok(DmuResult::new(id, accesses))
+    }
+
+    /// Looks up (or allocates) the Dependence Table entry for `addr`.
+    fn dep_id_for(
+        &mut self,
+        addr: DepAddr,
+        size: u64,
+        accesses: &mut AccessCounter,
+    ) -> Result<DepId, DmuError> {
+        accesses.touch(DmuStructure::Dat);
+        if let Some(raw) = self.dat.lookup(addr.raw(), size) {
+            return Ok(DepId::new(raw));
+        }
+        // A new dependence needs a DAT entry and a reader list.
+        if self.rla.free_entries() < 1 {
+            return Err(self.stall(StallReason::ReaderLaFull));
+        }
+        let raw = match self.dat.insert(addr.raw(), size) {
+            Ok(raw) => raw,
+            Err(AliasError::SetConflict) => return Err(self.stall(StallReason::DatConflict)),
+            Err(AliasError::Exhausted) => return Err(self.stall(StallReason::DatExhausted)),
+        };
+        let reader_list = self.rla.alloc_list().expect("pre-checked RLA space");
+        accesses.touch(DmuStructure::ReaderLa);
+        let id = DepId::new(raw);
+        self.deps.insert(
+            id,
+            DepEntry {
+                addr,
+                size,
+                last_writer: None,
+                reader_list,
+            },
+        );
+        accesses.touch(DmuStructure::DependenceTable);
+        Ok(id)
+    }
+
+    /// Counts how many *new* list-array entries Algorithm 1 would need, so
+    /// the operation can stall up front instead of half-applying.
+    fn add_dependence_requirements(
+        &self,
+        task: TaskId,
+        dep: Option<DepId>,
+        dir: DepDirection,
+    ) -> (usize, usize, usize) {
+        let task_entry = self.tasks.get(task).expect("task id came from TAT");
+        let mut needed_sla = 0;
+        let mut needed_rla = 0;
+        let needed_dla = usize::from(self.dla.push_needs_new_entry(task_entry.dependence_list));
+
+        if let Some(dep_id) = dep {
+            let dep_entry = self.deps.get(dep_id).expect("dep id came from DAT");
+            if let Some(writer) = dep_entry.last_writer {
+                if writer != task {
+                    let writer_entry = self.tasks.get(writer).expect("last writer is in flight");
+                    if self.sla.push_needs_new_entry(writer_entry.successor_list) {
+                        needed_sla += 1;
+                    }
+                }
+            }
+            if dir.writes() {
+                for reader_raw in self.rla.collect(dep_entry.reader_list) {
+                    let reader = TaskId::new(reader_raw);
+                    if reader == task {
+                        continue;
+                    }
+                    let reader_entry = self.tasks.get(reader).expect("reader is in flight");
+                    if self.sla.push_needs_new_entry(reader_entry.successor_list) {
+                        needed_sla += 1;
+                    }
+                }
+            } else if self.rla.push_needs_new_entry(dep_entry.reader_list) {
+                needed_rla += 1;
+            }
+        } else {
+            // Brand-new dependence: empty reader list, the task will be its
+            // first reader or writer; a read needs one RLA slot which the
+            // fresh head entry always provides.
+        }
+        (needed_sla, needed_dla, needed_rla)
+    }
+
+    /// `add_dependence(task_desc, dep_addr, size, direction)`: Algorithm 1.
+    ///
+    /// Registers a dependence of `desc` on the data at `addr`, creating
+    /// RAW/WAR/WAW edges with older in-flight tasks as needed. An `inout`
+    /// direction behaves like `out` for graph-construction purposes (it also
+    /// reads, but the read edge to the last writer is created for every
+    /// direction).
+    ///
+    /// # Errors
+    ///
+    /// * [`DmuError::Stall`] if the DAT or a list array lacks space (no state
+    ///   is modified).
+    /// * [`DmuError::UnknownTask`] if `desc` was never created.
+    pub fn add_dependence(
+        &mut self,
+        desc: DescriptorAddr,
+        addr: DepAddr,
+        size: u64,
+        dir: DepDirection,
+    ) -> Result<DmuResult<()>, DmuError> {
+        let mut accesses = AccessCounter::new();
+        accesses.touch(DmuStructure::Tat);
+        let task = self.task_id(desc)?;
+
+        // Resolve (or create) the dependence entry first; this can stall on
+        // DAT/RLA space but does not yet modify any task state, so it is safe
+        // to bail out afterwards as long as we only created the dependence
+        // entry (an empty dependence entry is harmless and will be reused by
+        // the retry).
+        let existing = self
+            .dat
+            .lookup(addr.raw(), size)
+            .map(DepId::new);
+        let (needed_sla, needed_dla, needed_rla) =
+            self.add_dependence_requirements(task, existing, dir);
+        if self.sla.free_entries() < needed_sla {
+            return Err(self.stall(StallReason::SuccessorLaFull));
+        }
+        if self.dla.free_entries() < needed_dla {
+            return Err(self.stall(StallReason::DependenceLaFull));
+        }
+        // +1 potential reader-list allocation for a brand-new dependence.
+        let new_dep_rla = usize::from(existing.is_none());
+        if self.rla.free_entries() < needed_rla + new_dep_rla {
+            return Err(self.stall(StallReason::ReaderLaFull));
+        }
+
+        let dep = self.dep_id_for(addr, size, &mut accesses)?;
+
+        // Insert depID in the dependence list of taskID.
+        let task_entry = self.tasks.get(task).expect("task exists");
+        let dep_list = task_entry.dependence_list;
+        let walk = self
+            .dla
+            .push(dep_list, dep.raw())
+            .expect("pre-checked DLA space");
+        accesses.record(DmuStructure::DependenceLa, walk.entries_touched);
+
+        // RAW / WAW edge from the last writer.
+        let dep_entry = self.deps.get(dep).expect("dep exists").clone();
+        accesses.touch(DmuStructure::DependenceTable);
+        if let Some(writer) = dep_entry.last_writer {
+            if writer != task {
+                let writer_entry = self.tasks.get_mut(writer).expect("writer in flight");
+                let succ_list = writer_entry.successor_list;
+                writer_entry.num_successors += 1;
+                accesses.touch(DmuStructure::TaskTable);
+                let walk = self
+                    .sla
+                    .push(succ_list, task.raw())
+                    .expect("pre-checked SLA space");
+                accesses.record(DmuStructure::SuccessorLa, walk.entries_touched);
+                let task_entry = self.tasks.get_mut(task).expect("task exists");
+                task_entry.num_predecessors += 1;
+                accesses.touch(DmuStructure::TaskTable);
+            }
+        }
+
+        if dir.writes() {
+            // WAR edges from every reader, then this task becomes the last
+            // writer and the reader list is flushed.
+            let readers = self.rla.collect(dep_entry.reader_list);
+            accesses.record(
+                DmuStructure::ReaderLa,
+                self.rla.entries_spanned(dep_entry.reader_list),
+            );
+            for reader_raw in readers {
+                let reader = TaskId::new(reader_raw);
+                if reader == task {
+                    continue;
+                }
+                let reader_entry = self.tasks.get_mut(reader).expect("reader in flight");
+                let succ_list = reader_entry.successor_list;
+                reader_entry.num_successors += 1;
+                accesses.touch(DmuStructure::TaskTable);
+                let walk = self
+                    .sla
+                    .push(succ_list, task.raw())
+                    .expect("pre-checked SLA space");
+                accesses.record(DmuStructure::SuccessorLa, walk.entries_touched);
+                let task_entry = self.tasks.get_mut(task).expect("task exists");
+                task_entry.num_predecessors += 1;
+                accesses.touch(DmuStructure::TaskTable);
+            }
+            let flush_walk = self.rla.flush(dep_entry.reader_list);
+            accesses.record(DmuStructure::ReaderLa, flush_walk.entries_touched);
+            let dep_entry = self.deps.get_mut(dep).expect("dep exists");
+            dep_entry.last_writer = Some(task);
+            accesses.touch(DmuStructure::DependenceTable);
+        } else {
+            // Pure input: register this task as a reader.
+            let walk = self
+                .rla
+                .push(dep_entry.reader_list, task.raw())
+                .expect("pre-checked RLA space");
+            accesses.record(DmuStructure::ReaderLa, walk.entries_touched);
+        }
+
+        self.stats.add_dependences += 1;
+        self.record_completion(&accesses);
+        Ok(DmuResult::new((), accesses))
+    }
+
+    /// Marks the task as fully constructed. If all its dependences were
+    /// already satisfied (predecessor count is zero) it is inserted into the
+    /// Ready Queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmuError::UnknownTask`] if `desc` was never created.
+    pub fn submit_task(&mut self, desc: DescriptorAddr) -> Result<DmuResult<bool>, DmuError> {
+        let mut accesses = AccessCounter::new();
+        accesses.touch(DmuStructure::Tat);
+        let task = self.task_id(desc)?;
+        let entry = self.tasks.get_mut(task).expect("task exists");
+        entry.under_construction = false;
+        accesses.touch(DmuStructure::TaskTable);
+        let ready_now = entry.num_predecessors == 0;
+        if ready_now {
+            self.ready
+                .push(task)
+                .expect("ready queue sized to task table capacity");
+            accesses.touch(DmuStructure::ReadyQueue);
+        }
+        self.stats.submits += 1;
+        self.record_completion(&accesses);
+        Ok(DmuResult::new(ready_now, accesses))
+    }
+
+    /// `finish_task(task_desc)`: Algorithm 2.
+    ///
+    /// Wakes up successors (moving newly ready tasks to the Ready Queue),
+    /// detaches the task from its dependences, and frees every DMU resource
+    /// the task held.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmuError::UnknownTask`] if `desc` is not in flight.
+    pub fn finish_task(&mut self, desc: DescriptorAddr) -> Result<DmuResult<Vec<TaskId>>, DmuError> {
+        let mut accesses = AccessCounter::new();
+        accesses.touch(DmuStructure::Tat);
+        let task = self.task_id(desc)?;
+        let entry = self.tasks.get(task).expect("task exists").clone();
+        accesses.touch(DmuStructure::TaskTable);
+
+        // First loop: wake up successors.
+        let successors = self.sla.collect(entry.successor_list);
+        accesses.record(
+            DmuStructure::SuccessorLa,
+            self.sla.entries_spanned(entry.successor_list),
+        );
+        let mut woken = Vec::new();
+        for succ_raw in successors {
+            let succ = TaskId::new(succ_raw);
+            let succ_entry = self
+                .tasks
+                .get_mut(succ)
+                .expect("successors of an in-flight task are in flight");
+            debug_assert!(succ_entry.num_predecessors > 0, "predecessor underflow for {succ}");
+            succ_entry.num_predecessors -= 1;
+            accesses.touch(DmuStructure::TaskTable);
+            if succ_entry.num_predecessors == 0 && !succ_entry.under_construction {
+                self.ready
+                    .push(succ)
+                    .expect("ready queue sized to task table capacity");
+                accesses.touch(DmuStructure::ReadyQueue);
+                woken.push(succ);
+            }
+        }
+
+        // Second loop: detach from dependences and free dead ones.
+        let dep_ids = self.dla.collect(entry.dependence_list);
+        accesses.record(
+            DmuStructure::DependenceLa,
+            self.dla.entries_spanned(entry.dependence_list),
+        );
+        for dep_raw in dep_ids {
+            let dep = DepId::new(dep_raw);
+            let Some(dep_entry) = self.deps.get(dep) else {
+                // Already freed via an earlier duplicate in this task's list.
+                continue;
+            };
+            let reader_list = dep_entry.reader_list;
+            let dep_addr = dep_entry.addr;
+            let dep_size = dep_entry.size;
+            let (_, walk) = self.rla.remove(reader_list, task.raw());
+            accesses.record(DmuStructure::ReaderLa, walk.entries_touched);
+
+            let dep_entry = self.deps.get_mut(dep).expect("dep exists");
+            accesses.touch(DmuStructure::DependenceTable);
+            if dep_entry.last_writer == Some(task) {
+                dep_entry.last_writer = None;
+            }
+            if dep_entry.last_writer.is_none() && self.rla.is_empty(reader_list) {
+                let walk = self.rla.free_list(reader_list);
+                accesses.record(DmuStructure::ReaderLa, walk.entries_touched);
+                self.deps.remove(dep);
+                accesses.touch(DmuStructure::DependenceTable);
+                self.dat.remove(dep_addr.raw(), dep_size);
+                accesses.touch(DmuStructure::Dat);
+            }
+        }
+
+        // Free the task's own resources.
+        let walk = self.sla.free_list(entry.successor_list);
+        accesses.record(DmuStructure::SuccessorLa, walk.entries_touched);
+        let walk = self.dla.free_list(entry.dependence_list);
+        accesses.record(DmuStructure::DependenceLa, walk.entries_touched);
+        self.tasks.remove(task);
+        accesses.touch(DmuStructure::TaskTable);
+        self.tat.remove(desc.raw(), 64);
+        accesses.touch(DmuStructure::Tat);
+
+        self.stats.finishes += 1;
+        self.record_completion(&accesses);
+        Ok(DmuResult::new(woken, accesses))
+    }
+
+    /// `get_ready_task()`: pops the oldest ready task, returning its
+    /// descriptor address and successor count, or `None` if the Ready Queue
+    /// is empty.
+    pub fn get_ready_task(&mut self) -> DmuResult<Option<ReadyTask>> {
+        let mut accesses = AccessCounter::new();
+        accesses.touch(DmuStructure::ReadyQueue);
+        let value = self.ready.pop().map(|task| {
+            let entry = self.tasks.get(task).expect("ready tasks are in flight");
+            accesses.touch(DmuStructure::TaskTable);
+            ReadyTask {
+                descriptor: entry.descriptor,
+                num_successors: entry.num_successors,
+            }
+        });
+        self.stats.get_readies += 1;
+        self.record_completion(&accesses);
+        DmuResult::new(value, accesses)
+    }
+
+    /// True if the DMU holds no in-flight state (all tasks finished).
+    pub fn is_drained(&self) -> bool {
+        self.tasks.is_empty() && self.deps.is_empty() && self.ready.is_empty()
+    }
+
+    /// Peak occupancy of each structure, for reporting.
+    pub fn peak_occupancy(&self) -> PeakOccupancy {
+        PeakOccupancy {
+            tasks: self.tasks.peak(),
+            deps: self.deps.peak(),
+            successor_la: self.sla.peak_entries_in_use(),
+            dependence_la: self.dla.peak_entries_in_use(),
+            reader_la: self.rla.peak_entries_in_use(),
+            ready_queue: self.ready.peak(),
+            tat: self.tat.occupancy().peak_entries,
+            dat: self.dat.occupancy().peak_entries,
+        }
+    }
+}
+
+/// Peak occupancy of every DMU structure over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PeakOccupancy {
+    /// Peak live Task Table entries.
+    pub tasks: usize,
+    /// Peak live Dependence Table entries.
+    pub deps: usize,
+    /// Peak Successor List Array entries in use.
+    pub successor_la: usize,
+    /// Peak Dependence List Array entries in use.
+    pub dependence_la: usize,
+    /// Peak Reader List Array entries in use.
+    pub reader_la: usize,
+    /// Peak Ready Queue occupancy.
+    pub ready_queue: usize,
+    /// Peak TAT occupancy.
+    pub tat: usize,
+    /// Peak DAT occupancy.
+    pub dat: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> DmuConfig {
+        DmuConfig {
+            tat_entries: 64,
+            tat_ways: 8,
+            dat_entries: 64,
+            dat_ways: 8,
+            successor_la_entries: 64,
+            dependence_la_entries: 64,
+            reader_la_entries: 64,
+            elems_per_list_entry: 4,
+            ready_queue_entries: 64,
+            access_latency: Cycle::new(1),
+            index_policy: IndexPolicy::Dynamic,
+        }
+    }
+
+    fn desc(i: u64) -> DescriptorAddr {
+        DescriptorAddr(0x10_0000 + i * 64)
+    }
+
+    fn block(i: u64) -> DepAddr {
+        DepAddr(0x80_0000 + i * 4096)
+    }
+
+    /// Creates a task with the given dependences and submits it.
+    fn spawn(dmu: &mut Dmu, d: DescriptorAddr, deps: &[(DepAddr, DepDirection)]) {
+        dmu.create_task(d).unwrap();
+        for &(addr, dir) in deps {
+            dmu.add_dependence(d, addr, 4096, dir).unwrap();
+        }
+        dmu.submit_task(d).unwrap();
+    }
+
+    fn drain_ready(dmu: &mut Dmu) -> Vec<DescriptorAddr> {
+        let mut out = Vec::new();
+        while let Some(t) = dmu.get_ready_task().value {
+            out.push(t.descriptor);
+        }
+        out
+    }
+
+    #[test]
+    fn independent_tasks_are_ready_immediately() {
+        let mut dmu = Dmu::new(small_config());
+        spawn(&mut dmu, desc(0), &[]);
+        spawn(&mut dmu, desc(1), &[(block(0), DepDirection::Out)]);
+        let ready = drain_ready(&mut dmu);
+        assert_eq!(ready, vec![desc(0), desc(1)]);
+    }
+
+    #[test]
+    fn raw_dependence_orders_producer_before_consumer() {
+        let mut dmu = Dmu::new(small_config());
+        spawn(&mut dmu, desc(0), &[(block(0), DepDirection::Out)]);
+        spawn(&mut dmu, desc(1), &[(block(0), DepDirection::In)]);
+        assert_eq!(drain_ready(&mut dmu), vec![desc(0)]);
+        let woken = dmu.finish_task(desc(0)).unwrap().value;
+        assert_eq!(woken.len(), 1);
+        assert_eq!(drain_ready(&mut dmu), vec![desc(1)]);
+    }
+
+    #[test]
+    fn war_dependence_orders_reader_before_writer() {
+        let mut dmu = Dmu::new(small_config());
+        // Writer W0, then reader R, then writer W1. R must wait for W0; W1
+        // must wait for both W0 (WAW) and R (WAR).
+        spawn(&mut dmu, desc(0), &[(block(0), DepDirection::Out)]);
+        spawn(&mut dmu, desc(1), &[(block(0), DepDirection::In)]);
+        spawn(&mut dmu, desc(2), &[(block(0), DepDirection::Out)]);
+        assert_eq!(drain_ready(&mut dmu), vec![desc(0)]);
+        dmu.finish_task(desc(0)).unwrap();
+        assert_eq!(drain_ready(&mut dmu), vec![desc(1)]);
+        // W1 is not ready yet: the reader is still in flight.
+        assert!(dmu.get_ready_task().value.is_none());
+        dmu.finish_task(desc(1)).unwrap();
+        assert_eq!(drain_ready(&mut dmu), vec![desc(2)]);
+        dmu.finish_task(desc(2)).unwrap();
+        assert!(dmu.is_drained());
+    }
+
+    #[test]
+    fn waw_dependence_serializes_writers() {
+        let mut dmu = Dmu::new(small_config());
+        spawn(&mut dmu, desc(0), &[(block(0), DepDirection::Out)]);
+        spawn(&mut dmu, desc(1), &[(block(0), DepDirection::Out)]);
+        assert_eq!(drain_ready(&mut dmu), vec![desc(0)]);
+        dmu.finish_task(desc(0)).unwrap();
+        assert_eq!(drain_ready(&mut dmu), vec![desc(1)]);
+    }
+
+    #[test]
+    fn multiple_readers_run_in_parallel() {
+        let mut dmu = Dmu::new(small_config());
+        spawn(&mut dmu, desc(0), &[(block(0), DepDirection::Out)]);
+        for i in 1..=5 {
+            spawn(&mut dmu, desc(i), &[(block(0), DepDirection::In)]);
+        }
+        dmu.get_ready_task(); // producer
+        dmu.finish_task(desc(0)).unwrap();
+        let ready = drain_ready(&mut dmu);
+        assert_eq!(ready.len(), 5, "all readers become ready together");
+    }
+
+    #[test]
+    fn successor_counts_are_reported() {
+        let mut dmu = Dmu::new(small_config());
+        spawn(&mut dmu, desc(0), &[(block(0), DepDirection::Out)]);
+        for i in 1..=3 {
+            spawn(&mut dmu, desc(i), &[(block(0), DepDirection::In)]);
+        }
+        let ready = dmu.get_ready_task().value.unwrap();
+        assert_eq!(ready.descriptor, desc(0));
+        assert_eq!(ready.num_successors, 3);
+    }
+
+    #[test]
+    fn diamond_dependence_pattern() {
+        // A writes X; B and C read X and write Y_b / Y_c; D reads both.
+        let mut dmu = Dmu::new(small_config());
+        spawn(&mut dmu, desc(0), &[(block(0), DepDirection::Out)]);
+        spawn(
+            &mut dmu,
+            desc(1),
+            &[(block(0), DepDirection::In), (block(1), DepDirection::Out)],
+        );
+        spawn(
+            &mut dmu,
+            desc(2),
+            &[(block(0), DepDirection::In), (block(2), DepDirection::Out)],
+        );
+        spawn(
+            &mut dmu,
+            desc(3),
+            &[(block(1), DepDirection::In), (block(2), DepDirection::In)],
+        );
+        assert_eq!(drain_ready(&mut dmu), vec![desc(0)]);
+        dmu.finish_task(desc(0)).unwrap();
+        assert_eq!(drain_ready(&mut dmu), vec![desc(1), desc(2)]);
+        dmu.finish_task(desc(1)).unwrap();
+        assert!(dmu.get_ready_task().value.is_none(), "D waits for C too");
+        dmu.finish_task(desc(2)).unwrap();
+        assert_eq!(drain_ready(&mut dmu), vec![desc(3)]);
+        dmu.finish_task(desc(3)).unwrap();
+        assert!(dmu.is_drained());
+    }
+
+    #[test]
+    fn inout_behaves_like_a_chain() {
+        let mut dmu = Dmu::new(small_config());
+        for i in 0..4 {
+            spawn(&mut dmu, desc(i), &[(block(0), DepDirection::InOut)]);
+        }
+        for i in 0..4 {
+            let ready = drain_ready(&mut dmu);
+            assert_eq!(ready, vec![desc(i)], "chain executes strictly in order");
+            dmu.finish_task(desc(i)).unwrap();
+        }
+        assert!(dmu.is_drained());
+    }
+
+    #[test]
+    fn finished_writer_does_not_create_edges() {
+        let mut dmu = Dmu::new(small_config());
+        spawn(&mut dmu, desc(0), &[(block(0), DepDirection::Out)]);
+        dmu.get_ready_task();
+        dmu.finish_task(desc(0)).unwrap();
+        // A later reader of the block must be immediately ready: the writer
+        // already finished and its DMU state is gone.
+        spawn(&mut dmu, desc(1), &[(block(0), DepDirection::In)]);
+        assert_eq!(drain_ready(&mut dmu), vec![desc(1)]);
+    }
+
+    #[test]
+    fn resources_are_reclaimed_after_finish() {
+        let mut dmu = Dmu::new(small_config());
+        for wave in 0..10u64 {
+            for i in 0..8u64 {
+                let d = desc(wave * 8 + i);
+                spawn(&mut dmu, d, &[(block(i), DepDirection::InOut)]);
+            }
+            let ready = drain_ready(&mut dmu);
+            for d in ready {
+                dmu.finish_task(d).unwrap();
+            }
+        }
+        // 80 tasks flowed through a 64-entry DMU without ever stalling
+        // because each wave drained before the next.
+        assert!(dmu.is_drained());
+        assert_eq!(dmu.stats().creates, 80);
+        assert_eq!(dmu.stats().stalls, 0);
+    }
+
+    #[test]
+    fn create_stalls_when_tat_is_full_and_recovers() {
+        let mut config = small_config();
+        config.tat_entries = 8;
+        config.tat_ways = 8;
+        let mut dmu = Dmu::new(config);
+        for i in 0..8 {
+            spawn(&mut dmu, desc(i), &[]);
+        }
+        let err = dmu.create_task(desc(100)).unwrap_err();
+        assert!(matches!(err, DmuError::Stall(_)));
+        assert_eq!(dmu.stats().stalls, 1);
+        // Finishing one task frees an entry and the create succeeds.
+        let victim = dmu.get_ready_task().value.unwrap().descriptor;
+        dmu.finish_task(victim).unwrap();
+        assert!(dmu.create_task(desc(100)).is_ok());
+    }
+
+    #[test]
+    fn add_dependence_stalls_when_dat_is_full() {
+        let mut config = small_config();
+        config.dat_entries = 8;
+        config.dat_ways = 8;
+        let mut dmu = Dmu::new(config);
+        dmu.create_task(desc(0)).unwrap();
+        for i in 0..8 {
+            dmu.add_dependence(desc(0), block(i), 4096, DepDirection::Out)
+                .unwrap();
+        }
+        let err = dmu
+            .add_dependence(desc(0), block(99), 4096, DepDirection::Out)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DmuError::Stall(StallReason::DatConflict) | DmuError::Stall(StallReason::DatExhausted)
+        ));
+    }
+
+    #[test]
+    fn stalled_operation_leaves_state_consistent() {
+        let mut config = small_config();
+        config.successor_la_entries = 2;
+        let mut dmu = Dmu::new(config);
+        // Task 0 and 1 use both SLA entries for their (empty) successor lists.
+        spawn(&mut dmu, desc(0), &[(block(0), DepDirection::Out)]);
+        spawn(&mut dmu, desc(1), &[]);
+        // Creating a third task needs a new successor list and must stall.
+        let err = dmu.create_task(desc(2)).unwrap_err();
+        assert_eq!(err, DmuError::Stall(StallReason::SuccessorLaFull));
+        // The failed create left nothing behind: finishing the ready tasks
+        // drains the DMU completely.
+        for d in drain_ready(&mut dmu) {
+            dmu.finish_task(d).unwrap();
+        }
+        assert!(dmu.is_drained());
+    }
+
+    #[test]
+    fn unknown_task_is_reported() {
+        let mut dmu = Dmu::new(small_config());
+        let err = dmu
+            .add_dependence(desc(7), block(0), 64, DepDirection::In)
+            .unwrap_err();
+        assert_eq!(err, DmuError::UnknownTask(desc(7)));
+        assert!(matches!(dmu.finish_task(desc(7)), Err(DmuError::UnknownTask(_))));
+        assert!(matches!(dmu.submit_task(desc(7)), Err(DmuError::UnknownTask(_))));
+    }
+
+    #[test]
+    fn duplicate_descriptor_rejected_while_in_flight() {
+        let mut dmu = Dmu::new(small_config());
+        dmu.create_task(desc(0)).unwrap();
+        assert!(dmu.create_task(desc(0)).is_err());
+    }
+
+    #[test]
+    fn access_counts_reflect_list_lengths() {
+        let mut dmu = Dmu::new(small_config());
+        spawn(&mut dmu, desc(0), &[(block(0), DepDirection::Out)]);
+        // Many readers: the finish of the producer must walk a long
+        // successor list, so its access count grows with the reader count.
+        for i in 1..=10 {
+            spawn(&mut dmu, desc(i), &[(block(0), DepDirection::In)]);
+        }
+        dmu.get_ready_task();
+        let few_succ = {
+            let mut other = Dmu::new(small_config());
+            spawn(&mut other, desc(0), &[(block(0), DepDirection::Out)]);
+            spawn(&mut other, desc(1), &[(block(0), DepDirection::In)]);
+            other.get_ready_task();
+            other.finish_task(desc(0)).unwrap().accesses.total()
+        };
+        let many_succ = dmu.finish_task(desc(0)).unwrap().accesses.total();
+        assert!(
+            many_succ > few_succ,
+            "finishing a task with 10 successors ({many_succ} accesses) should cost more than with 1 ({few_succ})"
+        );
+    }
+
+    #[test]
+    fn cost_scales_with_access_latency() {
+        let mut dmu = Dmu::new(small_config());
+        let result = dmu.create_task(desc(0)).unwrap();
+        assert_eq!(
+            result.cost(Cycle::new(4)),
+            Cycle::new(result.accesses.total() * 4)
+        );
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut dmu = Dmu::new(small_config());
+        spawn(&mut dmu, desc(0), &[(block(0), DepDirection::Out)]);
+        spawn(&mut dmu, desc(1), &[(block(0), DepDirection::In)]);
+        dmu.get_ready_task();
+        dmu.finish_task(desc(0)).unwrap();
+        let stats = dmu.stats();
+        assert_eq!(stats.creates, 2);
+        assert_eq!(stats.add_dependences, 2);
+        assert_eq!(stats.submits, 2);
+        assert_eq!(stats.finishes, 1);
+        assert_eq!(stats.get_readies, 1);
+        assert!(stats.total_accesses > 0);
+        assert_eq!(stats.peak_tasks, 2);
+        assert_eq!(stats.peak_deps, 1);
+    }
+
+    #[test]
+    fn peak_occupancy_is_reported() {
+        let mut dmu = Dmu::new(small_config());
+        spawn(&mut dmu, desc(0), &[(block(0), DepDirection::Out)]);
+        spawn(&mut dmu, desc(1), &[(block(0), DepDirection::In)]);
+        let peak = dmu.peak_occupancy();
+        assert_eq!(peak.tasks, 2);
+        assert_eq!(peak.deps, 1);
+        assert!(peak.successor_la >= 2);
+        assert!(peak.tat >= 2);
+    }
+
+    #[test]
+    fn long_chain_through_small_dmu() {
+        // A 100-task chain through a tiny DMU: tasks are created lazily as
+        // space frees up, mimicking the blocking creation loop of the master
+        // thread.
+        let mut config = small_config();
+        config.tat_entries = 8;
+        config.tat_ways = 8;
+        config.dat_entries = 8;
+        config.dat_ways = 8;
+        let mut dmu = Dmu::new(config);
+        let total = 100u64;
+        let mut created = 0u64;
+        let mut finished = 0u64;
+        let mut running: Option<DescriptorAddr> = None;
+        while finished < total {
+            // Create as many tasks as possible until a stall.
+            while created < total {
+                match dmu.create_task(desc(created)) {
+                    Ok(_) => {
+                        dmu.add_dependence(desc(created), block(0), 4096, DepDirection::InOut)
+                            .unwrap();
+                        dmu.submit_task(desc(created)).unwrap();
+                        created += 1;
+                    }
+                    Err(DmuError::Stall(_)) => break,
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            // Execute one ready task.
+            if running.is_none() {
+                running = dmu.get_ready_task().value.map(|t| t.descriptor);
+            }
+            let d = running.take().expect("chain always has one ready task");
+            dmu.finish_task(d).unwrap();
+            finished += 1;
+        }
+        assert!(dmu.is_drained());
+        assert_eq!(dmu.stats().finishes, total);
+        assert!(dmu.stats().stalls > 0, "the tiny DMU must have stalled");
+    }
+}

@@ -1,0 +1,477 @@
+//! Inode-style list arrays (Figure 5 of the paper).
+//!
+//! The DMU stores three kinds of per-task / per-dependence lists (successors,
+//! dependences and readers) in SRAM *list arrays*. Each list-array entry holds
+//! a fixed number of elements (8 in the selected design) plus a `Next` field
+//! pointing at the entry where the list continues — a layout the paper likens
+//! to UNIX filesystem inodes. A list occupies one or more entries; when it
+//! outgrows its tail entry a free entry is chained on.
+//!
+//! [`ListArray`] models one such structure: it tracks which entries are free,
+//! enforces the capacity limit (an allocation failure is what makes a TDM
+//! instruction block, Section III-D), and reports how many entries an
+//! operation touched so the DMU can charge the right number of SRAM accesses.
+
+use serde::{Deserialize, Serialize};
+
+/// Handle to a list stored in a [`ListArray`]: the index of its head entry.
+///
+/// Handles are only meaningful for the list array that produced them and
+/// become dangling after [`ListArray::free_list`]; the DMU stores them in the
+/// Task and Dependence Tables exactly like the hardware stores head pointers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ListHandle(usize);
+
+impl ListHandle {
+    /// Raw head-entry index (used by the area model and debug output).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Error returned when the list array has no free entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ListArrayFull;
+
+impl std::fmt::Display for ListArrayFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "list array has no free entries")
+    }
+}
+
+impl std::error::Error for ListArrayFull {}
+
+/// One SRAM entry: up to `elems_per_entry` valid elements plus a continuation
+/// pointer.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct Entry {
+    /// Valid elements stored in this entry (invalid slots are simply absent;
+    /// the hardware marks them with all-ones).
+    elems: Vec<u32>,
+    /// Continuation entry, or `None` if the list ends here (the hardware
+    /// encodes this by pointing the entry at itself).
+    next: Option<usize>,
+    /// Whether this entry is currently part of some list.
+    allocated: bool,
+}
+
+/// Result of an operation that walked a list: how many list-array entries
+/// were read or written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Walk {
+    /// Entries touched by the operation.
+    pub entries_touched: u64,
+}
+
+/// A fixed-capacity SRAM array holding multiple variable-length lists.
+///
+/// # Example
+///
+/// ```
+/// use tdm_core::list_array::ListArray;
+///
+/// let mut la = ListArray::new(4, 2); // 4 entries, 2 elements each
+/// let list = la.alloc_list().unwrap();
+/// la.push(list, 10).unwrap();
+/// la.push(list, 11).unwrap();
+/// la.push(list, 12).unwrap(); // spills into a second entry
+/// assert_eq!(la.collect(list), vec![10, 11, 12]);
+/// assert_eq!(la.entries_in_use(), 2);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ListArray {
+    entries: Vec<Entry>,
+    free: Vec<usize>,
+    elems_per_entry: usize,
+    /// High-water mark of allocated entries, for occupancy reporting.
+    peak_in_use: usize,
+}
+
+impl ListArray {
+    /// Creates a list array with `num_entries` entries of `elems_per_entry`
+    /// elements each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn new(num_entries: usize, elems_per_entry: usize) -> Self {
+        assert!(num_entries > 0, "list array needs at least one entry");
+        assert!(elems_per_entry > 0, "list array entries need at least one element slot");
+        ListArray {
+            entries: vec![Entry::default(); num_entries],
+            // Allocate low indices first; order is irrelevant to correctness.
+            free: (0..num_entries).rev().collect(),
+            elems_per_entry,
+            peak_in_use: 0,
+        }
+    }
+
+    /// Total number of entries.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Elements per entry.
+    pub fn elems_per_entry(&self) -> usize {
+        self.elems_per_entry
+    }
+
+    /// Entries currently allocated to some list.
+    pub fn entries_in_use(&self) -> usize {
+        self.entries.len() - self.free.len()
+    }
+
+    /// Entries currently free.
+    pub fn free_entries(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Highest number of entries that were simultaneously in use.
+    pub fn peak_entries_in_use(&self) -> usize {
+        self.peak_in_use
+    }
+
+    fn take_free_entry(&mut self) -> Result<usize, ListArrayFull> {
+        let idx = self.free.pop().ok_or(ListArrayFull)?;
+        let entry = &mut self.entries[idx];
+        debug_assert!(!entry.allocated, "free list contained an allocated entry");
+        entry.elems.clear();
+        entry.next = None;
+        entry.allocated = true;
+        self.peak_in_use = self.peak_in_use.max(self.entries_in_use());
+        Ok(idx)
+    }
+
+    /// Allocates a new, empty list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ListArrayFull`] if no entry is free; the caller (the DMU)
+    /// turns this into an instruction stall.
+    pub fn alloc_list(&mut self) -> Result<ListHandle, ListArrayFull> {
+        self.take_free_entry().map(ListHandle)
+    }
+
+    fn assert_allocated(&self, handle: ListHandle) {
+        debug_assert!(
+            self.entries[handle.0].allocated,
+            "list handle {handle:?} does not refer to an allocated list"
+        );
+    }
+
+    /// Walks to the tail entry of a list, returning `(tail_index, entries_walked)`.
+    fn tail_of(&self, handle: ListHandle) -> (usize, u64) {
+        self.assert_allocated(handle);
+        let mut idx = handle.0;
+        let mut walked = 1;
+        while let Some(next) = self.entries[idx].next {
+            idx = next;
+            walked += 1;
+        }
+        (idx, walked)
+    }
+
+    /// True if appending one more element to the list would require chaining
+    /// a new entry. Used by the DMU to check, before mutating anything,
+    /// whether an operation could stall.
+    pub fn push_needs_new_entry(&self, handle: ListHandle) -> bool {
+        let (tail, _) = self.tail_of(handle);
+        self.entries[tail].elems.len() >= self.elems_per_entry
+    }
+
+    /// Appends `value` to the list.
+    ///
+    /// Returns how many entries were touched (for access accounting).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ListArrayFull`] if the tail entry is full and no free entry
+    /// is available for chaining. The list is left unmodified in that case.
+    pub fn push(&mut self, handle: ListHandle, value: u32) -> Result<Walk, ListArrayFull> {
+        let (tail, walked) = self.tail_of(handle);
+        if self.entries[tail].elems.len() < self.elems_per_entry {
+            self.entries[tail].elems.push(value);
+            return Ok(Walk { entries_touched: walked });
+        }
+        let new_idx = self.take_free_entry()?;
+        self.entries[new_idx].elems.push(value);
+        self.entries[tail].next = Some(new_idx);
+        Ok(Walk {
+            entries_touched: walked + 1,
+        })
+    }
+
+    /// Returns the elements of the list in insertion order together with the
+    /// number of entries walked.
+    pub fn iter_with_walk(&self, handle: ListHandle) -> (Vec<u32>, Walk) {
+        self.assert_allocated(handle);
+        let mut values = Vec::new();
+        let mut idx = handle.0;
+        let mut walked = 0;
+        loop {
+            walked += 1;
+            values.extend_from_slice(&self.entries[idx].elems);
+            match self.entries[idx].next {
+                Some(next) => idx = next,
+                None => break,
+            }
+        }
+        (values, Walk { entries_touched: walked })
+    }
+
+    /// Returns the elements of the list in insertion order.
+    pub fn collect(&self, handle: ListHandle) -> Vec<u32> {
+        self.iter_with_walk(handle).0
+    }
+
+    /// Number of elements in the list.
+    pub fn len(&self, handle: ListHandle) -> usize {
+        self.collect(handle).len()
+    }
+
+    /// True if the list holds no elements.
+    pub fn is_empty(&self, handle: ListHandle) -> bool {
+        self.len(handle) == 0
+    }
+
+    /// Number of entries the list currently spans.
+    pub fn entries_spanned(&self, handle: ListHandle) -> u64 {
+        self.iter_with_walk(handle).1.entries_touched
+    }
+
+    /// Removes the first occurrence of `value` from the list, if present.
+    ///
+    /// Returns whether the value was found and how many entries were touched.
+    /// Entries are not un-chained when they become empty (matching a simple
+    /// hardware implementation); the space is reclaimed when the whole list
+    /// is freed.
+    pub fn remove(&mut self, handle: ListHandle, value: u32) -> (bool, Walk) {
+        self.assert_allocated(handle);
+        let mut idx = handle.0;
+        let mut walked = 0;
+        loop {
+            walked += 1;
+            if let Some(pos) = self.entries[idx].elems.iter().position(|&v| v == value) {
+                self.entries[idx].elems.remove(pos);
+                return (true, Walk { entries_touched: walked });
+            }
+            match self.entries[idx].next {
+                Some(next) => idx = next,
+                None => return (false, Walk { entries_touched: walked }),
+            }
+        }
+    }
+
+    /// Removes every element from the list but keeps the head entry
+    /// allocated (the paper's `add_dependence` flushes the reader list when a
+    /// writer arrives). Continuation entries are returned to the free pool.
+    pub fn flush(&mut self, handle: ListHandle) -> Walk {
+        self.assert_allocated(handle);
+        let mut walked = 1;
+        let head = handle.0;
+        let mut idx = self.entries[head].next;
+        self.entries[head].elems.clear();
+        self.entries[head].next = None;
+        while let Some(cur) = idx {
+            walked += 1;
+            idx = self.entries[cur].next;
+            self.release_entry(cur);
+        }
+        Walk { entries_touched: walked }
+    }
+
+    fn release_entry(&mut self, idx: usize) {
+        let entry = &mut self.entries[idx];
+        debug_assert!(entry.allocated, "double free of list-array entry {idx}");
+        entry.allocated = false;
+        entry.elems.clear();
+        entry.next = None;
+        self.free.push(idx);
+    }
+
+    /// Frees the whole list, returning every entry to the free pool.
+    ///
+    /// Returns how many entries were released.
+    pub fn free_list(&mut self, handle: ListHandle) -> Walk {
+        self.assert_allocated(handle);
+        let mut idx = Some(handle.0);
+        let mut walked = 0;
+        while let Some(cur) = idx {
+            walked += 1;
+            idx = self.entries[cur].next;
+            self.release_entry(cur);
+        }
+        Walk { entries_touched: walked }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_collect_preserve_order() {
+        let mut la = ListArray::new(8, 4);
+        let l = la.alloc_list().unwrap();
+        for v in 0..10 {
+            la.push(l, v).unwrap();
+        }
+        assert_eq!(la.collect(l), (0..10).collect::<Vec<_>>());
+        assert_eq!(la.len(l), 10);
+        assert!(!la.is_empty(l));
+    }
+
+    #[test]
+    fn new_list_is_empty_and_spans_one_entry() {
+        let mut la = ListArray::new(4, 8);
+        let l = la.alloc_list().unwrap();
+        assert!(la.is_empty(l));
+        assert_eq!(la.entries_spanned(l), 1);
+        assert_eq!(la.entries_in_use(), 1);
+    }
+
+    #[test]
+    fn lists_spill_into_chained_entries() {
+        let mut la = ListArray::new(4, 2);
+        let l = la.alloc_list().unwrap();
+        for v in 0..6 {
+            la.push(l, v).unwrap();
+        }
+        assert_eq!(la.entries_spanned(l), 3);
+        assert_eq!(la.entries_in_use(), 3);
+        assert_eq!(la.collect(l), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn push_walk_counts_grow_with_list_length() {
+        let mut la = ListArray::new(8, 2);
+        let l = la.alloc_list().unwrap();
+        let w1 = la.push(l, 0).unwrap();
+        assert_eq!(w1.entries_touched, 1);
+        la.push(l, 1).unwrap();
+        // Third push spills into a new entry: walks the head then writes a new entry.
+        let w3 = la.push(l, 2).unwrap();
+        assert_eq!(w3.entries_touched, 2);
+        // Fifth push walks two entries then allocates the third.
+        la.push(l, 3).unwrap();
+        let w5 = la.push(l, 4).unwrap();
+        assert_eq!(w5.entries_touched, 3);
+    }
+
+    #[test]
+    fn alloc_fails_when_full() {
+        let mut la = ListArray::new(2, 2);
+        let _a = la.alloc_list().unwrap();
+        let _b = la.alloc_list().unwrap();
+        assert_eq!(la.alloc_list(), Err(ListArrayFull));
+        assert_eq!(la.free_entries(), 0);
+    }
+
+    #[test]
+    fn push_fails_without_free_entry_and_leaves_list_intact() {
+        let mut la = ListArray::new(2, 2);
+        let a = la.alloc_list().unwrap();
+        let b = la.alloc_list().unwrap();
+        la.push(a, 1).unwrap();
+        la.push(a, 2).unwrap();
+        // `a` is full and there is no free entry to chain.
+        assert_eq!(la.push(a, 3), Err(ListArrayFull));
+        assert_eq!(la.collect(a), vec![1, 2]);
+        // `b` still has room in its own entry, so pushing there works.
+        la.push(b, 9).unwrap();
+        assert_eq!(la.collect(b), vec![9]);
+    }
+
+    #[test]
+    fn push_needs_new_entry_predicts_spill() {
+        let mut la = ListArray::new(4, 2);
+        let l = la.alloc_list().unwrap();
+        assert!(!la.push_needs_new_entry(l));
+        la.push(l, 1).unwrap();
+        assert!(!la.push_needs_new_entry(l));
+        la.push(l, 2).unwrap();
+        assert!(la.push_needs_new_entry(l));
+        la.push(l, 3).unwrap();
+        assert!(!la.push_needs_new_entry(l));
+    }
+
+    #[test]
+    fn remove_first_occurrence_only() {
+        let mut la = ListArray::new(4, 2);
+        let l = la.alloc_list().unwrap();
+        for v in [5, 6, 5, 7] {
+            la.push(l, v).unwrap();
+        }
+        let (found, _) = la.remove(l, 5);
+        assert!(found);
+        assert_eq!(la.collect(l), vec![6, 5, 7]);
+        let (found, _) = la.remove(l, 42);
+        assert!(!found);
+    }
+
+    #[test]
+    fn flush_keeps_head_and_releases_tail_entries() {
+        let mut la = ListArray::new(4, 2);
+        let l = la.alloc_list().unwrap();
+        for v in 0..6 {
+            la.push(l, v).unwrap();
+        }
+        assert_eq!(la.entries_in_use(), 3);
+        la.flush(l);
+        assert!(la.is_empty(l));
+        assert_eq!(la.entries_in_use(), 1);
+        // The list is still usable after a flush.
+        la.push(l, 99).unwrap();
+        assert_eq!(la.collect(l), vec![99]);
+    }
+
+    #[test]
+    fn free_list_releases_all_entries() {
+        let mut la = ListArray::new(4, 2);
+        let l = la.alloc_list().unwrap();
+        for v in 0..6 {
+            la.push(l, v).unwrap();
+        }
+        let walk = la.free_list(l);
+        assert_eq!(walk.entries_touched, 3);
+        assert_eq!(la.entries_in_use(), 0);
+        assert_eq!(la.free_entries(), 4);
+    }
+
+    #[test]
+    fn freed_entries_are_reusable() {
+        let mut la = ListArray::new(2, 1);
+        let a = la.alloc_list().unwrap();
+        la.push(a, 1).unwrap();
+        la.push(a, 2).unwrap(); // uses both entries
+        assert_eq!(la.alloc_list(), Err(ListArrayFull));
+        la.free_list(a);
+        let b = la.alloc_list().unwrap();
+        la.push(b, 3).unwrap();
+        assert_eq!(la.collect(b), vec![3]);
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_high_water_mark() {
+        let mut la = ListArray::new(4, 1);
+        let a = la.alloc_list().unwrap();
+        la.push(a, 1).unwrap(); // fills the head entry
+        la.push(a, 2).unwrap(); // chains a second entry
+        la.push(a, 3).unwrap(); // chains a third entry
+        la.free_list(a);
+        assert_eq!(la.entries_in_use(), 0);
+        assert_eq!(la.peak_entries_in_use(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_panics() {
+        let _ = ListArray::new(0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn zero_elems_per_entry_panics() {
+        let _ = ListArray::new(8, 0);
+    }
+}

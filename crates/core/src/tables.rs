@@ -1,0 +1,334 @@
+//! Task Table and Dependence Table (Figure 4 of the paper).
+//!
+//! Both tables are direct-access SRAMs indexed by the internal IDs produced
+//! by the alias tables. The Task Table stores, per in-flight task, the task
+//! descriptor address, the predecessor and successor counts and the head
+//! pointers of its successor and dependence lists. The Dependence Table
+//! stores, per in-flight dependence, the ID of its last writer and the head
+//! pointer of its reader list.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{DepAddr, DepId, DescriptorAddr, TaskId};
+use crate::list_array::ListHandle;
+
+/// One Task Table entry: the bookkeeping of a single in-flight task.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskEntry {
+    /// Address of the runtime's task descriptor (returned by
+    /// `get_ready_task`).
+    pub descriptor: DescriptorAddr,
+    /// Number of unsatisfied predecessors. The task becomes ready when this
+    /// reaches zero after its creation completed.
+    pub num_predecessors: u32,
+    /// Number of successors registered so far (returned to the runtime so
+    /// priority schedulers can use it).
+    pub num_successors: u32,
+    /// Head of this task's successor list in the Successor List Array.
+    pub successor_list: ListHandle,
+    /// Head of this task's dependence list in the Dependence List Array.
+    pub dependence_list: ListHandle,
+    /// True while the runtime is still adding dependences (between
+    /// `create_task` and the implicit submission at the first instruction of
+    /// another task or at execution). Tasks are not inserted in the Ready
+    /// Queue while under construction even if their predecessor count is
+    /// zero.
+    pub under_construction: bool,
+}
+
+/// A direct-mapped table of in-flight tasks, indexed by [`TaskId`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskTable {
+    entries: Vec<Option<TaskEntry>>,
+    live: usize,
+    peak: usize,
+}
+
+impl TaskTable {
+    /// Creates a table with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "task table needs at least one entry");
+        TaskTable {
+            entries: vec![None; capacity],
+            live: 0,
+            peak: 0,
+        }
+    }
+
+    /// Total number of entries.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Highest number of simultaneously live entries.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Installs `entry` at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or already occupied — the alias table
+    /// guarantees freshly allocated IDs are free.
+    pub fn insert(&mut self, id: TaskId, entry: TaskEntry) {
+        let slot = &mut self.entries[id.index()];
+        assert!(slot.is_none(), "task table entry {id} is already occupied");
+        *slot = Some(entry);
+        self.live += 1;
+        self.peak = self.peak.max(self.live);
+    }
+
+    /// Returns the entry at `id`, if live.
+    pub fn get(&self, id: TaskId) -> Option<&TaskEntry> {
+        self.entries.get(id.index()).and_then(|e| e.as_ref())
+    }
+
+    /// Returns the entry at `id` mutably, if live.
+    pub fn get_mut(&mut self, id: TaskId) -> Option<&mut TaskEntry> {
+        self.entries.get_mut(id.index()).and_then(|e| e.as_mut())
+    }
+
+    /// Removes and returns the entry at `id`.
+    pub fn remove(&mut self, id: TaskId) -> Option<TaskEntry> {
+        let removed = self.entries.get_mut(id.index()).and_then(|e| e.take());
+        if removed.is_some() {
+            self.live -= 1;
+        }
+        removed
+    }
+
+    /// Iterates over the live `(id, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, &TaskEntry)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|entry| (TaskId::new(i as u32), entry)))
+    }
+}
+
+/// One Dependence Table entry: the bookkeeping of a single in-flight
+/// dependence (a data address that at least one in-flight task names).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DepEntry {
+    /// Base address of the dependence.
+    pub addr: DepAddr,
+    /// Size in bytes, as provided by the runtime in `add_dependence` (used
+    /// for the dynamic index-bit selection and by locality modelling).
+    pub size: u64,
+    /// Task that last declared an output on this address, if still in flight.
+    pub last_writer: Option<TaskId>,
+    /// Head of the reader list in the Reader List Array.
+    pub reader_list: ListHandle,
+}
+
+/// A direct-mapped table of in-flight dependences, indexed by [`DepId`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DependenceTable {
+    entries: Vec<Option<DepEntry>>,
+    live: usize,
+    peak: usize,
+}
+
+impl DependenceTable {
+    /// Creates a table with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "dependence table needs at least one entry");
+        DependenceTable {
+            entries: vec![None; capacity],
+            live: 0,
+            peak: 0,
+        }
+    }
+
+    /// Total number of entries.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Highest number of simultaneously live entries.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Installs `entry` at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already occupied.
+    pub fn insert(&mut self, id: DepId, entry: DepEntry) {
+        let slot = &mut self.entries[id.index()];
+        assert!(slot.is_none(), "dependence table entry {id} is already occupied");
+        *slot = Some(entry);
+        self.live += 1;
+        self.peak = self.peak.max(self.live);
+    }
+
+    /// Returns the entry at `id`, if live.
+    pub fn get(&self, id: DepId) -> Option<&DepEntry> {
+        self.entries.get(id.index()).and_then(|e| e.as_ref())
+    }
+
+    /// Returns the entry at `id` mutably, if live.
+    pub fn get_mut(&mut self, id: DepId) -> Option<&mut DepEntry> {
+        self.entries.get_mut(id.index()).and_then(|e| e.as_mut())
+    }
+
+    /// Removes and returns the entry at `id`.
+    pub fn remove(&mut self, id: DepId) -> Option<DepEntry> {
+        let removed = self.entries.get_mut(id.index()).and_then(|e| e.take());
+        if removed.is_some() {
+            self.live -= 1;
+        }
+        removed
+    }
+
+    /// Iterates over the live `(id, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (DepId, &DepEntry)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|entry| (DepId::new(i as u32), entry)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handle() -> ListHandle {
+        // A placeholder handle for table-only tests; tables never dereference
+        // handles themselves.
+        let mut la = crate::list_array::ListArray::new(1, 1);
+        la.alloc_list().unwrap()
+    }
+
+    fn task_entry(addr: u64) -> TaskEntry {
+        TaskEntry {
+            descriptor: DescriptorAddr(addr),
+            num_predecessors: 0,
+            num_successors: 0,
+            successor_list: handle(),
+            dependence_list: handle(),
+            under_construction: true,
+        }
+    }
+
+    #[test]
+    fn task_table_insert_get_remove() {
+        let mut t = TaskTable::new(4);
+        let id = TaskId::new(2);
+        t.insert(id, task_entry(0x1000));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(id).unwrap().descriptor, DescriptorAddr(0x1000));
+        t.get_mut(id).unwrap().num_predecessors = 3;
+        assert_eq!(t.get(id).unwrap().num_predecessors, 3);
+        let removed = t.remove(id).unwrap();
+        assert_eq!(removed.num_predecessors, 3);
+        assert!(t.get(id).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn task_table_peak_tracks_high_water_mark() {
+        let mut t = TaskTable::new(4);
+        t.insert(TaskId::new(0), task_entry(1));
+        t.insert(TaskId::new(1), task_entry(2));
+        t.remove(TaskId::new(0));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.peak(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn task_table_double_insert_panics() {
+        let mut t = TaskTable::new(4);
+        t.insert(TaskId::new(0), task_entry(1));
+        t.insert(TaskId::new(0), task_entry(2));
+    }
+
+    #[test]
+    fn task_table_iter_yields_live_entries() {
+        let mut t = TaskTable::new(8);
+        t.insert(TaskId::new(1), task_entry(10));
+        t.insert(TaskId::new(5), task_entry(50));
+        let ids: Vec<u32> = t.iter().map(|(id, _)| id.raw()).collect();
+        assert_eq!(ids, vec![1, 5]);
+    }
+
+    #[test]
+    fn dependence_table_insert_get_remove() {
+        let mut t = DependenceTable::new(4);
+        let id = DepId::new(3);
+        t.insert(
+            id,
+            DepEntry {
+                addr: DepAddr(0xBEEF),
+                size: 4096,
+                last_writer: None,
+                reader_list: handle(),
+            },
+        );
+        assert_eq!(t.get(id).unwrap().addr, DepAddr(0xBEEF));
+        t.get_mut(id).unwrap().last_writer = Some(TaskId::new(7));
+        assert_eq!(t.get(id).unwrap().last_writer, Some(TaskId::new(7)));
+        assert!(t.remove(id).is_some());
+        assert!(t.remove(id).is_none());
+    }
+
+    #[test]
+    fn dependence_table_len_and_peak() {
+        let mut t = DependenceTable::new(4);
+        assert!(t.is_empty());
+        for i in 0..3u32 {
+            t.insert(
+                DepId::new(i),
+                DepEntry {
+                    addr: DepAddr(u64::from(i)),
+                    size: 64,
+                    last_writer: None,
+                    reader_list: handle(),
+                },
+            );
+        }
+        assert_eq!(t.len(), 3);
+        t.remove(DepId::new(1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.peak(), 3);
+        assert_eq!(t.capacity(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_task_table_panics() {
+        let _ = TaskTable::new(0);
+    }
+}

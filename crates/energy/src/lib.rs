@@ -1,0 +1,33 @@
+//! # tdm-energy — area, power and EDP models
+//!
+//! The paper evaluates power with McPAT and models the DMU structures with
+//! CACTI 6.0 at 22 nm (Section IV-A), reporting DMU area in Table III and
+//! energy-delay product (EDP) in Figures 12 and 13. This crate provides the
+//! equivalent analytical models:
+//!
+//! * [`sram`] — CACTI-style area, access energy and leakage of SRAM macros,
+//!   calibrated against the per-structure areas of Table III;
+//! * [`chip`] — a McPAT-style chip power model (active/idle cores plus
+//!   uncore);
+//! * [`edp`] — energy and EDP evaluation of a simulated run, including the
+//!   (negligible) DMU contribution.
+//!
+//! # Example
+//!
+//! ```
+//! use tdm_energy::sram::{area_mm2, SramKind};
+//!
+//! // The 18.75 KB DAT occupies roughly 0.031 mm² at 22 nm (Table III).
+//! let area = area_mm2(18.75, SramKind::SetAssociative);
+//! assert!((area - 0.031).abs() < 0.005);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chip;
+pub mod edp;
+pub mod sram;
+
+pub use chip::ChipPowerModel;
+pub use edp::{evaluate, EnergyReport};

@@ -1,0 +1,761 @@
+//! Dependence-management engines (runtime backends).
+//!
+//! The execution driver is generic over *how dependences are tracked*; the
+//! four systems compared in the paper differ exactly there and in where the
+//! ready queue lives:
+//!
+//! | System            | Dependence tracking | Scheduling            |
+//! |-------------------|---------------------|-----------------------|
+//! | Software baseline | software            | software (pluggable)  |
+//! | **TDM**           | hardware (DMU)      | software (pluggable)  |
+//! | Carbon            | software            | hardware FIFO queues  |
+//! | Task Superscalar  | hardware            | hardware FIFO queue   |
+//!
+//! This module provides the [`DependenceEngine`] trait plus the software
+//! engine (used by the baseline and Carbon) and the hardware engine backed by
+//! a real [`Dmu`] instance (used by TDM and Task Superscalar). Where the
+//! ready queue lives is a property of [`crate::exec::Backend`], handled by
+//! the driver.
+
+use tdm_core::config::DmuConfig;
+use tdm_core::dmu::{Dmu, DmuError, DmuStats, PeakOccupancy};
+use tdm_core::ids::{DepAddr, DepDirection, DescriptorAddr};
+use tdm_sim::clock::Cycle;
+
+use crate::cost::CostModel;
+use crate::task::{TaskRef, Workload};
+use crate::tdg::TaskGraph;
+
+/// Base address used to synthesize task-descriptor addresses. Descriptors are
+/// spaced one cache line apart so consecutive tasks map to consecutive TAT
+/// sets.
+const DESCRIPTOR_BASE: u64 = 0x7f00_0000_0000;
+/// Spacing between synthesized task descriptors, in bytes.
+const DESCRIPTOR_STRIDE: u64 = 64;
+
+/// A task that just became ready, with the successor count the scheduler may
+/// want.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadyInfo {
+    /// The ready task.
+    pub task: TaskRef,
+    /// Successors registered for it at the time it became ready.
+    pub num_successors: u32,
+}
+
+/// Result of a (possibly partial) task-creation step on the master thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreationOutcome {
+    /// Cycles the creating core spent in this call (DEPS).
+    pub cost: Cycle,
+    /// Whether the creation completed. `false` means a DMU structure was
+    /// full; the caller must retry after the next `finish_task`.
+    pub completed: bool,
+    /// Tasks that became ready during this call (the created task itself if
+    /// it had no unsatisfied dependences, plus any tasks drained from the
+    /// hardware ready queue).
+    pub ready: Vec<ReadyInfo>,
+}
+
+/// Result of finishing a task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinishOutcome {
+    /// Cycles the finishing core spent (DEPS).
+    pub cost: Cycle,
+    /// Tasks that became ready because of this finish.
+    pub ready: Vec<ReadyInfo>,
+}
+
+/// Snapshot of hardware dependence-tracker state, for reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardwareReport {
+    /// Operation counts and totals.
+    pub stats: DmuStats,
+    /// Peak occupancy of every structure.
+    pub peak: PeakOccupancy,
+    /// Average number of occupied DAT sets (Figure 11 metric).
+    pub dat_average_occupied_sets: f64,
+    /// Cycles creation was blocked waiting for DMU resources.
+    pub stall_cycles: Cycle,
+    /// TDM ISA instructions issued.
+    pub instructions: u64,
+}
+
+/// How dependences are tracked for a run.
+pub trait DependenceEngine {
+    /// Engine name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Performs (or resumes) the creation of `task` at simulated time `now`.
+    fn create_task(&mut self, now: Cycle, task: TaskRef) -> CreationOutcome;
+
+    /// Notifies that `task` finished at time `now` on core `core`.
+    fn finish_task(&mut self, now: Cycle, task: TaskRef, core: usize) -> FinishOutcome;
+
+    /// Hardware statistics, if this engine models a hardware tracker.
+    fn hardware_report(&self) -> Option<HardwareReport> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Software dependence tracking (baseline and Carbon)
+// ---------------------------------------------------------------------------
+
+/// Software dependence tracking: the runtime system matches dependences and
+/// maintains the TDG in memory, paying the software costs of
+/// [`CostModel::sw_creation_cost`] / [`CostModel::sw_finish_cost`].
+#[derive(Debug, Clone)]
+pub struct SoftwareEngine {
+    name: &'static str,
+    graph: TaskGraph,
+    workload_deps: Vec<usize>,
+    pending_predecessors: Vec<u32>,
+    successor_counts: Vec<u32>,
+    created: Vec<bool>,
+    finished: Vec<bool>,
+    cost: CostModel,
+}
+
+impl SoftwareEngine {
+    /// Builds a software engine for `workload`.
+    pub fn new(workload: &Workload, cost: CostModel) -> Self {
+        Self::with_name("software", workload, cost)
+    }
+
+    /// Builds a software engine with a custom report name (used by Carbon,
+    /// whose dependence tracking is identical to the baseline's).
+    pub fn with_name(name: &'static str, workload: &Workload, cost: CostModel) -> Self {
+        let graph = TaskGraph::build(workload);
+        let n = workload.len();
+        let pending = (0..n).map(|i| graph.predecessor_count(TaskRef(i))).collect();
+        let succ = (0..n).map(|i| graph.successor_count(TaskRef(i))).collect();
+        SoftwareEngine {
+            name,
+            graph,
+            workload_deps: workload.tasks.iter().map(|t| t.deps.len()).collect(),
+            pending_predecessors: pending,
+            successor_counts: succ,
+            created: vec![false; n],
+            finished: vec![false; n],
+            cost,
+        }
+    }
+
+    /// The reference graph built for this workload (shared with tests).
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+}
+
+impl DependenceEngine for SoftwareEngine {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn create_task(&mut self, _now: Cycle, task: TaskRef) -> CreationOutcome {
+        let i = task.index();
+        assert!(!self.created[i], "{task} created twice");
+        self.created[i] = true;
+        let cost = self
+            .cost
+            .sw_creation_cost(self.workload_deps[i], self.graph.creation_edge_work(task));
+        let ready = if self.pending_predecessors[i] == 0 {
+            vec![ReadyInfo {
+                task,
+                num_successors: self.successor_counts[i],
+            }]
+        } else {
+            Vec::new()
+        };
+        CreationOutcome {
+            cost,
+            completed: true,
+            ready,
+        }
+    }
+
+    fn finish_task(&mut self, _now: Cycle, task: TaskRef, _core: usize) -> FinishOutcome {
+        let i = task.index();
+        assert!(self.created[i], "{task} finished before being created");
+        assert!(!self.finished[i], "{task} finished twice");
+        self.finished[i] = true;
+        let successors = self.graph.successors(task);
+        let mut ready = Vec::new();
+        for &succ in successors {
+            let s = succ.index();
+            debug_assert!(self.pending_predecessors[s] > 0);
+            self.pending_predecessors[s] -= 1;
+            if self.pending_predecessors[s] == 0 && self.created[s] && !self.finished[s] {
+                ready.push(ReadyInfo {
+                    task: succ,
+                    num_successors: self.successor_counts[s],
+                });
+            }
+        }
+        FinishOutcome {
+            cost: self.cost.sw_finish_cost(successors.len() as u32),
+            ready,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hardware dependence tracking (TDM's DMU, also reused for Task Superscalar)
+// ---------------------------------------------------------------------------
+
+/// State of a task creation interrupted by a DMU stall, so the retry resumes
+/// where it left off instead of re-issuing completed instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingCreation {
+    task: TaskRef,
+    created: bool,
+    next_dep: usize,
+}
+
+/// Which hardware tracker flavour this engine models; the DMU mechanics are
+/// shared, only the report name and descriptor-allocation cost differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HardwareFlavor {
+    /// TDM: DMU tracks dependences, scheduling stays in software.
+    Tdm,
+    /// Task Superscalar: dependence tracking and scheduling both in hardware.
+    TaskSuperscalar,
+}
+
+/// Hardware dependence tracking backed by a cycle-costed [`Dmu`] model.
+#[derive(Debug, Clone)]
+pub struct HardwareEngine {
+    flavor: HardwareFlavor,
+    dmu: Dmu,
+    workload: WorkloadMirror,
+    cost: CostModel,
+    noc_round_trip: Cycle,
+    /// Time at which the (sequential) DMU becomes free.
+    dmu_free_at: Cycle,
+    pending: Option<PendingCreation>,
+    stall_cycles: Cycle,
+    instructions: u64,
+    successor_hint: Vec<u32>,
+    /// Descriptor-slot allocator. Real task descriptors are heap objects that
+    /// the runtime's allocator recycles, so the set of live descriptor
+    /// addresses stays compact; modelling that keeps the TAT's set-index
+    /// behaviour realistic for long runs.
+    free_slots: Vec<u64>,
+    next_slot: u64,
+    /// Slot currently assigned to each task (by task index), if in flight.
+    task_slot: Vec<Option<u64>>,
+    /// Task owning each slot.
+    slot_owner: Vec<usize>,
+}
+
+/// The slice of workload information the hardware engine needs (kept as owned
+/// data so the engine has no lifetime parameters).
+#[derive(Debug, Clone)]
+struct WorkloadMirror {
+    deps: Vec<Vec<(u64, u64, DepDirection)>>,
+}
+
+impl HardwareEngine {
+    /// Builds a hardware engine over `workload` with the given DMU geometry.
+    pub fn new(
+        flavor: HardwareFlavor,
+        workload: &Workload,
+        dmu_config: DmuConfig,
+        cost: CostModel,
+        noc_round_trip: Cycle,
+    ) -> Self {
+        let deps = workload
+            .tasks
+            .iter()
+            .map(|t| {
+                t.deps
+                    .iter()
+                    .map(|d| (d.addr, d.size, d.direction))
+                    .collect()
+            })
+            .collect();
+        HardwareEngine {
+            flavor,
+            dmu: Dmu::new(dmu_config),
+            workload: WorkloadMirror { deps },
+            cost,
+            noc_round_trip,
+            dmu_free_at: Cycle::ZERO,
+            pending: None,
+            stall_cycles: Cycle::ZERO,
+            instructions: 0,
+            successor_hint: vec![0; workload.len()],
+            free_slots: Vec::new(),
+            next_slot: 0,
+            task_slot: vec![None; workload.len()],
+            slot_owner: Vec::new(),
+        }
+    }
+
+    /// Direct access to the underlying DMU (used by tests and by the
+    /// design-space-exploration harnesses).
+    pub fn dmu(&self) -> &Dmu {
+        &self.dmu
+    }
+
+    /// Returns the descriptor address of `task`, allocating a descriptor slot
+    /// the first time it is asked for during creation.
+    fn descriptor(&mut self, task: TaskRef) -> DescriptorAddr {
+        let slot = match self.task_slot[task.index()] {
+            Some(slot) => slot,
+            None => {
+                let slot = self.free_slots.pop().unwrap_or_else(|| {
+                    let s = self.next_slot;
+                    self.next_slot += 1;
+                    s
+                });
+                self.task_slot[task.index()] = Some(slot);
+                if self.slot_owner.len() <= slot as usize {
+                    self.slot_owner.resize(slot as usize + 1, usize::MAX);
+                }
+                self.slot_owner[slot as usize] = task.index();
+                slot
+            }
+        };
+        DescriptorAddr(DESCRIPTOR_BASE + slot * DESCRIPTOR_STRIDE)
+    }
+
+    /// Reverse-maps a descriptor address handed back by the DMU to its task.
+    fn task_of(&self, desc: DescriptorAddr) -> TaskRef {
+        let slot = ((desc.raw() - DESCRIPTOR_BASE) / DESCRIPTOR_STRIDE) as usize;
+        TaskRef(self.slot_owner[slot])
+    }
+
+    /// Releases the descriptor slot of a finished task.
+    fn release_descriptor(&mut self, task: TaskRef) {
+        if let Some(slot) = self.task_slot[task.index()].take() {
+            self.free_slots.push(slot);
+        }
+    }
+
+    /// Charges one TDM instruction issued at local time `at`: issue overhead,
+    /// NoC round trip, waiting for the DMU to become free and the DMU
+    /// processing time for `accesses` accesses. Returns the cycles consumed
+    /// on the issuing core.
+    fn charge_instruction(&mut self, at: Cycle, processing: Cycle) -> Cycle {
+        self.instructions += 1;
+        let overhead = self.cost.tdm_instr_overhead(self.noc_round_trip);
+        let arrival = at + overhead;
+        let start = arrival.max(self.dmu_free_at);
+        self.dmu_free_at = start + processing;
+        let queueing = start - arrival;
+        overhead + queueing + processing
+    }
+
+    /// Charges a stalled instruction attempt (the request travelled to the
+    /// DMU, which could not make progress).
+    fn charge_stalled_attempt(&mut self, at: Cycle) -> Cycle {
+        self.instructions += 1;
+        let overhead = self.cost.tdm_instr_overhead(self.noc_round_trip);
+        let probe = self.dmu.access_latency();
+        let arrival = at + overhead;
+        let start = arrival.max(self.dmu_free_at);
+        self.dmu_free_at = start + probe;
+        overhead + (start - arrival) + probe
+    }
+
+    /// Drains the DMU ready queue into `ready`, charging one `get_ready_task`
+    /// instruction per attempt (including the final empty one), mirroring the
+    /// runtime's polling loop.
+    fn drain_ready(&mut self, mut at: Cycle, cost: &mut Cycle, ready: &mut Vec<ReadyInfo>) {
+        loop {
+            let result = self.dmu.get_ready_task();
+            let spent = self.charge_instruction(at, result.cost(self.dmu.access_latency()));
+            *cost += spent;
+            at += spent;
+            match result.value {
+                Some(t) => {
+                    let task = self.task_of(t.descriptor);
+                    self.successor_hint[task.index()] = t.num_successors;
+                    ready.push(ReadyInfo {
+                        task,
+                        num_successors: t.num_successors,
+                    });
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn alloc_cost(&self) -> Cycle {
+        match self.flavor {
+            HardwareFlavor::Tdm => self.cost.tdm_task_alloc,
+            HardwareFlavor::TaskSuperscalar => self.cost.tss_task_alloc,
+        }
+    }
+}
+
+impl DependenceEngine for HardwareEngine {
+    fn name(&self) -> &'static str {
+        match self.flavor {
+            HardwareFlavor::Tdm => "tdm",
+            HardwareFlavor::TaskSuperscalar => "task-superscalar",
+        }
+    }
+
+    fn create_task(&mut self, now: Cycle, task: TaskRef) -> CreationOutcome {
+        let desc = self.descriptor(task);
+        let latency = self.dmu.access_latency();
+        let mut cost = Cycle::ZERO;
+        let mut ready = Vec::new();
+
+        let mut pending = match self.pending.take() {
+            Some(p) => {
+                assert_eq!(p.task, task, "resumed creation of a different task");
+                p
+            }
+            None => {
+                // Descriptor allocation happens in software before the first
+                // TDM instruction.
+                cost += self.alloc_cost();
+                PendingCreation {
+                    task,
+                    created: false,
+                    next_dep: 0,
+                }
+            }
+        };
+
+        if !pending.created {
+            match self.dmu.create_task(desc) {
+                Ok(r) => {
+                    cost += self.charge_instruction(now + cost, r.cost(latency));
+                    pending.created = true;
+                }
+                Err(DmuError::Stall(_)) => {
+                    cost += self.charge_stalled_attempt(now + cost);
+                    self.stall_cycles += cost;
+                    self.pending = Some(pending);
+                    return CreationOutcome {
+                        cost,
+                        completed: false,
+                        ready,
+                    };
+                }
+                Err(e) => panic!("unexpected DMU error during create: {e}"),
+            }
+        }
+
+        let deps = self.workload.deps[task.index()].clone();
+        while pending.next_dep < deps.len() {
+            let (addr, size, dir) = deps[pending.next_dep];
+            match self.dmu.add_dependence(desc, DepAddr(addr), size, dir) {
+                Ok(r) => {
+                    cost += self.charge_instruction(now + cost, r.cost(latency));
+                    pending.next_dep += 1;
+                }
+                Err(DmuError::Stall(_)) => {
+                    cost += self.charge_stalled_attempt(now + cost);
+                    self.stall_cycles += cost;
+                    self.pending = Some(pending);
+                    // Ready tasks may already be sitting in the queue; expose
+                    // them so workers are not starved while the master waits.
+                    self.drain_ready(now + cost, &mut cost, &mut ready);
+                    return CreationOutcome {
+                        cost,
+                        completed: false,
+                        ready,
+                    };
+                }
+                Err(e) => panic!("unexpected DMU error during add_dependence: {e}"),
+            }
+        }
+
+        let submit = self
+            .dmu
+            .submit_task(desc)
+            .expect("submit of a created task cannot fail");
+        cost += self.charge_instruction(now + cost, submit.cost(latency));
+
+        self.drain_ready(now + cost, &mut cost, &mut ready);
+        CreationOutcome {
+            cost,
+            completed: true,
+            ready,
+        }
+    }
+
+    fn finish_task(&mut self, now: Cycle, task: TaskRef, _core: usize) -> FinishOutcome {
+        let desc = self.descriptor(task);
+        let latency = self.dmu.access_latency();
+        let mut cost = Cycle::ZERO;
+        let result = self
+            .dmu
+            .finish_task(desc)
+            .expect("finishing an in-flight task cannot fail");
+        cost += self.charge_instruction(now, result.cost(latency));
+        self.release_descriptor(task);
+        let mut ready = Vec::new();
+        self.drain_ready(now + cost, &mut cost, &mut ready);
+        FinishOutcome { cost, ready }
+    }
+
+    fn hardware_report(&self) -> Option<HardwareReport> {
+        Some(HardwareReport {
+            stats: self.dmu.stats(),
+            peak: self.dmu.peak_occupancy(),
+            dat_average_occupied_sets: self.dmu.dat_average_occupied_sets(),
+            stall_cycles: self.stall_cycles,
+            instructions: self.instructions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{DependenceSpec, TaskSpec};
+
+    fn chain_workload(n: usize) -> Workload {
+        Workload::new(
+            "chain",
+            (0..n)
+                .map(|_| {
+                    TaskSpec::new(
+                        "step",
+                        Cycle::new(1000),
+                        vec![DependenceSpec::inout(0xA000, 4096)],
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn fork_join_workload() -> Workload {
+        let mut tasks = vec![TaskSpec::new(
+            "root",
+            Cycle::new(1000),
+            vec![DependenceSpec::output(0x1000, 4096)],
+        )];
+        for i in 0..4 {
+            tasks.push(TaskSpec::new(
+                "leaf",
+                Cycle::new(1000),
+                vec![
+                    DependenceSpec::input(0x1000, 4096),
+                    DependenceSpec::output(0x2000 + i * 4096, 4096),
+                ],
+            ));
+        }
+        Workload::new("forkjoin", tasks)
+    }
+
+    fn run_engine_to_completion(engine: &mut dyn DependenceEngine, n: usize) -> Vec<TaskRef> {
+        // Create everything (retrying stalls), executing ready tasks
+        // immediately in FIFO order; returns the completion order.
+        let mut order = Vec::new();
+        let mut pool: Vec<ReadyInfo> = Vec::new();
+        let mut next = 0usize;
+        let mut now = Cycle::ZERO;
+        while order.len() < n {
+            if next < n {
+                let outcome = engine.create_task(now, TaskRef(next));
+                now += outcome.cost;
+                pool.extend(outcome.ready);
+                if outcome.completed {
+                    next += 1;
+                    continue;
+                }
+                // Stalled: fall through to execute something so resources free up.
+            }
+            if pool.is_empty() {
+                panic!("no ready task but {} of {} still unfinished", n - order.len(), n);
+            }
+            let info = pool.remove(0);
+            let fin = engine.finish_task(now, info.task, 0);
+            now += fin.cost;
+            pool.extend(fin.ready);
+            order.push(info.task);
+        }
+        order
+    }
+
+    #[test]
+    fn software_engine_matches_graph_for_chain() {
+        let w = chain_workload(10);
+        let mut e = SoftwareEngine::new(&w, CostModel::default());
+        let graph = TaskGraph::build(&w);
+        let order = run_engine_to_completion(&mut e, w.len());
+        assert!(graph.check_order(&order).is_ok());
+        assert_eq!(order.len(), 10);
+    }
+
+    #[test]
+    fn hardware_engine_matches_graph_for_chain() {
+        let w = chain_workload(10);
+        let mut e = HardwareEngine::new(
+            HardwareFlavor::Tdm,
+            &w,
+            DmuConfig::default(),
+            CostModel::default(),
+            Cycle::new(16),
+        );
+        let graph = TaskGraph::build(&w);
+        let order = run_engine_to_completion(&mut e, w.len());
+        assert!(graph.check_order(&order).is_ok());
+    }
+
+    #[test]
+    fn engines_agree_on_fork_join_readiness() {
+        let w = fork_join_workload();
+        let mut sw = SoftwareEngine::new(&w, CostModel::default());
+        let mut hw = HardwareEngine::new(
+            HardwareFlavor::Tdm,
+            &w,
+            DmuConfig::default(),
+            CostModel::default(),
+            Cycle::new(16),
+        );
+        // Create all tasks on both engines.
+        let mut sw_ready = Vec::new();
+        let mut hw_ready = Vec::new();
+        for i in 0..w.len() {
+            sw_ready.extend(sw.create_task(Cycle::ZERO, TaskRef(i)).ready);
+            hw_ready.extend(hw.create_task(Cycle::ZERO, TaskRef(i)).ready);
+        }
+        // Only the root is ready on both.
+        assert_eq!(sw_ready.len(), 1);
+        assert_eq!(hw_ready.len(), 1);
+        assert_eq!(sw_ready[0].task, TaskRef(0));
+        assert_eq!(hw_ready[0].task, TaskRef(0));
+        // Finishing the root readies all four leaves on both.
+        let sw_fin = sw.finish_task(Cycle::ZERO, TaskRef(0), 0);
+        let hw_fin = hw.finish_task(Cycle::ZERO, TaskRef(0), 0);
+        let mut sw_tasks: Vec<usize> = sw_fin.ready.iter().map(|r| r.task.index()).collect();
+        let mut hw_tasks: Vec<usize> = hw_fin.ready.iter().map(|r| r.task.index()).collect();
+        sw_tasks.sort_unstable();
+        hw_tasks.sort_unstable();
+        assert_eq!(sw_tasks, vec![1, 2, 3, 4]);
+        assert_eq!(hw_tasks, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn successor_counts_are_exposed() {
+        let w = fork_join_workload();
+        // The software engine reports the whole-graph successor count (it
+        // knows the full TDG); the root of the fork-join has 4 successors.
+        let mut sw = SoftwareEngine::new(&w, CostModel::default());
+        let sw_ready = sw.create_task(Cycle::ZERO, TaskRef(0)).ready;
+        assert_eq!(sw_ready[0].num_successors, 4);
+        // The hardware engine reports the count registered in the DMU at the
+        // moment the task is handed to the runtime; for a leaf readied by the
+        // root's finish, all successors (zero) are known by then.
+        let mut hw = HardwareEngine::new(
+            HardwareFlavor::Tdm,
+            &w,
+            DmuConfig::default(),
+            CostModel::default(),
+            Cycle::new(16),
+        );
+        let mut ready = Vec::new();
+        for i in 0..w.len() {
+            ready.extend(hw.create_task(Cycle::ZERO, TaskRef(i)).ready);
+        }
+        let fin = hw.finish_task(Cycle::ZERO, TaskRef(0), 0);
+        assert!(fin.ready.iter().all(|r| r.num_successors == 0));
+    }
+
+    #[test]
+    fn software_creation_cost_scales_with_dependences() {
+        let w = fork_join_workload();
+        let mut e = SoftwareEngine::new(&w, CostModel::default());
+        let root_cost = e.create_task(Cycle::ZERO, TaskRef(0)).cost;
+        let leaf_cost = e.create_task(Cycle::ZERO, TaskRef(1)).cost;
+        assert!(leaf_cost > root_cost, "2-dep leaf should cost more than 1-dep root");
+    }
+
+    #[test]
+    fn hardware_creation_is_much_cheaper_than_software() {
+        let w = chain_workload(20);
+        let cost = CostModel::default();
+        let mut sw = SoftwareEngine::new(&w, cost.clone());
+        let mut hw = HardwareEngine::new(
+            HardwareFlavor::Tdm,
+            &w,
+            DmuConfig::default(),
+            cost,
+            Cycle::new(16),
+        );
+        let sw_cost = sw.create_task(Cycle::ZERO, TaskRef(0)).cost;
+        let hw_cost = hw.create_task(Cycle::ZERO, TaskRef(0)).cost;
+        assert!(
+            hw_cost.raw() * 2 < sw_cost.raw(),
+            "TDM creation ({hw_cost}) should be far cheaper than software ({sw_cost})"
+        );
+    }
+
+    #[test]
+    fn hardware_engine_stalls_and_recovers_with_tiny_dmu() {
+        let w = chain_workload(40);
+        let mut config = DmuConfig::default();
+        config.tat_entries = 8;
+        config.tat_ways = 8;
+        config.dat_entries = 8;
+        config.dat_ways = 8;
+        config.successor_la_entries = 8;
+        config.dependence_la_entries = 8;
+        config.reader_la_entries = 8;
+        let mut hw = HardwareEngine::new(
+            HardwareFlavor::Tdm,
+            &w,
+            config,
+            CostModel::default(),
+            Cycle::new(16),
+        );
+        let graph = TaskGraph::build(&w);
+        let order = run_engine_to_completion(&mut hw, w.len());
+        assert!(graph.check_order(&order).is_ok());
+        let report = hw.hardware_report().unwrap();
+        assert!(report.stats.stalls > 0, "the tiny DMU must stall");
+        assert!(report.stall_cycles > Cycle::ZERO);
+    }
+
+    #[test]
+    fn dmu_serialization_adds_queueing_delay() {
+        let w = chain_workload(4);
+        let mut hw = HardwareEngine::new(
+            HardwareFlavor::Tdm,
+            &w,
+            DmuConfig::default().with_access_latency(Cycle::new(16)),
+            CostModel::default(),
+            Cycle::new(16),
+        );
+        // Two creations issued at the same instant: the second waits for the
+        // DMU to finish processing the first.
+        let c0 = hw.create_task(Cycle::ZERO, TaskRef(0)).cost;
+        let c1 = hw.create_task(Cycle::ZERO, TaskRef(1)).cost;
+        assert!(c1 >= c0, "second creation at the same time must queue behind the first");
+    }
+
+    #[test]
+    fn flavor_names_differ() {
+        let w = chain_workload(2);
+        let tdm = HardwareEngine::new(
+            HardwareFlavor::Tdm,
+            &w,
+            DmuConfig::default(),
+            CostModel::default(),
+            Cycle::new(16),
+        );
+        let tss = HardwareEngine::new(
+            HardwareFlavor::TaskSuperscalar,
+            &w,
+            DmuConfig::default(),
+            CostModel::default(),
+            Cycle::new(16),
+        );
+        assert_eq!(tdm.name(), "tdm");
+        assert_eq!(tss.name(), "task-superscalar");
+        assert_eq!(SoftwareEngine::new(&w, CostModel::default()).name(), "software");
+        assert_eq!(
+            SoftwareEngine::with_name("carbon", &w, CostModel::default()).name(),
+            "carbon"
+        );
+    }
+}

@@ -1,0 +1,659 @@
+//! Discrete-event execution driver.
+//!
+//! [`simulate`] runs a complete parallel region of a [`Workload`] on the
+//! simulated chip: the master core creates tasks in program order (paying
+//! dependence-management costs through the selected backend), worker cores
+//! repeatedly schedule, execute and finish tasks, and every core's time is
+//! attributed to the DEPS / SCHED / EXEC / IDLE phases of Figure 2. The
+//! result is a [`RunReport`] from which every figure and table of the paper's
+//! evaluation can be derived.
+
+use std::collections::BTreeSet;
+
+use serde::Serialize;
+use tdm_core::config::DmuConfig;
+use tdm_sim::cache::LocalityModel;
+use tdm_sim::clock::Cycle;
+use tdm_sim::config::ChipConfig;
+use tdm_sim::event::EventQueue;
+use tdm_sim::noc::NocModel;
+use tdm_sim::rng::SplitMix64;
+use tdm_sim::stats::{Phase, SimStats};
+
+use crate::cost::CostModel;
+use crate::engine::{
+    DependenceEngine, HardwareEngine, HardwareFlavor, HardwareReport, ReadyInfo, SoftwareEngine,
+};
+use crate::scheduler::{FifoScheduler, ReadyEntry, Scheduler, SchedulerKind};
+use crate::task::{TaskRef, Workload};
+
+/// The runtime-system organisations compared in the paper (Sections II and
+/// VI-C).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Backend {
+    /// Pure software runtime: dependence tracking and scheduling in software.
+    Software,
+    /// TDM: the DMU tracks dependences, scheduling stays in software.
+    Tdm(DmuConfig),
+    /// Carbon: hardware ready queues (fixed FIFO), dependence tracking in
+    /// software.
+    Carbon,
+    /// Task Superscalar: dependence tracking and scheduling both in hardware
+    /// (fixed FIFO).
+    TaskSuperscalar(DmuConfig),
+}
+
+impl Backend {
+    /// Display name used in reports and figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Software => "Software",
+            Backend::Tdm(_) => "TDM",
+            Backend::Carbon => "Carbon",
+            Backend::TaskSuperscalar(_) => "TaskSuperscalar",
+        }
+    }
+
+    /// True if the ready queue lives in hardware, which fixes the scheduling
+    /// policy to FIFO and makes queue operations cheap.
+    pub fn hardware_scheduling(&self) -> bool {
+        matches!(self, Backend::Carbon | Backend::TaskSuperscalar(_))
+    }
+
+    /// Convenience constructor: TDM with the paper's selected DMU
+    /// configuration.
+    pub fn tdm_default() -> Backend {
+        Backend::Tdm(DmuConfig::default())
+    }
+
+    /// Convenience constructor: Task Superscalar with tables sized like the
+    /// default DMU (the paper compares both at 2048 in-flight entries).
+    pub fn task_superscalar_default() -> Backend {
+        Backend::TaskSuperscalar(DmuConfig::default())
+    }
+
+    fn build_engine(
+        &self,
+        workload: &Workload,
+        cost: &CostModel,
+        noc_round_trip: Cycle,
+    ) -> Box<dyn DependenceEngine> {
+        match self {
+            Backend::Software => Box::new(SoftwareEngine::new(workload, cost.clone())),
+            Backend::Carbon => Box::new(SoftwareEngine::with_name("carbon", workload, cost.clone())),
+            Backend::Tdm(dmu) => Box::new(HardwareEngine::new(
+                HardwareFlavor::Tdm,
+                workload,
+                dmu.clone(),
+                cost.clone(),
+                noc_round_trip,
+            )),
+            Backend::TaskSuperscalar(dmu) => Box::new(HardwareEngine::new(
+                HardwareFlavor::TaskSuperscalar,
+                workload,
+                dmu.clone(),
+                cost.clone(),
+                noc_round_trip,
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of an execution-driver run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecConfig {
+    /// Simulated chip (Table I).
+    pub chip: ChipConfig,
+    /// Runtime-system cost model.
+    pub cost: CostModel,
+    /// Seed for duration jitter (deterministic per seed).
+    pub seed: u64,
+    /// Per-core cache capacity used by the locality model, in bytes. The
+    /// default corresponds to a core's share of the L1 plus the shared L2
+    /// (4 MB / 32 cores + 32 KB).
+    pub locality_capacity_bytes: u64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        let chip = ChipConfig::default();
+        let locality = chip.memory.l1_size_bytes
+            + chip.memory.l2_size_bytes / chip.num_cores as u64;
+        ExecConfig {
+            chip,
+            cost: CostModel::default(),
+            seed: 42,
+            locality_capacity_bytes: locality,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Same configuration with a different core count.
+    pub fn with_cores(mut self, num_cores: usize) -> Self {
+        self.chip = ChipConfig::with_cores(num_cores);
+        self
+    }
+}
+
+/// The outcome of one simulated execution.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Workload name.
+    pub workload: String,
+    /// Backend name.
+    pub backend: String,
+    /// Scheduling policy actually applied (hardware backends force FIFO).
+    pub scheduler: String,
+    /// Per-core phase breakdowns, makespan and counters.
+    pub stats: SimStats,
+    /// Hardware dependence-tracker report, when the backend has one.
+    #[serde(skip)]
+    pub hardware: Option<HardwareReport>,
+    /// Number of tasks executed.
+    pub tasks: u64,
+}
+
+impl RunReport {
+    /// Total execution time of the parallel region.
+    pub fn makespan(&self) -> Cycle {
+        self.stats.makespan
+    }
+
+    /// Speedup of this run over `baseline` (ratio of makespans).
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        self.stats.speedup_over(&baseline.stats)
+    }
+
+    /// Fraction of the master core's time spent in dependence management
+    /// (task creation + finalization) — the per-benchmark bars of Figure 10.
+    pub fn master_deps_fraction(&self) -> f64 {
+        self.stats.master_breakdown().fraction(Phase::Deps)
+    }
+
+    /// Fraction of total CPU time (all cores) spent in `phase`.
+    pub fn chip_fraction(&self, phase: Phase) -> f64 {
+        self.stats.chip_fraction(phase)
+    }
+}
+
+/// Simulates `workload` on `backend` with the given scheduling policy.
+///
+/// Hardware-scheduled backends (Carbon, Task Superscalar) ignore `scheduler`
+/// and use their fixed FIFO queue.
+///
+/// # Panics
+///
+/// Panics if the simulation deadlocks, which would indicate a bug in a
+/// dependence engine (the workload graphs are acyclic by construction).
+pub fn simulate(
+    workload: &Workload,
+    backend: &Backend,
+    scheduler: SchedulerKind,
+    config: &ExecConfig,
+) -> RunReport {
+    let num_cores = config.chip.num_cores;
+    let master = 0usize;
+    let total_tasks = workload.len();
+    let noc = NocModel::from_chip(&config.chip);
+    let noc_round_trip = noc.average_round_trip();
+
+    let mut engine = backend.build_engine(workload, &config.cost, noc_round_trip);
+    let hardware_sched = backend.hardware_scheduling();
+    let mut pool: Box<dyn Scheduler> = if hardware_sched {
+        Box::new(FifoScheduler::new())
+    } else {
+        scheduler.build()
+    };
+    let scheduler_name = if hardware_sched {
+        "HW-FIFO".to_string()
+    } else {
+        scheduler.name().to_string()
+    };
+    let (push_cost, pick_cost) = if hardware_sched {
+        (config.cost.hw_queue_op, config.cost.hw_queue_op)
+    } else {
+        (config.cost.sw_sched_push, config.cost.sw_sched_pick)
+    };
+
+    let mut stats = SimStats::new(num_cores, master);
+    let mut locality = LocalityModel::new(num_cores, config.locality_capacity_bytes.max(1));
+    let mut events: EventQueue<usize> = EventQueue::new();
+    let mut running: Vec<Option<TaskRef>> = vec![None; num_cores];
+    let mut idle_since: Vec<Option<Cycle>> = vec![None; num_cores];
+    let mut idle_set: BTreeSet<usize> = BTreeSet::new();
+    let mut next_create = 0usize;
+    let mut finished = 0usize;
+    let mut makespan = Cycle::ZERO;
+    // True while the last creation attempt stalled on a full DMU structure;
+    // the master then behaves as a worker (runtime-system throttling) and
+    // retries after tasks finish.
+    let mut master_throttled = false;
+
+    // Deterministic per-task duration jitter: the same task gets the same
+    // duration regardless of scheduler or backend, so comparisons are fair.
+    let jitter_for = |task: TaskRef| -> f64 {
+        if workload.duration_jitter == 0.0 {
+            1.0
+        } else {
+            let mut rng = SplitMix64::new(config.seed ^ (task.index() as u64).wrapping_mul(0x9E37));
+            rng.jitter(workload.duration_jitter)
+        }
+    };
+
+    for core in 0..num_cores {
+        events.schedule(Cycle::ZERO, core);
+    }
+
+    while let Some((now, core)) = events.pop() {
+        let mut t = now;
+
+        // ------------------------------------------------------------------
+        // Phase 1: finish the task this core was running, if any.
+        // ------------------------------------------------------------------
+        let mut finished_here = false;
+        if let Some(task) = running[core].take() {
+            // Any finish releases DMU resources, so a throttled master may
+            // retry creation at its next opportunity.
+            master_throttled = false;
+            let fin = engine.finish_task(t, task, core);
+            stats.cores[core].add(Phase::Deps, fin.cost);
+            t += fin.cost;
+            finished += 1;
+            finished_here = true;
+            makespan = makespan.max(t);
+            push_ready(
+                &fin.ready,
+                Some(core),
+                &mut t,
+                core,
+                &mut *pool,
+                &mut stats,
+                push_cost,
+                &mut idle_set,
+                &mut events,
+            );
+        }
+
+        // A finish frees DMU resources (and may ready tasks): make sure a
+        // throttled or idle master gets a chance to resume creation.
+        if finished_here && core != master && next_create < total_tasks && idle_set.remove(&master)
+        {
+            events.schedule(t, master);
+        }
+
+        // ------------------------------------------------------------------
+        // Phase 2: the master creates tasks until it stalls or runs out.
+        //
+        // When a creation attempt stalls on a full DMU structure the master
+        // does not busy-wait: like a throttled runtime system it falls
+        // through to the worker path, executes a task (or goes idle) and
+        // retries creation afterwards.
+        // ------------------------------------------------------------------
+        if core == master && next_create < total_tasks && !master_throttled {
+            let task = TaskRef(next_create);
+            let outcome = engine.create_task(t, task);
+            stats.cores[master].add(Phase::Deps, outcome.cost);
+            t += outcome.cost;
+            push_ready(
+                &outcome.ready,
+                None,
+                &mut t,
+                master,
+                &mut *pool,
+                &mut stats,
+                push_cost,
+                &mut idle_set,
+                &mut events,
+            );
+            if outcome.completed {
+                next_create += 1;
+                events.schedule(t, master);
+                continue;
+            }
+            master_throttled = true;
+            // Fall through to the worker path: execute something (or idle)
+            // while the DMU drains.
+        }
+
+        // ------------------------------------------------------------------
+        // Phase 3: worker behaviour — schedule and execute a ready task.
+        // ------------------------------------------------------------------
+        if finished >= total_tasks && next_create >= total_tasks {
+            continue;
+        }
+        if let Some(entry) = pool.pop(core) {
+            if let Some(since) = idle_since[core].take() {
+                stats.cores[core].add(Phase::Idle, t.saturating_sub(since));
+            }
+            idle_set.remove(&core);
+            stats.cores[core].add(Phase::Sched, pick_cost);
+            t += pick_cost;
+
+            let spec = workload.spec(entry.task);
+            let working_set = spec.working_set();
+            let hit_fraction = locality.probe(core, &working_set).hit_fraction();
+            let locality_factor = 1.0 - workload.locality_benefit * hit_fraction;
+            let duration = spec
+                .duration
+                .scaled_f64(locality_factor * jitter_for(entry.task));
+            locality.record_reads(core, &spec.read_set());
+            locality.record_writes(core, &spec.write_set());
+
+            stats.cores[core].add(Phase::Exec, duration);
+            running[core] = Some(entry.task);
+            events.schedule(t + duration, core);
+        } else {
+            if idle_since[core].is_none() {
+                idle_since[core] = Some(t);
+            }
+            idle_set.insert(core);
+        }
+    }
+
+    assert_eq!(
+        finished, total_tasks,
+        "simulation ended with {finished} of {total_tasks} tasks finished — dependence engine deadlock"
+    );
+
+    stats.makespan = makespan;
+    stats.tasks_executed = total_tasks as u64;
+    let hardware = engine.hardware_report();
+    if let Some(hw) = &hardware {
+        stats.dmu_stall_cycles = hw.stall_cycles;
+        stats.dmu_instructions = hw.instructions;
+    }
+    stats.normalize_to_makespan();
+
+    RunReport {
+        workload: workload.name.clone(),
+        backend: backend.name().to_string(),
+        scheduler: scheduler_name,
+        stats,
+        hardware,
+        tasks: total_tasks as u64,
+    }
+}
+
+/// Pushes newly ready tasks into the scheduling pool, charging the pushing
+/// core, and wakes idle cores to pick them up.
+#[allow(clippy::too_many_arguments)]
+fn push_ready(
+    ready: &[ReadyInfo],
+    producer_core: Option<usize>,
+    t: &mut Cycle,
+    pushing_core: usize,
+    pool: &mut dyn Scheduler,
+    stats: &mut SimStats,
+    push_cost: Cycle,
+    idle_set: &mut BTreeSet<usize>,
+    events: &mut EventQueue<usize>,
+) {
+    for info in ready {
+        stats.cores[pushing_core].add(Phase::Sched, push_cost);
+        *t += push_cost;
+        pool.push(ReadyEntry {
+            task: info.task,
+            num_successors: info.num_successors,
+            creation_seq: info.task.index(),
+            ready_at: *t,
+            producer_core,
+        });
+    }
+    // Wake one idle core per newly ready task.
+    for _ in 0..ready.len() {
+        let Some(&idle_core) = idle_set.iter().next() else {
+            break;
+        };
+        idle_set.remove(&idle_core);
+        events.schedule(*t, idle_core);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{DependenceSpec, TaskSpec};
+    use crate::tdg::TaskGraph;
+
+    fn small_chip(cores: usize) -> ExecConfig {
+        ExecConfig::default().with_cores(cores)
+    }
+
+    /// A block-diagonal workload: `chains` independent chains of `len`
+    /// dependent tasks each.
+    fn chains_workload(chains: usize, len: usize, duration_us: f64) -> Workload {
+        let chip = ChipConfig::default();
+        let mut tasks = Vec::new();
+        for c in 0..chains {
+            for _ in 0..len {
+                tasks.push(TaskSpec::new(
+                    "link",
+                    chip.micros(duration_us),
+                    vec![DependenceSpec::inout(0x10_0000 + (c as u64) * 0x1_0000, 4096)],
+                ));
+            }
+        }
+        Workload::new("chains", tasks)
+    }
+
+    /// Independent tasks (embarrassingly parallel).
+    fn independent_workload(n: usize, duration_us: f64) -> Workload {
+        let chip = ChipConfig::default();
+        let tasks = (0..n)
+            .map(|i| {
+                TaskSpec::new(
+                    "indep",
+                    chip.micros(duration_us),
+                    vec![DependenceSpec::output(0x20_0000 + (i as u64) * 4096, 4096)],
+                )
+            })
+            .collect();
+        Workload::new("independent", tasks)
+    }
+
+    #[test]
+    fn independent_tasks_scale_with_cores() {
+        let w = independent_workload(64, 100.0);
+        let one = simulate(&w, &Backend::Software, SchedulerKind::Fifo, &small_chip(1));
+        let many = simulate(&w, &Backend::Software, SchedulerKind::Fifo, &small_chip(9));
+        // 9 cores vs 1 core: near-linear scaling on independent tasks.
+        let speedup = many.speedup_over(&one);
+        assert!(
+            speedup > 5.0,
+            "expected large speedup from more cores, got {speedup:.2}"
+        );
+    }
+
+    #[test]
+    fn chain_workload_is_serialized_regardless_of_cores() {
+        let w = chains_workload(1, 20, 50.0);
+        let few = simulate(&w, &Backend::Software, SchedulerKind::Fifo, &small_chip(2));
+        let many = simulate(&w, &Backend::Software, SchedulerKind::Fifo, &small_chip(8));
+        let speedup = many.speedup_over(&few);
+        assert!(
+            (0.9..1.1).contains(&speedup),
+            "a single dependence chain cannot speed up with cores, got {speedup:.2}"
+        );
+    }
+
+    #[test]
+    fn all_tasks_execute_exactly_once_on_every_backend() {
+        let w = chains_workload(4, 10, 20.0);
+        for backend in [
+            Backend::Software,
+            Backend::tdm_default(),
+            Backend::Carbon,
+            Backend::task_superscalar_default(),
+        ] {
+            let report = simulate(&w, &backend, SchedulerKind::Fifo, &small_chip(4));
+            assert_eq!(report.tasks, 40, "backend {}", backend.name());
+            assert_eq!(report.stats.tasks_executed, 40);
+            assert!(report.makespan() > Cycle::ZERO);
+        }
+    }
+
+    #[test]
+    fn tdm_outperforms_software_when_creation_bound() {
+        // Many short tasks with several dependences each: the master's
+        // software creation cost dominates, which is exactly the scenario
+        // TDM accelerates (Figure 2 / Figure 12).
+        let chip = ChipConfig::default();
+        let blocks = 64u64;
+        let tasks: Vec<TaskSpec> = (0..1500)
+            .map(|i| {
+                let a = 0x100_0000 + (i % blocks) * 0x4_0000;
+                let b = 0x100_0000 + ((i * 7 + 3) % blocks) * 0x4_0000;
+                TaskSpec::new(
+                    "t",
+                    chip.micros(60.0),
+                    vec![
+                        DependenceSpec::input(a, 0x4_0000),
+                        DependenceSpec::inout(b, 0x4_0000),
+                    ],
+                )
+            })
+            .collect();
+        let w = Workload::new("creation-bound", tasks);
+        let config = ExecConfig::default();
+        let sw = simulate(&w, &Backend::Software, SchedulerKind::Fifo, &config);
+        let tdm = simulate(&w, &Backend::tdm_default(), SchedulerKind::Fifo, &config);
+        let speedup = tdm.speedup_over(&sw);
+        assert!(
+            speedup > 1.05,
+            "TDM should beat software on a creation-bound workload, got {speedup:.3}"
+        );
+        // And the master spends a much smaller share of its time in DEPS.
+        assert!(tdm.master_deps_fraction() < sw.master_deps_fraction());
+    }
+
+    #[test]
+    fn hardware_backends_force_fifo() {
+        let w = independent_workload(16, 10.0);
+        let report = simulate(&w, &Backend::Carbon, SchedulerKind::Lifo, &small_chip(4));
+        assert_eq!(report.scheduler, "HW-FIFO");
+        let report = simulate(&w, &Backend::tdm_default(), SchedulerKind::Lifo, &small_chip(4));
+        assert_eq!(report.scheduler, "LIFO");
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let w = chains_workload(8, 8, 30.0);
+        let a = simulate(&w, &Backend::tdm_default(), SchedulerKind::Age, &small_chip(8));
+        let b = simulate(&w, &Backend::tdm_default(), SchedulerKind::Age, &small_chip(8));
+        assert_eq!(a.makespan(), b.makespan());
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn phase_breakdown_covers_makespan_on_every_core() {
+        let w = chains_workload(4, 6, 25.0);
+        let report = simulate(&w, &Backend::Software, SchedulerKind::Fifo, &small_chip(6));
+        for core in &report.stats.cores {
+            assert_eq!(core.total(), report.makespan());
+        }
+    }
+
+    #[test]
+    fn lifo_hurts_independent_chains_like_blackscholes() {
+        // 8 chains on 4 workers: LIFO lets a few chains race ahead and leaves
+        // a load-imbalanced tail, as described for Blackscholes in Section VI.
+        let w = chains_workload(8, 12, 200.0);
+        let config = small_chip(5);
+        let fifo = simulate(&w, &Backend::tdm_default(), SchedulerKind::Fifo, &config);
+        let lifo = simulate(&w, &Backend::tdm_default(), SchedulerKind::Lifo, &config);
+        assert!(
+            lifo.makespan() >= fifo.makespan(),
+            "LIFO ({}) should not beat FIFO ({}) on independent chains",
+            lifo.makespan(),
+            fifo.makespan()
+        );
+    }
+
+    #[test]
+    fn tiny_dmu_still_completes_with_stalls() {
+        let w = chains_workload(2, 30, 10.0);
+        let mut dmu = DmuConfig::default();
+        dmu.tat_entries = 16;
+        dmu.tat_ways = 8;
+        dmu.dat_entries = 16;
+        dmu.dat_ways = 8;
+        dmu.successor_la_entries = 16;
+        dmu.dependence_la_entries = 16;
+        dmu.reader_la_entries = 16;
+        let report = simulate(&w, &Backend::Tdm(dmu), SchedulerKind::Fifo, &small_chip(4));
+        assert_eq!(report.stats.tasks_executed, 60);
+        let hw = report.hardware.unwrap();
+        assert!(hw.stats.stalls > 0);
+    }
+
+    #[test]
+    fn execution_respects_dependences_under_all_schedulers() {
+        // Use the locality-sensitive workload and every scheduler; the
+        // dependence engines enforce ordering, so all runs must complete.
+        let w = chains_workload(6, 5, 15.0);
+        let graph = TaskGraph::build(&w);
+        assert!(graph.critical_path_len() == 5);
+        for kind in SchedulerKind::all() {
+            let report = simulate(&w, &Backend::tdm_default(), kind, &small_chip(4));
+            assert_eq!(report.stats.tasks_executed, 30, "scheduler {}", kind.name());
+        }
+    }
+
+    #[test]
+    fn single_core_run_works() {
+        let w = independent_workload(5, 10.0);
+        let report = simulate(&w, &Backend::Software, SchedulerKind::Fifo, &small_chip(1));
+        assert_eq!(report.stats.tasks_executed, 5);
+        // With one core the master does everything; no idle time beyond
+        // rounding is expected for independent tasks.
+        assert!(report.stats.cores[0].get(Phase::Exec) > Cycle::ZERO);
+    }
+
+    #[test]
+    fn empty_workload_completes_immediately() {
+        let w = Workload::new("empty", vec![]);
+        let report = simulate(&w, &Backend::Software, SchedulerKind::Fifo, &small_chip(4));
+        assert_eq!(report.stats.tasks_executed, 0);
+        assert_eq!(report.makespan(), Cycle::ZERO);
+    }
+
+    #[test]
+    fn locality_scheduler_benefits_memory_bound_workload() {
+        // A workload of producer→consumer pairs on large blocks with a high
+        // locality benefit: running the consumer where the producer ran is
+        // visibly faster.
+        let chip = ChipConfig::default();
+        let mut tasks = Vec::new();
+        for i in 0..120u64 {
+            let block = 0x400_0000 + i * 0x8_0000; // 512 KB blocks
+            tasks.push(TaskSpec::new(
+                "producer",
+                chip.micros(80.0),
+                vec![DependenceSpec::output(block, 0x8_0000)],
+            ));
+            tasks.push(TaskSpec::new(
+                "consumer",
+                chip.micros(80.0),
+                vec![DependenceSpec::inout(block, 0x8_0000)],
+            ));
+        }
+        let mut w = Workload::new("pairs", tasks);
+        w.locality_benefit = 0.3;
+        let config = small_chip(8);
+        let fifo = simulate(&w, &Backend::tdm_default(), SchedulerKind::Fifo, &config);
+        let local = simulate(&w, &Backend::tdm_default(), SchedulerKind::Locality, &config);
+        assert!(
+            local.makespan() < fifo.makespan(),
+            "locality scheduling ({}) should beat FIFO ({}) here",
+            local.makespan(),
+            fifo.makespan()
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! # tdm-runtime — task-based data-flow runtime system and execution driver
+//!
+//! This crate models the software side of the TDM reproduction: the
+//! OpenMP-4.0-style task runtime that the paper's Nanos++ baseline
+//! represents. It provides:
+//!
+//! * the program-level task and workload model ([`task`]),
+//! * the reference Task Dependence Graph used both by the software runtime
+//!   and as the golden model for the DMU ([`tdg`]),
+//! * the cycle cost model of runtime operations ([`cost`]),
+//! * the five software scheduling policies of Section VI ([`scheduler`]),
+//! * the dependence-management backends — pure software, TDM's DMU, Carbon
+//!   and Task Superscalar ([`engine`]),
+//! * and the discrete-event execution driver that ties everything to the
+//!   simulated 32-core chip and produces per-phase time breakdowns
+//!   ([`exec`]).
+//!
+//! # Example
+//!
+//! ```
+//! use tdm_runtime::exec::{simulate, Backend, ExecConfig};
+//! use tdm_runtime::scheduler::SchedulerKind;
+//! use tdm_runtime::task::{DependenceSpec, TaskSpec, Workload};
+//! use tdm_sim::clock::Cycle;
+//!
+//! // Two tasks: a producer and a consumer of the same block.
+//! let workload = Workload::new(
+//!     "tiny",
+//!     vec![
+//!         TaskSpec::new("produce", Cycle::new(200_000), vec![DependenceSpec::output(0xA000, 4096)]),
+//!         TaskSpec::new("consume", Cycle::new(200_000), vec![DependenceSpec::input(0xA000, 4096)]),
+//!     ],
+//! );
+//! let config = ExecConfig::default();
+//! let report = simulate(&workload, &Backend::tdm_default(), SchedulerKind::Fifo, &config);
+//! assert_eq!(report.stats.tasks_executed, 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cost;
+pub mod engine;
+pub mod exec;
+pub mod scheduler;
+pub mod task;
+pub mod tdg;
+
+pub use cost::CostModel;
+pub use engine::{DependenceEngine, HardwareEngine, HardwareFlavor, SoftwareEngine};
+pub use exec::{simulate, Backend, ExecConfig, RunReport};
+pub use scheduler::{ReadyEntry, Scheduler, SchedulerKind};
+pub use task::{DependenceSpec, TaskRef, TaskSpec, Workload};
+pub use tdg::TaskGraph;

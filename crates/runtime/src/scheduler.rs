@@ -1,0 +1,441 @@
+//! Software task schedulers.
+//!
+//! With TDM, ready tasks are handed to the runtime system, which is free to
+//! organise them in any software data structure and apply any policy —
+//! that flexibility is the paper's central argument. Section VI evaluates
+//! five policies, reproduced here:
+//!
+//! * **FIFO** — run tasks in the order they became ready.
+//! * **LIFO** — run the most recently readied task first.
+//! * **Locality** — prefer a ready successor of the task that just finished
+//!   on the requesting core, to reuse the data it produced.
+//! * **Successor** — two-level priority by successor count: tasks with many
+//!   successors unlock more parallelism and run first.
+//! * **Age** — run the task that was *created* earliest (FIFO orders by
+//!   readiness time, Age by program order).
+//!
+//! The same implementations are used by every backend; Carbon and Task
+//! Superscalar hard-wire FIFO because their queue lives in hardware.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+use tdm_sim::clock::Cycle;
+
+use crate::task::TaskRef;
+
+/// A ready task as seen by a scheduler, with the metadata the policies need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadyEntry {
+    /// The ready task.
+    pub task: TaskRef,
+    /// Number of successors the dependence tracker has registered for it
+    /// (used by the Successor policy; the DMU returns it in
+    /// `get_ready_task`).
+    pub num_successors: u32,
+    /// Program-order creation index (used by the Age policy).
+    pub creation_seq: usize,
+    /// Simulated time at which the task became ready.
+    pub ready_at: Cycle,
+    /// Core that executed the predecessor whose completion made this task
+    /// ready; `None` for tasks that were ready at creation.
+    pub producer_core: Option<usize>,
+}
+
+/// A software scheduling policy over a pool of ready tasks.
+///
+/// `pop` receives the requesting core so locality-aware policies can take
+/// placement into account.
+pub trait Scheduler {
+    /// Human-readable policy name (matches the labels used in Figure 12).
+    fn name(&self) -> &'static str;
+
+    /// Adds a ready task to the pool.
+    fn push(&mut self, entry: ReadyEntry);
+
+    /// Selects and removes the next task for `core`, or `None` if the pool
+    /// is empty.
+    fn pop(&mut self, core: usize) -> Option<ReadyEntry>;
+
+    /// Number of tasks currently in the pool.
+    fn len(&self) -> usize;
+
+    /// True if the pool is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Scheduler selection, used by harnesses and examples to construct policies
+/// by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// First-in first-out by readiness time.
+    Fifo,
+    /// Last-in first-out by readiness time.
+    Lifo,
+    /// Prefer successors of the task that just ran on the requesting core.
+    Locality,
+    /// Two-level priority by successor count.
+    Successor {
+        /// Tasks with at least this many successors are high priority.
+        threshold: u32,
+    },
+    /// Oldest creation time first.
+    Age,
+}
+
+impl SchedulerKind {
+    /// All policies evaluated in the paper, in the order of Figure 12.
+    pub fn all() -> Vec<SchedulerKind> {
+        vec![
+            SchedulerKind::Fifo,
+            SchedulerKind::Lifo,
+            SchedulerKind::Locality,
+            SchedulerKind::Successor { threshold: 2 },
+            SchedulerKind::Age,
+        ]
+    }
+
+    /// The policy's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::Fifo => "FIFO",
+            SchedulerKind::Lifo => "LIFO",
+            SchedulerKind::Locality => "Locality",
+            SchedulerKind::Successor { .. } => "Successor",
+            SchedulerKind::Age => "Age",
+        }
+    }
+
+    /// Builds a fresh scheduler implementing this policy.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match *self {
+            SchedulerKind::Fifo => Box::new(FifoScheduler::new()),
+            SchedulerKind::Lifo => Box::new(LifoScheduler::new()),
+            SchedulerKind::Locality => Box::new(LocalityScheduler::new()),
+            SchedulerKind::Successor { threshold } => {
+                Box::new(SuccessorScheduler::new(threshold))
+            }
+            SchedulerKind::Age => Box::new(AgeScheduler::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// First-in first-out scheduler: tasks run in the order they became ready.
+#[derive(Debug, Clone, Default)]
+pub struct FifoScheduler {
+    queue: VecDeque<ReadyEntry>,
+}
+
+impl FifoScheduler {
+    /// Creates an empty FIFO pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for FifoScheduler {
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+
+    fn push(&mut self, entry: ReadyEntry) {
+        self.queue.push_back(entry);
+    }
+
+    fn pop(&mut self, _core: usize) -> Option<ReadyEntry> {
+        self.queue.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Last-in first-out scheduler: the most recently readied task runs first.
+#[derive(Debug, Clone, Default)]
+pub struct LifoScheduler {
+    stack: Vec<ReadyEntry>,
+}
+
+impl LifoScheduler {
+    /// Creates an empty LIFO pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for LifoScheduler {
+    fn name(&self) -> &'static str {
+        "LIFO"
+    }
+
+    fn push(&mut self, entry: ReadyEntry) {
+        self.stack.push(entry);
+    }
+
+    fn pop(&mut self, _core: usize) -> Option<ReadyEntry> {
+        self.stack.pop()
+    }
+
+    fn len(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+/// Locality-aware scheduler (Section VI): when a task finishes on a core and
+/// one of its successors is ready, that successor is executed on the same
+/// core; otherwise the oldest ready task is used.
+#[derive(Debug, Clone, Default)]
+pub struct LocalityScheduler {
+    queue: VecDeque<ReadyEntry>,
+}
+
+impl LocalityScheduler {
+    /// Creates an empty locality-aware pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for LocalityScheduler {
+    fn name(&self) -> &'static str {
+        "Locality"
+    }
+
+    fn push(&mut self, entry: ReadyEntry) {
+        self.queue.push_back(entry);
+    }
+
+    fn pop(&mut self, core: usize) -> Option<ReadyEntry> {
+        if let Some(pos) = self
+            .queue
+            .iter()
+            .position(|e| e.producer_core == Some(core))
+        {
+            return self.queue.remove(pos);
+        }
+        self.queue.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Successor-count priority scheduler (Section VI): tasks whose successor
+/// count reaches the threshold go to a high-priority queue that is always
+/// drained first.
+#[derive(Debug, Clone)]
+pub struct SuccessorScheduler {
+    high: VecDeque<ReadyEntry>,
+    low: VecDeque<ReadyEntry>,
+    threshold: u32,
+}
+
+impl SuccessorScheduler {
+    /// Creates an empty pool with the given high-priority threshold.
+    pub fn new(threshold: u32) -> Self {
+        SuccessorScheduler {
+            high: VecDeque::new(),
+            low: VecDeque::new(),
+            threshold,
+        }
+    }
+
+    /// The configured high-priority threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+}
+
+impl Scheduler for SuccessorScheduler {
+    fn name(&self) -> &'static str {
+        "Successor"
+    }
+
+    fn push(&mut self, entry: ReadyEntry) {
+        if entry.num_successors >= self.threshold {
+            self.high.push_back(entry);
+        } else {
+            self.low.push_back(entry);
+        }
+    }
+
+    fn pop(&mut self, _core: usize) -> Option<ReadyEntry> {
+        self.high.pop_front().or_else(|| self.low.pop_front())
+    }
+
+    fn len(&self) -> usize {
+        self.high.len() + self.low.len()
+    }
+}
+
+/// Age scheduler (Section VI): the ready pool is ordered by task creation
+/// time, so older tasks run before younger ones regardless of when they
+/// became ready.
+#[derive(Debug, Clone, Default)]
+pub struct AgeScheduler {
+    // Min-heap on creation sequence number.
+    heap: BinaryHeap<Reverse<(usize, OrderedEntry)>>,
+}
+
+/// Wrapper giving [`ReadyEntry`] a total order for use inside the heap
+/// (ordered by creation sequence, then task index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OrderedEntry(ReadyEntry);
+
+impl PartialOrd for OrderedEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.0.creation_seq, self.0.task.index()).cmp(&(other.0.creation_seq, other.0.task.index()))
+    }
+}
+
+impl AgeScheduler {
+    /// Creates an empty age-ordered pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for AgeScheduler {
+    fn name(&self) -> &'static str {
+        "Age"
+    }
+
+    fn push(&mut self, entry: ReadyEntry) {
+        self.heap.push(Reverse((entry.creation_seq, OrderedEntry(entry))));
+    }
+
+    fn pop(&mut self, _core: usize) -> Option<ReadyEntry> {
+        self.heap.pop().map(|Reverse((_, OrderedEntry(e)))| e)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(task: usize, seq: usize, succ: u32, producer: Option<usize>) -> ReadyEntry {
+        ReadyEntry {
+            task: TaskRef(task),
+            num_successors: succ,
+            creation_seq: seq,
+            ready_at: Cycle::new(seq as u64 * 10),
+            producer_core: producer,
+        }
+    }
+
+    #[test]
+    fn fifo_pops_in_push_order() {
+        let mut s = FifoScheduler::new();
+        for i in 0..5 {
+            s.push(entry(i, i, 0, None));
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| s.pop(0)).map(|e| e.task.index()).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn lifo_pops_in_reverse_order() {
+        let mut s = LifoScheduler::new();
+        for i in 0..5 {
+            s.push(entry(i, i, 0, None));
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| s.pop(0)).map(|e| e.task.index()).collect();
+        assert_eq!(order, vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn locality_prefers_same_core_producer() {
+        let mut s = LocalityScheduler::new();
+        s.push(entry(0, 0, 0, Some(3)));
+        s.push(entry(1, 1, 0, Some(7)));
+        s.push(entry(2, 2, 0, Some(3)));
+        // Core 7 gets its own successor even though it is not the oldest.
+        assert_eq!(s.pop(7).unwrap().task, TaskRef(1));
+        // Core 5 has no successor in the pool: falls back to FIFO.
+        assert_eq!(s.pop(5).unwrap().task, TaskRef(0));
+        assert_eq!(s.pop(3).unwrap().task, TaskRef(2));
+    }
+
+    #[test]
+    fn locality_falls_back_to_fifo_for_root_tasks() {
+        let mut s = LocalityScheduler::new();
+        s.push(entry(0, 0, 0, None));
+        s.push(entry(1, 1, 0, None));
+        assert_eq!(s.pop(0).unwrap().task, TaskRef(0));
+        assert_eq!(s.pop(0).unwrap().task, TaskRef(1));
+    }
+
+    #[test]
+    fn successor_priority_queues() {
+        let mut s = SuccessorScheduler::new(2);
+        s.push(entry(0, 0, 0, None)); // low
+        s.push(entry(1, 1, 5, None)); // high
+        s.push(entry(2, 2, 1, None)); // low
+        s.push(entry(3, 3, 2, None)); // high
+        let order: Vec<usize> = std::iter::from_fn(|| s.pop(0)).map(|e| e.task.index()).collect();
+        assert_eq!(order, vec![1, 3, 0, 2]);
+        assert_eq!(s.threshold(), 2);
+    }
+
+    #[test]
+    fn age_orders_by_creation_not_readiness() {
+        let mut s = AgeScheduler::new();
+        // Pushed (became ready) out of creation order.
+        s.push(entry(5, 5, 0, None));
+        s.push(entry(1, 1, 0, None));
+        s.push(entry(3, 3, 0, None));
+        let order: Vec<usize> = std::iter::from_fn(|| s.pop(0)).map(|e| e.task.index()).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn kind_builds_matching_scheduler() {
+        for kind in SchedulerKind::all() {
+            let s = kind.build();
+            assert_eq!(s.name(), kind.name());
+            assert!(s.is_empty());
+        }
+        assert_eq!(SchedulerKind::Fifo.to_string(), "FIFO");
+        assert_eq!(
+            SchedulerKind::Successor { threshold: 2 }.name(),
+            "Successor"
+        );
+    }
+
+    #[test]
+    fn all_policies_drain_everything_they_receive() {
+        for kind in SchedulerKind::all() {
+            let mut s = kind.build();
+            for i in 0..20 {
+                s.push(entry(i, 19 - i, (i % 4) as u32, Some(i % 3)));
+            }
+            assert_eq!(s.len(), 20);
+            let mut seen: Vec<usize> =
+                std::iter::from_fn(|| s.pop(1)).map(|e| e.task.index()).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..20).collect::<Vec<_>>(), "policy {}", kind.name());
+        }
+    }
+}

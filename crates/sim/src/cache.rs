@@ -1,0 +1,301 @@
+//! Per-core data-locality model.
+//!
+//! The locality-aware scheduler of Section VI schedules a ready successor on
+//! the core that just produced its inputs, reducing data movement. To let the
+//! simulator reward that behaviour, [`LocalityModel`] keeps, for every core, a
+//! small LRU set of the data blocks (dependence address ranges) the core has
+//! touched most recently, bounded by the private cache capacity. When a task
+//! starts on a core the runtime asks how many of the task's input bytes are
+//! resident; the miss fraction stretches the task's execution time by a
+//! configurable memory-boundedness factor.
+//!
+//! This is intentionally far simpler than a real cache (no sets, no lines, no
+//! coherence): at task granularity the only first-order effect is "my inputs
+//! were just produced here" versus "my inputs live in another core's cache or
+//! in L2/memory", which an LRU over dependence blocks captures.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a data block: the base address of a dependence range.
+pub type BlockAddr = u64;
+
+/// Result of probing the locality model for one task's working set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LocalityOutcome {
+    /// Bytes of the working set that were resident on the executing core.
+    pub hit_bytes: u64,
+    /// Bytes that were not resident and must be fetched from L2 / another
+    /// core / memory.
+    pub miss_bytes: u64,
+}
+
+impl LocalityOutcome {
+    /// Fraction of the working set that hit (1.0 for an empty working set,
+    /// i.e. a task with no data dependences pays no locality penalty).
+    pub fn hit_fraction(&self) -> f64 {
+        let total = self.hit_bytes + self.miss_bytes;
+        if total == 0 {
+            1.0
+        } else {
+            self.hit_bytes as f64 / total as f64
+        }
+    }
+
+    /// Fraction of the working set that missed.
+    pub fn miss_fraction(&self) -> f64 {
+        1.0 - self.hit_fraction()
+    }
+}
+
+/// One core's recently-touched blocks, in LRU order (front = most recent).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct CoreResidency {
+    /// (block address, block size in bytes), most-recently-used first.
+    blocks: VecDeque<(BlockAddr, u64)>,
+    /// Total bytes currently tracked.
+    bytes: u64,
+}
+
+impl CoreResidency {
+    fn contains(&self, addr: BlockAddr) -> bool {
+        self.blocks.iter().any(|&(a, _)| a == addr)
+    }
+
+    /// Touches a block: moves it to the MRU position, inserting it if absent,
+    /// and evicts LRU blocks if the capacity is exceeded.
+    fn touch(&mut self, addr: BlockAddr, size: u64, capacity: u64) {
+        if let Some(pos) = self.blocks.iter().position(|&(a, _)| a == addr) {
+            let entry = self.blocks.remove(pos).expect("position came from iter");
+            self.bytes -= entry.1;
+        }
+        self.blocks.push_front((addr, size));
+        self.bytes += size;
+        while self.bytes > capacity && self.blocks.len() > 1 {
+            if let Some((_, evicted)) = self.blocks.pop_back() {
+                self.bytes -= evicted;
+            }
+        }
+        // A single block larger than the whole cache is allowed to stay: the
+        // task streams through it and the miss cost is charged on access.
+    }
+
+    fn invalidate(&mut self, addr: BlockAddr) {
+        if let Some(pos) = self.blocks.iter().position(|&(a, _)| a == addr) {
+            let entry = self.blocks.remove(pos).expect("position came from iter");
+            self.bytes -= entry.1;
+        }
+    }
+}
+
+/// Tracks, per core, which data blocks are resident in that core's private
+/// cache, with LRU replacement bounded by a byte capacity.
+///
+/// # Example
+///
+/// ```
+/// use tdm_sim::cache::LocalityModel;
+///
+/// let mut model = LocalityModel::new(2, 32 * 1024);
+/// // Core 0 produces block 0x1000 (16 KB).
+/// model.record_writes(0, &[(0x1000, 16 * 1024)]);
+/// // A task reading that block on core 0 hits; on core 1 it misses.
+/// assert_eq!(model.probe(0, &[(0x1000, 16 * 1024)]).hit_bytes, 16 * 1024);
+/// assert_eq!(model.probe(1, &[(0x1000, 16 * 1024)]).miss_bytes, 16 * 1024);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LocalityModel {
+    capacity_bytes: u64,
+    cores: Vec<CoreResidency>,
+}
+
+impl LocalityModel {
+    /// Creates a model for `num_cores` cores, each with `capacity_bytes` of
+    /// private cache (the paper's chip has 32 KB L1 per core; using the L1+L2
+    /// slice share is also reasonable — the harnesses use the L1 size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero or `capacity_bytes` is zero.
+    pub fn new(num_cores: usize, capacity_bytes: u64) -> Self {
+        assert!(num_cores > 0, "locality model needs at least one core");
+        assert!(capacity_bytes > 0, "cache capacity must be non-zero");
+        LocalityModel {
+            capacity_bytes,
+            cores: vec![CoreResidency::default(); num_cores],
+        }
+    }
+
+    /// Number of cores tracked.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Configured per-core capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Returns how much of the given working set (list of `(address, bytes)`
+    /// blocks) is resident on `core`, without modifying residency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn probe(&self, core: usize, working_set: &[(BlockAddr, u64)]) -> LocalityOutcome {
+        let residency = &self.cores[core];
+        let mut outcome = LocalityOutcome::default();
+        for &(addr, size) in working_set {
+            if residency.contains(addr) {
+                outcome.hit_bytes += size;
+            } else {
+                outcome.miss_bytes += size;
+            }
+        }
+        outcome
+    }
+
+    /// Records that `core` read the given blocks (they become resident there).
+    pub fn record_reads(&mut self, core: usize, working_set: &[(BlockAddr, u64)]) {
+        for &(addr, size) in working_set {
+            self.cores[core].touch(addr, size, self.capacity_bytes);
+        }
+    }
+
+    /// Records that `core` wrote the given blocks. The blocks become resident
+    /// on the writer and are invalidated everywhere else (a coarse model of
+    /// invalidation-based coherence).
+    pub fn record_writes(&mut self, core: usize, working_set: &[(BlockAddr, u64)]) {
+        for &(addr, size) in working_set {
+            for (i, residency) in self.cores.iter_mut().enumerate() {
+                if i != core {
+                    residency.invalidate(addr);
+                }
+            }
+            self.cores[core].touch(addr, size, self.capacity_bytes);
+        }
+    }
+
+    /// Forgets all residency information (used between parallel regions).
+    pub fn reset(&mut self) {
+        for core in &mut self.cores {
+            core.blocks.clear();
+            core.bytes = 0;
+        }
+    }
+
+    /// Total bytes currently tracked as resident on `core`.
+    pub fn resident_bytes(&self, core: usize) -> u64 {
+        self.cores[core].bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_on_empty_model_misses_everything() {
+        let model = LocalityModel::new(4, 1024);
+        let out = model.probe(2, &[(0x100, 64), (0x200, 64)]);
+        assert_eq!(out.hit_bytes, 0);
+        assert_eq!(out.miss_bytes, 128);
+        assert_eq!(out.hit_fraction(), 0.0);
+    }
+
+    #[test]
+    fn empty_working_set_is_a_full_hit() {
+        let model = LocalityModel::new(1, 1024);
+        let out = model.probe(0, &[]);
+        assert_eq!(out.hit_fraction(), 1.0);
+        assert_eq!(out.miss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn reads_populate_only_the_reading_core() {
+        let mut model = LocalityModel::new(2, 4096);
+        model.record_reads(0, &[(0xA000, 512)]);
+        assert_eq!(model.probe(0, &[(0xA000, 512)]).hit_bytes, 512);
+        assert_eq!(model.probe(1, &[(0xA000, 512)]).hit_bytes, 0);
+    }
+
+    #[test]
+    fn writes_invalidate_other_cores() {
+        let mut model = LocalityModel::new(3, 4096);
+        model.record_reads(1, &[(0xB000, 256)]);
+        assert_eq!(model.probe(1, &[(0xB000, 256)]).hit_bytes, 256);
+        model.record_writes(2, &[(0xB000, 256)]);
+        assert_eq!(model.probe(1, &[(0xB000, 256)]).hit_bytes, 0);
+        assert_eq!(model.probe(2, &[(0xB000, 256)]).hit_bytes, 256);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_when_capacity_exceeded() {
+        let mut model = LocalityModel::new(1, 1000);
+        model.record_reads(0, &[(0x1, 400)]);
+        model.record_reads(0, &[(0x2, 400)]);
+        model.record_reads(0, &[(0x3, 400)]); // evicts 0x1
+        assert_eq!(model.probe(0, &[(0x1, 400)]).hit_bytes, 0);
+        assert_eq!(model.probe(0, &[(0x2, 400)]).hit_bytes, 400);
+        assert_eq!(model.probe(0, &[(0x3, 400)]).hit_bytes, 400);
+        assert!(model.resident_bytes(0) <= 1000);
+    }
+
+    #[test]
+    fn touching_resident_block_refreshes_lru_position() {
+        let mut model = LocalityModel::new(1, 1000);
+        model.record_reads(0, &[(0x1, 400)]);
+        model.record_reads(0, &[(0x2, 400)]);
+        // Touch 0x1 again so 0x2 becomes the LRU victim.
+        model.record_reads(0, &[(0x1, 400)]);
+        model.record_reads(0, &[(0x3, 400)]);
+        assert_eq!(model.probe(0, &[(0x1, 400)]).hit_bytes, 400);
+        assert_eq!(model.probe(0, &[(0x2, 400)]).hit_bytes, 0);
+    }
+
+    #[test]
+    fn oversized_block_is_kept_alone() {
+        let mut model = LocalityModel::new(1, 1000);
+        model.record_reads(0, &[(0x1, 5000)]);
+        // The single oversized block stays resident (streaming model).
+        assert_eq!(model.probe(0, &[(0x1, 5000)]).hit_bytes, 5000);
+        // Adding another block evicts it because capacity is exceeded.
+        model.record_reads(0, &[(0x2, 100)]);
+        assert!(model.resident_bytes(0) <= 5000);
+    }
+
+    #[test]
+    fn reset_clears_all_cores() {
+        let mut model = LocalityModel::new(2, 1024);
+        model.record_reads(0, &[(0x1, 100)]);
+        model.record_reads(1, &[(0x2, 100)]);
+        model.reset();
+        assert_eq!(model.resident_bytes(0), 0);
+        assert_eq!(model.resident_bytes(1), 0);
+        assert_eq!(model.probe(0, &[(0x1, 100)]).hit_bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = LocalityModel::new(0, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = LocalityModel::new(1, 0);
+    }
+
+    #[test]
+    fn double_counting_same_block_in_working_set() {
+        // A task listing the same block twice (in + inout on same address)
+        // counts it twice; this is fine because both the hit and miss sides
+        // are consistent.
+        let mut model = LocalityModel::new(1, 4096);
+        model.record_reads(0, &[(0xC000, 128)]);
+        let out = model.probe(0, &[(0xC000, 128), (0xC000, 128)]);
+        assert_eq!(out.hit_bytes, 256);
+    }
+}

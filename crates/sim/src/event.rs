@@ -1,0 +1,232 @@
+//! Deterministic discrete-event queue.
+//!
+//! The execution driver in `tdm-runtime` advances simulated time by popping
+//! the earliest pending event from an [`EventQueue`]. Events scheduled for the
+//! same cycle are delivered in insertion order (FIFO), which keeps the
+//! simulation fully deterministic: two runs with identical inputs produce
+//! identical timelines.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::clock::Cycle;
+
+/// An event paired with its delivery time and a monotonically increasing
+/// sequence number used to break ties deterministically.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time: Cycle,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert the ordering so the earliest time
+        // (and, within a time, the lowest sequence number) is popped first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events.
+///
+/// # Example
+///
+/// ```
+/// use tdm_sim::clock::Cycle;
+/// use tdm_sim::event::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycle::new(20), "late");
+/// q.schedule(Cycle::new(5), "early");
+/// q.schedule(Cycle::new(5), "early-second");
+///
+/// assert_eq!(q.pop(), Some((Cycle::new(5), "early")));
+/// assert_eq!(q.pop(), Some((Cycle::new(5), "early-second")));
+/// assert_eq!(q.pop(), Some((Cycle::new(20), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: Cycle,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty event queue with the simulation clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Cycle::ZERO,
+        }
+    }
+
+    /// The current simulation time: the delivery time of the most recently
+    /// popped event (zero before any event has been popped).
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` for delivery at absolute time `time`.
+    ///
+    /// Scheduling an event in the past (before [`EventQueue::now`]) is
+    /// allowed but indicates a modelling error in the caller; the event will
+    /// be delivered immediately on the next pop and time will not move
+    /// backwards.
+    pub fn schedule(&mut self, time: Cycle, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, payload });
+    }
+
+    /// Schedules `payload` for delivery `delay` cycles after the current
+    /// simulation time.
+    pub fn schedule_after(&mut self, delay: Cycle, payload: E) {
+        let time = self.now + delay;
+        self.schedule(time, payload);
+    }
+
+    /// Removes and returns the earliest pending event together with its
+    /// delivery time, advancing the simulation clock to that time.
+    ///
+    /// Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let Scheduled { time, payload, .. } = self.heap.pop()?;
+        // Never move the clock backwards if a caller scheduled into the past.
+        self.now = self.now.max(time);
+        Some((self.now, payload))
+    }
+
+    /// Returns the delivery time of the earliest pending event without
+    /// removing it.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Drops every pending event and resets the clock to zero.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.now = Cycle::ZERO;
+        self.next_seq = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(30), 3);
+        q.schedule(Cycle::new(10), 1);
+        q.schedule(Cycle::new(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(Cycle::new(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), Cycle::ZERO);
+        q.schedule(Cycle::new(100), ());
+        q.schedule(Cycle::new(200), ());
+        q.pop();
+        assert_eq!(q.now(), Cycle::new(100));
+        q.pop();
+        assert_eq!(q.now(), Cycle::new(200));
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(50), "a");
+        q.pop();
+        q.schedule_after(Cycle::new(10), "b");
+        assert_eq!(q.pop(), Some((Cycle::new(60), "b")));
+    }
+
+    #[test]
+    fn clock_never_moves_backwards() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(100), "future");
+        q.pop();
+        q.schedule(Cycle::new(10), "past");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, Cycle::new(100));
+        assert_eq!(q.now(), Cycle::new(100));
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(7), 'x');
+        assert_eq!(q.peek_time(), Some(Cycle::new(7)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(7), 'x');
+        q.pop();
+        q.schedule(Cycle::new(9), 'y');
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), Cycle::ZERO);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn empty_queue_reports_empty() {
+        let q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.peek_time(), None);
+    }
+}

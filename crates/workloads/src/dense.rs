@@ -1,0 +1,109 @@
+//! Shared helpers for the tiled dense linear-algebra benchmarks
+//! (Cholesky, LU, QR).
+//!
+//! The matrices are stored blocked: block `(i, j)` of an `n × n` block grid
+//! occupies a contiguous region of `block_bytes` bytes. The dependence
+//! addresses the tasks declare are the base addresses of these regions —
+//! exactly the situation Section III-B1 describes, where the low
+//! `log2(block_bytes)` bits of every dependence address are identical and a
+//! naive DAT index would collide.
+
+/// Address layout of a blocked square matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockMatrix {
+    /// Base address of the matrix.
+    pub base: u64,
+    /// Blocks per dimension.
+    pub blocks: usize,
+    /// Bytes per block.
+    pub block_bytes: u64,
+}
+
+impl BlockMatrix {
+    /// Creates the layout of a `dim × dim` element matrix of `elem_bytes`-byte
+    /// elements split into `blocks × blocks` tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is zero or does not divide `dim`.
+    pub fn new(base: u64, dim: usize, blocks: usize, elem_bytes: u64) -> Self {
+        assert!(blocks > 0, "need at least one block per dimension");
+        assert!(
+            dim % blocks == 0,
+            "matrix dimension {dim} must be divisible by blocks {blocks}"
+        );
+        let tile = (dim / blocks) as u64;
+        BlockMatrix {
+            base,
+            blocks,
+            block_bytes: tile * tile * elem_bytes,
+        }
+    }
+
+    /// Base address of block `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn block(&self, row: usize, col: usize) -> u64 {
+        assert!(row < self.blocks && col < self.blocks, "block ({row},{col}) out of range");
+        self.base + (row * self.blocks + col) as u64 * self.block_bytes
+    }
+
+    /// Bytes per block.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+}
+
+/// Scales a calibrated task duration (µs) from a calibrated block count to a
+/// different block count, assuming cubic work per tile (O(b³) kernels): a
+/// tile twice as small does 8× less work.
+pub fn scale_duration(calibrated_us: f64, calibrated_blocks: usize, blocks: usize) -> f64 {
+    let ratio = calibrated_blocks as f64 / blocks as f64;
+    calibrated_us * ratio * ratio * ratio
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_addresses_are_disjoint_and_strided() {
+        let m = BlockMatrix::new(0x1000_0000, 2048, 32, 4);
+        assert_eq!(m.block_bytes(), 64 * 64 * 4);
+        assert_eq!(m.block(0, 0), 0x1000_0000);
+        assert_eq!(m.block(0, 1), 0x1000_0000 + 16384);
+        assert_eq!(m.block(1, 0), 0x1000_0000 + 32 * 16384);
+        // All block addresses are unique.
+        let mut addrs: Vec<u64> = (0..32)
+            .flat_map(|i| (0..32).map(move |j| (i, j)))
+            .map(|(i, j)| m.block(i, j))
+            .collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 32 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn non_divisible_blocking_panics() {
+        let _ = BlockMatrix::new(0, 1000, 7, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_block_panics() {
+        let m = BlockMatrix::new(0, 64, 4, 4);
+        let _ = m.block(4, 0);
+    }
+
+    #[test]
+    fn duration_scaling_is_cubic() {
+        // Halving the number of blocks per dimension doubles the tile edge,
+        // so each task does 8x the work.
+        assert!((scale_duration(100.0, 32, 16) - 800.0).abs() < 1e-9);
+        assert!((scale_duration(100.0, 32, 64) - 12.5).abs() < 1e-9);
+        assert!((scale_duration(100.0, 32, 32) - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,166 @@
+//! Histogram: cumulative histogram of a 4096×4096 image.
+//!
+//! Each local task scans a stripe of the image and produces a private
+//! histogram; a binary reduction tree merges the private histograms and a
+//! final task computes the cumulative sums. At the optimal granularity of
+//! Table II this is 256 local tasks + 255 merge tasks + 1 final task = 512
+//! tasks of ≈3,824 µs on average.
+
+use tdm_runtime::task::{DependenceSpec, TaskSpec, Workload};
+
+use crate::spec::micros;
+
+/// Local (per-stripe) tasks at the optimal granularity.
+pub const OPTIMAL_STRIPES: usize = 256;
+
+/// Duration of a local histogram task, in microseconds.
+const LOCAL_US: f64 = 7_350.0;
+/// Duration of a merge task, in microseconds.
+const MERGE_US: f64 = 300.0;
+/// Duration of the final cumulative pass, in microseconds.
+const FINAL_US: f64 = 1_000.0;
+
+/// Base address of the image stripes.
+const IMAGE_BASE: u64 = 0x8000_0000_0000;
+/// Base address of the private/merged histogram buffers.
+const HIST_BASE: u64 = 0x8100_0000_0000;
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Number of image stripes / local tasks (power of two; Figure 6
+    /// granularity knob).
+    pub stripes: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            stripes: OPTIMAL_STRIPES,
+        }
+    }
+}
+
+/// Generates the Histogram workload.
+///
+/// # Panics
+///
+/// Panics if `stripes` is not a power of two greater than one.
+pub fn generate(params: Params) -> Workload {
+    let stripes = params.stripes;
+    assert!(
+        stripes.is_power_of_two() && stripes > 1,
+        "stripes must be a power of two > 1, got {stripes}"
+    );
+    let image_bytes = 4096u64 * 4096 * 4;
+    let stripe_bytes = image_bytes / stripes as u64;
+    let hist_bytes = 4096u64;
+    // Total scan work is constant across granularities.
+    let local_us = LOCAL_US * OPTIMAL_STRIPES as f64 / stripes as f64;
+
+    let mut tasks = Vec::new();
+    // Local histograms.
+    for s in 0..stripes {
+        tasks.push(TaskSpec::new(
+            "local_hist",
+            micros(local_us),
+            vec![
+                DependenceSpec::input(IMAGE_BASE + s as u64 * stripe_bytes, stripe_bytes),
+                DependenceSpec::output(HIST_BASE + s as u64 * hist_bytes, hist_bytes),
+            ],
+        ));
+    }
+    // Binary reduction tree: level by level, merge pairs into the
+    // lower-indexed buffer.
+    let mut level_nodes: Vec<usize> = (0..stripes).collect();
+    while level_nodes.len() > 1 {
+        let mut next = Vec::with_capacity(level_nodes.len() / 2);
+        for pair in level_nodes.chunks(2) {
+            let (a, b) = (pair[0], pair[1]);
+            tasks.push(TaskSpec::new(
+                "merge",
+                micros(MERGE_US),
+                vec![
+                    DependenceSpec::inout(HIST_BASE + a as u64 * hist_bytes, hist_bytes),
+                    DependenceSpec::input(HIST_BASE + b as u64 * hist_bytes, hist_bytes),
+                ],
+            ));
+            next.push(a);
+        }
+        level_nodes = next;
+    }
+    // Final cumulative pass over the root histogram.
+    tasks.push(TaskSpec::new(
+        "cumulative",
+        micros(FINAL_US),
+        vec![DependenceSpec::inout(HIST_BASE, hist_bytes)],
+    ));
+
+    Workload::new("histogram", tasks)
+}
+
+/// Optimal granularity (software and TDM coincide): 512 tasks of ≈3,824 µs.
+pub fn software_optimal() -> Workload {
+    generate(Params::default())
+}
+
+/// See [`software_optimal`].
+pub fn tdm_optimal() -> Workload {
+    software_optimal()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{check_calibration, Benchmark};
+    use tdm_runtime::task::TaskRef;
+    use tdm_runtime::tdg::TaskGraph;
+
+    #[test]
+    fn task_count_and_duration_match_table2() {
+        let w = software_optimal();
+        assert_eq!(w.len(), 512);
+        check_calibration(&w, Benchmark::Histogram.table2_software(), 0.01, 0.03).unwrap();
+    }
+
+    #[test]
+    fn reduction_tree_structure() {
+        let w = generate(Params { stripes: 8 });
+        // 8 locals + 7 merges + 1 final = 16 tasks.
+        assert_eq!(w.len(), 16);
+        let graph = TaskGraph::build(&w);
+        // The locals are the only roots.
+        assert_eq!(graph.roots().len(), 8);
+        // Critical path: local → log2(8) merges → cumulative = 1 + 3 + 1.
+        assert_eq!(graph.critical_path_len(), 5);
+        // The final task depends on the last merge.
+        let final_task = TaskRef(w.len() - 1);
+        assert_eq!(graph.predecessors(final_task).len(), 1);
+    }
+
+    #[test]
+    fn merges_wait_for_both_children() {
+        let w = generate(Params { stripes: 4 });
+        let graph = TaskGraph::build(&w);
+        // First merge (task 4) merges histograms 0 and 1, so it waits for
+        // local 0 and local 1.
+        let merge0 = TaskRef(4);
+        let preds = graph.predecessors(merge0);
+        assert!(preds.contains(&TaskRef(0)));
+        assert!(preds.contains(&TaskRef(1)));
+    }
+
+    #[test]
+    fn coarser_stripes_are_longer() {
+        let fine = generate(Params { stripes: 256 });
+        let coarse = generate(Params { stripes: 32 });
+        assert!(coarse.len() < fine.len());
+        assert!(coarse.tasks[0].duration > fine.tasks[0].duration);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_stripes_panics() {
+        let _ = generate(Params { stripes: 100 });
+    }
+}

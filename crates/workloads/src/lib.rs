@@ -1,0 +1,39 @@
+//! # tdm-workloads — benchmark task-graph generators
+//!
+//! The paper evaluates TDM on five PARSECSs benchmarks and four HPC kernels
+//! (Section IV-B). This crate generates, for each of them, the stream of
+//! tasks the master thread would create — dependences, sizes and durations —
+//! calibrated against Table II (number of tasks and average task duration at
+//! the optimal granularity for the software runtime and for TDM).
+//!
+//! The generators reproduce the *parallelization structure* the paper
+//! describes: fork-join chains (Blackscholes), tiled factorizations
+//! (Cholesky, LU, QR), pipelines (Dedup, Ferret), a 3D stencil
+//! (Fluidanimate), a reduction tree (Histogram) and fork-join phases
+//! (Streamcluster). Granularity parameters reproduce the sweep of Figure 6.
+//!
+//! # Example
+//!
+//! ```
+//! use tdm_workloads::Benchmark;
+//!
+//! let cholesky = Benchmark::Cholesky.software_workload();
+//! assert_eq!(cholesky.len(), 5_984); // Table II
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod blackscholes;
+pub mod cholesky;
+pub mod dedup;
+pub mod dense;
+pub mod ferret;
+pub mod fluidanimate;
+pub mod histogram;
+pub mod lu;
+pub mod qr;
+pub mod spec;
+pub mod streamcluster;
+
+pub use spec::{check_calibration, micros, Benchmark};

@@ -1,0 +1,194 @@
+//! Tiled QR factorization (communication-avoiding / tile Householder QR).
+//!
+//! QR is one of the two benchmarks where TDM's lower runtime overhead makes a
+//! finer granularity profitable (Table II): the software runtime is fastest
+//! with 16×16 blocks (1,496 tasks of ≈997 µs) while TDM is fastest with
+//! 32×32 blocks (11,440 tasks of ≈96 µs).
+
+use tdm_runtime::task::{DependenceSpec, TaskSpec, Workload};
+
+use crate::dense::{scale_duration, BlockMatrix};
+use crate::spec::micros;
+
+/// Matrix dimension evaluated in the paper.
+pub const MATRIX_DIM: usize = 1024;
+/// Software-optimal blocks per dimension.
+pub const SOFTWARE_BLOCKS: usize = 16;
+/// TDM-optimal blocks per dimension.
+pub const TDM_BLOCKS: usize = 32;
+
+/// Per-kernel durations (µs) for the software-optimal granularity, chosen so
+/// the average matches Table II's 997 µs.
+const SW_TSMQR_US: f64 = 1_020.0;
+const SW_UNMQR_US: f64 = 900.0;
+const SW_TSQRT_US: f64 = 950.0;
+const SW_GEQRT_US: f64 = 600.0;
+
+/// Per-kernel durations (µs) for the TDM-optimal granularity, matching the
+/// 96 µs average of Table II. (Scaling the software durations by the cubic
+/// work ratio would give ≈126 µs; the paper's finer tiles run
+/// disproportionally faster thanks to better cache behaviour, so the TDM
+/// point is calibrated directly.)
+const TDM_TSMQR_US: f64 = 98.0;
+const TDM_UNMQR_US: f64 = 85.0;
+const TDM_TSQRT_US: f64 = 90.0;
+const TDM_GEQRT_US: f64 = 60.0;
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Blocks per dimension (Figure 6 granularity knob).
+    pub blocks: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            blocks: SOFTWARE_BLOCKS,
+        }
+    }
+}
+
+/// Number of tasks for a given block count.
+pub fn task_count(blocks: usize) -> usize {
+    let n = blocks;
+    let tsmqr: usize = (0..n).map(|k| (n - 1 - k) * (n - 1 - k)).sum();
+    n + n * (n - 1) / 2 + n * (n - 1) / 2 + tsmqr
+}
+
+fn kernel_durations(blocks: usize) -> (f64, f64, f64, f64) {
+    match blocks {
+        SOFTWARE_BLOCKS => (SW_TSMQR_US, SW_UNMQR_US, SW_TSQRT_US, SW_GEQRT_US),
+        TDM_BLOCKS => (TDM_TSMQR_US, TDM_UNMQR_US, TDM_TSQRT_US, TDM_GEQRT_US),
+        other => (
+            scale_duration(SW_TSMQR_US, SOFTWARE_BLOCKS, other),
+            scale_duration(SW_UNMQR_US, SOFTWARE_BLOCKS, other),
+            scale_duration(SW_TSQRT_US, SOFTWARE_BLOCKS, other),
+            scale_duration(SW_GEQRT_US, SOFTWARE_BLOCKS, other),
+        ),
+    }
+}
+
+/// Generates the QR workload.
+pub fn generate(params: Params) -> Workload {
+    let blocks = params.blocks;
+    let matrix = BlockMatrix::new(0x3000_0000_0000, MATRIX_DIM, blocks, 4);
+    let bytes = matrix.block_bytes();
+    let (tsmqr_us, unmqr_us, tsqrt_us, geqrt_us) = kernel_durations(blocks);
+    let tsmqr = micros(tsmqr_us);
+    let unmqr = micros(unmqr_us);
+    let tsqrt = micros(tsqrt_us);
+    let geqrt = micros(geqrt_us);
+
+    let mut tasks = Vec::with_capacity(task_count(blocks));
+    for k in 0..blocks {
+        tasks.push(TaskSpec::new(
+            "geqrt",
+            geqrt,
+            vec![DependenceSpec::inout(matrix.block(k, k), bytes)],
+        ));
+        for j in (k + 1)..blocks {
+            tasks.push(TaskSpec::new(
+                "unmqr",
+                unmqr,
+                vec![
+                    DependenceSpec::input(matrix.block(k, k), bytes),
+                    DependenceSpec::inout(matrix.block(k, j), bytes),
+                ],
+            ));
+        }
+        for i in (k + 1)..blocks {
+            tasks.push(TaskSpec::new(
+                "tsqrt",
+                tsqrt,
+                vec![
+                    DependenceSpec::inout(matrix.block(k, k), bytes),
+                    DependenceSpec::inout(matrix.block(i, k), bytes),
+                ],
+            ));
+            for j in (k + 1)..blocks {
+                tasks.push(TaskSpec::new(
+                    "tsmqr",
+                    tsmqr,
+                    vec![
+                        DependenceSpec::input(matrix.block(i, k), bytes),
+                        DependenceSpec::inout(matrix.block(k, j), bytes),
+                        DependenceSpec::inout(matrix.block(i, j), bytes),
+                    ],
+                ));
+            }
+        }
+    }
+
+    let mut workload = Workload::new("QR", tasks);
+    workload.locality_benefit = 0.04;
+    workload
+}
+
+/// Software-optimal granularity: 1,496 tasks of ≈997 µs.
+pub fn software_optimal() -> Workload {
+    generate(Params {
+        blocks: SOFTWARE_BLOCKS,
+    })
+}
+
+/// TDM-optimal granularity: 11,440 tasks of ≈96 µs.
+pub fn tdm_optimal() -> Workload {
+    generate(Params { blocks: TDM_BLOCKS })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{check_calibration, Benchmark};
+    use tdm_runtime::tdg::TaskGraph;
+
+    #[test]
+    fn task_counts_match_table2_exactly() {
+        assert_eq!(task_count(SOFTWARE_BLOCKS), 1_496);
+        assert_eq!(task_count(TDM_BLOCKS), 11_440);
+    }
+
+    #[test]
+    fn software_point_matches_calibration() {
+        let w = software_optimal();
+        check_calibration(&w, Benchmark::Qr.table2_software(), 0.02, 0.03).unwrap();
+    }
+
+    #[test]
+    fn tdm_point_matches_calibration() {
+        let w = tdm_optimal();
+        check_calibration(&w, Benchmark::Qr.table2_tdm(), 0.02, 0.03).unwrap();
+    }
+
+    #[test]
+    fn tsqrt_chain_serializes_the_panel() {
+        let w = generate(Params { blocks: 4 });
+        let graph = TaskGraph::build(&w);
+        // Within a panel, every tsqrt touches the diagonal block (inout), so
+        // the panel factorization is a chain; across panels the trailing
+        // update connects them. The critical path is therefore at least the
+        // number of tsqrt+geqrt tasks of the first panel plus one per later
+        // panel.
+        assert!(graph.critical_path_len() >= 4 + 3);
+    }
+
+    #[test]
+    fn finer_granularity_means_more_shorter_tasks() {
+        let sw = software_optimal();
+        let tdm = tdm_optimal();
+        assert!(tdm.len() > 7 * sw.len());
+        assert!(tdm.average_duration() < sw.average_duration());
+    }
+
+    #[test]
+    fn kernel_mix_matches_closed_form() {
+        let w = generate(Params { blocks: 8 });
+        let count = |k: &str| w.tasks.iter().filter(|t| t.kind == k).count();
+        assert_eq!(count("geqrt"), 8);
+        assert_eq!(count("unmqr"), 28);
+        assert_eq!(count("tsqrt"), 28);
+        assert_eq!(count("tsmqr"), (0..8).map(|k| (7 - k) * (7 - k)).sum::<usize>());
+        assert_eq!(w.len(), task_count(8));
+    }
+}

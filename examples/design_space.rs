@@ -1,0 +1,49 @@
+//! Mini design-space exploration: how large do the DMU's alias tables need to
+//! be for a Cholesky factorization, and what does the dynamic index-bit
+//! selection buy? (A reduced version of Figures 7 and 11.)
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use tdm::prelude::*;
+use tdm::workloads::cholesky;
+
+fn main() {
+    let workload = cholesky::generate(cholesky::Params { blocks: 16 });
+    let config = ExecConfig::default();
+
+    println!("Cholesky 16x16 blocks: {} tasks\n", workload.len());
+
+    // Sweep the TAT/DAT size.
+    println!("alias-table size sweep (FIFO scheduler):");
+    let ideal = simulate(
+        &workload,
+        &Backend::Tdm(DmuConfig::ideal()),
+        SchedulerKind::Fifo,
+        &config,
+    );
+    for entries in [128usize, 256, 512, 1024, 2048] {
+        let dmu = DmuConfig::default().with_alias_sizes(entries, entries);
+        let report = simulate(&workload, &Backend::Tdm(dmu), SchedulerKind::Fifo, &config);
+        let stalls = report.hardware.as_ref().map(|h| h.stats.stalls).unwrap_or(0);
+        println!(
+            "  {entries:>5} entries: perf vs ideal = {:.3}, DMU stalls = {stalls}",
+            ideal.makespan().as_f64() / report.makespan().as_f64()
+        );
+    }
+
+    // Compare static and dynamic DAT index-bit selection.
+    println!("\nDAT index-bit selection (occupied sets out of 256):");
+    for (label, policy) in [
+        ("static bit 0", IndexPolicy::Static { low_bit: 0 }),
+        ("static bit 12", IndexPolicy::Static { low_bit: 12 }),
+        ("dynamic", IndexPolicy::Dynamic),
+    ] {
+        let dmu = DmuConfig::default().with_index_policy(policy);
+        let report = simulate(&workload, &Backend::Tdm(dmu), SchedulerKind::Fifo, &config);
+        let hw = report.hardware.as_ref().unwrap();
+        println!(
+            "  {label:<14} avg occupied sets = {:>6.1}, stalls = {}",
+            hw.dat_average_occupied_sets, hw.stats.stalls
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: build a tiny task graph by hand, run it on the software
+//! runtime and on TDM, and compare the outcome.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tdm::prelude::*;
+
+fn main() {
+    // A small blocked computation: 8 producers each write one block, then 8
+    // consumers read a pair of blocks and write a result, and a final task
+    // reduces all results.
+    let block = |i: u64| 0x1000_0000 + i * 0x1_0000;
+    let result = |i: u64| 0x2000_0000 + i * 0x1_0000;
+    let mut tasks = Vec::new();
+    for i in 0..8u64 {
+        tasks.push(TaskSpec::new(
+            "produce",
+            Cycle::new(200_000), // 100 µs at 2 GHz
+            vec![DependenceSpec::output(block(i), 0x1_0000)],
+        ));
+    }
+    for i in 0..8u64 {
+        tasks.push(TaskSpec::new(
+            "combine",
+            Cycle::new(300_000),
+            vec![
+                DependenceSpec::input(block(i), 0x1_0000),
+                DependenceSpec::input(block((i + 1) % 8), 0x1_0000),
+                DependenceSpec::output(result(i), 0x1_0000),
+            ],
+        ));
+    }
+    let reduce_deps = (0..8u64)
+        .map(|i| DependenceSpec::input(result(i), 0x1_0000))
+        .collect();
+    tasks.push(TaskSpec::new("reduce", Cycle::new(100_000), reduce_deps));
+    let workload = Workload::new("quickstart", tasks);
+
+    // Inspect the dependence graph the runtime will enforce.
+    let graph = TaskGraph::build(&workload);
+    println!(
+        "workload: {} tasks, {} edges, critical path {} tasks",
+        workload.len(),
+        graph.edge_count(),
+        graph.critical_path_len()
+    );
+
+    // Run it on an 8-core chip with the software runtime and with TDM.
+    let config = ExecConfig {
+        chip: ChipConfig::with_cores(8),
+        ..ExecConfig::default()
+    };
+    for backend in [Backend::Software, Backend::tdm_default()] {
+        let report = simulate(&workload, &backend, SchedulerKind::Fifo, &config);
+        println!(
+            "{:<10} makespan = {:>9} cycles ({:.1} µs), master DEPS = {:.1}%",
+            report.backend,
+            report.makespan().raw(),
+            report.makespan().as_f64() / 2000.0,
+            report.master_deps_fraction() * 100.0
+        );
+    }
+}

@@ -13,7 +13,12 @@ fn main() {
     let mut speedups = Vec::new();
     for bench in Benchmark::ALL {
         let workload = bench.software_workload();
-        let base = simulate(&workload, &Backend::Software, SchedulerKind::Fifo, &base_config);
+        let base = simulate(
+            &workload,
+            &Backend::Software,
+            SchedulerKind::Fifo,
+            &base_config,
+        );
         let extra = simulate(
             &workload,
             &Backend::Software,

@@ -28,14 +28,7 @@ fn main() {
     print_table(
         "Figure 2: time breakdown with the software runtime (master | workers)",
         &[
-            "bench",
-            "M-DEPS",
-            "M-SCHED",
-            "M-EXEC",
-            "M-IDLE",
-            "W-DEPS",
-            "W-SCHED",
-            "W-EXEC",
+            "bench", "M-DEPS", "M-SCHED", "M-EXEC", "M-IDLE", "W-DEPS", "W-SCHED", "W-EXEC",
             "W-IDLE",
         ],
         &rows,

@@ -58,7 +58,16 @@ fn main() {
 
     print_table(
         "Figure 7: performance vs TAT/DAT size (normalized to ideal DMU)",
-        &["TAT", "DAT", "cholesky", "ferret", "hist", "LU", "QR", "AVG (all 9)"],
+        &[
+            "TAT",
+            "DAT",
+            "cholesky",
+            "ferret",
+            "hist",
+            "LU",
+            "QR",
+            "AVG (all 9)",
+        ],
         &rows,
     );
 }

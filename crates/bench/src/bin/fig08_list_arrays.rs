@@ -41,8 +41,7 @@ fn main() {
     let mut rows = Vec::new();
     for &readers in &sizes {
         for &succ_deps in &sizes {
-            let config =
-                DmuConfig::default().with_list_array_sizes(succ_deps, succ_deps, readers);
+            let config = DmuConfig::default().with_list_array_sizes(succ_deps, succ_deps, readers);
             let perf = average_perf(&config, &ideal);
             rows.push(vec![
                 format!("{readers}"),

@@ -35,7 +35,10 @@ fn main() {
         "AVG".to_string(),
         pct(sw_fracs.iter().sum::<f64>() / sw_fracs.len() as f64),
         pct(tdm_fracs.iter().sum::<f64>() / tdm_fracs.len() as f64),
-        format!("{:.1}×", geometric_mean(&sw_fracs) / geometric_mean(&tdm_fracs)),
+        format!(
+            "{:.1}×",
+            geometric_mean(&sw_fracs) / geometric_mean(&tdm_fracs)
+        ),
     ]);
     print_table(
         "Figure 10: master time spent in task creation (SW vs TDM)",

@@ -3,9 +3,7 @@
 //! (OptSW) and the best TDM configuration (OptTDM), all normalized to the
 //! software runtime with a FIFO scheduler.
 
-use tdm_bench::{
-    best_scheduler, geometric_mean, print_table, ratio, run_with_energy, Benchmark,
-};
+use tdm_bench::{best_scheduler, geometric_mean, print_table, ratio, run_with_energy, Benchmark};
 use tdm_runtime::exec::Backend;
 use tdm_runtime::scheduler::SchedulerKind;
 
@@ -67,7 +65,14 @@ fn main() {
     edp_rows.push(avg_edp);
 
     let header = [
-        "bench", "OptSW", "FIFO+TDM", "LIFO+TDM", "Local+TDM", "Succ+TDM", "Age+TDM", "OptTDM",
+        "bench",
+        "OptSW",
+        "FIFO+TDM",
+        "LIFO+TDM",
+        "Local+TDM",
+        "Succ+TDM",
+        "Age+TDM",
+        "OptTDM",
     ];
     print_table(
         "Figure 12 (top): speedup over software runtime with FIFO",

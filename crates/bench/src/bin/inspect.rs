@@ -81,6 +81,9 @@ fn main() {
             hw.stall_cycles.raw(),
             hw.instructions
         );
-        println!("DAT avg occupied sets = {:.1}", hw.dat_average_occupied_sets);
+        println!(
+            "DAT avg occupied sets = {:.1}",
+            hw.dat_average_occupied_sets
+        );
     }
 }

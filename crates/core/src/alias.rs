@@ -113,7 +113,7 @@ impl AliasTable {
         assert!(entries > 0, "alias table needs at least one entry");
         assert!(ways > 0, "alias table needs at least one way");
         assert!(
-            entries % ways == 0,
+            entries.is_multiple_of(ways),
             "entries ({entries}) must be a multiple of ways ({ways})"
         );
         let num_sets = entries / ways;
@@ -392,5 +392,84 @@ mod tests {
     #[should_panic(expected = "multiple of ways")]
     fn non_divisible_geometry_panics() {
         let _ = AliasTable::new(10, 4, IndexPolicy::Dynamic);
+    }
+
+    /// Section III-B1: with dynamic index-bit selection, consecutive 4 KB
+    /// blocks of one array fill the table to its full capacity without a
+    /// single conflict, while static low-bit indexing conflicts after `ways`
+    /// insertions because every block shares its low 12 bits.
+    #[test]
+    fn dynamic_indexing_fills_table_to_capacity_on_block_pattern() {
+        let entries = 2048;
+        let ways = 8;
+        let blocks: Vec<u64> = (0..entries as u64).map(|i| 0x10_0000 + i * 4096).collect();
+
+        let mut dynamic = AliasTable::new(entries, ways, IndexPolicy::Dynamic);
+        for &b in &blocks {
+            dynamic.insert(b, 4096).unwrap();
+        }
+        assert_eq!(dynamic.len(), entries);
+        assert_eq!(dynamic.occupancy().set_conflicts, 0);
+
+        let mut static_tbl = AliasTable::new(entries, ways, IndexPolicy::Static { low_bit: 0 });
+        for &b in &blocks[..ways] {
+            static_tbl.insert(b, 4096).unwrap();
+        }
+        assert_eq!(
+            static_tbl.insert(blocks[ways], 4096),
+            Err(AliasError::SetConflict)
+        );
+    }
+
+    /// Renaming churn: a window of live blocks slides across a large address
+    /// range, so every insertion reuses an ID freed by an earlier removal.
+    /// Live IDs must stay unique and within capacity throughout.
+    #[test]
+    fn renaming_recycles_ids_under_sliding_window_churn() {
+        use std::collections::HashMap;
+        let entries = 64;
+        let mut t = AliasTable::new(entries, 8, IndexPolicy::Dynamic);
+        let mut live: HashMap<u64, u32> = HashMap::new();
+        let window = entries as u64; // table exactly full at steady state
+        for i in 0..1000u64 {
+            let addr = 0x40_0000 + i * 4096;
+            if i >= window {
+                let old = 0x40_0000 + (i - window) * 4096;
+                let id = t.remove(old, 4096).expect("window entry must be present");
+                assert_eq!(live.remove(&old), Some(id));
+            }
+            let id = t.insert(addr, 4096).expect("freed ID must be reusable");
+            assert!((id as usize) < entries, "ID {id} out of range");
+            assert!(
+                !live.values().any(|&v| v == id),
+                "ID {id} double-allocated at step {i}"
+            );
+            live.insert(addr, id);
+        }
+        assert_eq!(t.len(), entries);
+        assert_eq!(t.occupancy().exhaustions, 0);
+    }
+
+    /// A conflicting insert stalls, but removing any entry of the victim set
+    /// lets the retried insert succeed — the DMU's stall-and-retry protocol.
+    #[test]
+    fn conflict_resolves_after_eviction_from_victim_set() {
+        let mut t = AliasTable::new(8, 2, IndexPolicy::Static { low_bit: 0 });
+        // Set 0 (addresses ≡ 0 mod 4) fills up with two ways.
+        t.insert(0, 1).unwrap();
+        t.insert(4, 1).unwrap();
+        assert_eq!(t.insert(8, 1), Err(AliasError::SetConflict));
+        t.remove(4, 1).unwrap();
+        let id = t.insert(8, 1).expect("eviction must clear the conflict");
+        assert_eq!(t.lookup(8, 1), Some(id));
+    }
+
+    /// Dynamic index-bit selection rounds odd sizes up to the next power of
+    /// two, so a 3000-byte dependence shifts by 12 bits like a 4096-byte one.
+    #[test]
+    fn dynamic_index_rounds_size_to_next_power_of_two() {
+        let t = AliasTable::new(16, 2, IndexPolicy::Dynamic);
+        assert_eq!(t.set_index(0x5000, 3000), t.set_index(0x5000, 4096));
+        assert_ne!(t.set_index(0x5000, 4096), t.set_index(0x6000, 4096));
     }
 }

@@ -205,7 +205,8 @@ mod tests {
     #[test]
     fn storage_scales_with_entries() {
         let small = DmuStorageReport::for_config(&DmuConfig::default().with_alias_sizes(512, 512));
-        let large = DmuStorageReport::for_config(&DmuConfig::default().with_alias_sizes(4096, 4096));
+        let large =
+            DmuStorageReport::for_config(&DmuConfig::default().with_alias_sizes(4096, 4096));
         assert!(small.total_kilobytes() < large.total_kilobytes());
         // Alias storage is proportional to entry count (ID width changes only
         // slightly).

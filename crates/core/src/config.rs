@@ -12,7 +12,7 @@ use tdm_sim::clock::Cycle;
 
 /// How the DAT chooses which address bits form the set index
 /// (Section III-B1 and Figure 11).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum IndexPolicy {
     /// The set index starts at a fixed bit position of the dependence
     /// address. Low positions collide badly when tasks access consecutive
@@ -25,13 +25,8 @@ pub enum IndexPolicy {
     /// size provided by the runtime in `add_dependence` to skip exactly the
     /// bits that are constant across blocks of the same array. This is the
     /// paper's proposal.
+    #[default]
     Dynamic,
-}
-
-impl Default for IndexPolicy {
-    fn default() -> Self {
-        IndexPolicy::Dynamic
-    }
 }
 
 /// Geometry and timing of every DMU hardware structure.
@@ -134,7 +129,12 @@ impl DmuConfig {
     }
 
     /// Returns a copy with different list-array sizes (Figure 8 sweep).
-    pub fn with_list_array_sizes(&self, successor: usize, dependence: usize, reader: usize) -> Self {
+    pub fn with_list_array_sizes(
+        &self,
+        successor: usize,
+        dependence: usize,
+        reader: usize,
+    ) -> Self {
         DmuConfig {
             successor_la_entries: successor,
             dependence_la_entries: dependence,
@@ -163,12 +163,18 @@ impl DmuConfig {
 
     /// Number of bits needed to name a task ID with this geometry.
     pub fn task_id_bits(&self) -> u32 {
-        (self.task_table_entries() as u64).next_power_of_two().trailing_zeros().max(1)
+        (self.task_table_entries() as u64)
+            .next_power_of_two()
+            .trailing_zeros()
+            .max(1)
     }
 
     /// Number of bits needed to name a dependence ID with this geometry.
     pub fn dep_id_bits(&self) -> u32 {
-        (self.dependence_table_entries() as u64).next_power_of_two().trailing_zeros().max(1)
+        (self.dependence_table_entries() as u64)
+            .next_power_of_two()
+            .trailing_zeros()
+            .max(1)
     }
 
     /// Number of bits needed to name a list-array entry.
@@ -196,13 +202,13 @@ impl DmuConfig {
                 return Err(format!("{name} must be non-zero"));
             }
         }
-        if self.tat_entries % self.tat_ways != 0 {
+        if !self.tat_entries.is_multiple_of(self.tat_ways) {
             return Err(format!(
                 "tat_entries ({}) must be a multiple of tat_ways ({})",
                 self.tat_entries, self.tat_ways
             ));
         }
-        if self.dat_entries % self.dat_ways != 0 {
+        if !self.dat_entries.is_multiple_of(self.dat_ways) {
             return Err(format!(
                 "dat_entries ({}) must be a multiple of dat_ways ({})",
                 self.dat_entries, self.dat_ways
@@ -273,16 +279,20 @@ mod tests {
 
     #[test]
     fn validate_rejects_zero_sizes() {
-        let mut c = DmuConfig::default();
-        c.tat_entries = 0;
+        let c = DmuConfig {
+            tat_entries: 0,
+            ..DmuConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn validate_rejects_non_divisible_associativity() {
-        let mut c = DmuConfig::default();
-        c.tat_entries = 100;
-        c.tat_ways = 8;
+        let c = DmuConfig {
+            tat_entries: 100,
+            tat_ways: 8,
+            ..DmuConfig::default()
+        };
         assert!(c.validate().unwrap_err().contains("multiple"));
     }
 

@@ -447,10 +447,7 @@ impl Dmu {
         // to bail out afterwards as long as we only created the dependence
         // entry (an empty dependence entry is harmless and will be reused by
         // the retry).
-        let existing = self
-            .dat
-            .lookup(addr.raw(), size)
-            .map(DepId::new);
+        let existing = self.dat.lookup(addr.raw(), size).map(DepId::new);
         let (needed_sla, needed_dla, needed_rla) =
             self.add_dependence_requirements(task, existing, dir);
         if self.sla.free_entries() < needed_sla {
@@ -576,7 +573,10 @@ impl Dmu {
     /// # Errors
     ///
     /// Returns [`DmuError::UnknownTask`] if `desc` is not in flight.
-    pub fn finish_task(&mut self, desc: DescriptorAddr) -> Result<DmuResult<Vec<TaskId>>, DmuError> {
+    pub fn finish_task(
+        &mut self,
+        desc: DescriptorAddr,
+    ) -> Result<DmuResult<Vec<TaskId>>, DmuError> {
         let mut accesses = AccessCounter::new();
         accesses.touch(DmuStructure::Tat);
         let task = self.task_id(desc)?;
@@ -596,7 +596,10 @@ impl Dmu {
                 .tasks
                 .get_mut(succ)
                 .expect("successors of an in-flight task are in flight");
-            debug_assert!(succ_entry.num_predecessors > 0, "predecessor underflow for {succ}");
+            debug_assert!(
+                succ_entry.num_predecessors > 0,
+                "predecessor underflow for {succ}"
+            );
             succ_entry.num_predecessors -= 1;
             accesses.touch(DmuStructure::TaskTable);
             if succ_entry.num_predecessors == 0 && !succ_entry.under_construction {
@@ -976,8 +979,14 @@ mod tests {
             .add_dependence(desc(7), block(0), 64, DepDirection::In)
             .unwrap_err();
         assert_eq!(err, DmuError::UnknownTask(desc(7)));
-        assert!(matches!(dmu.finish_task(desc(7)), Err(DmuError::UnknownTask(_))));
-        assert!(matches!(dmu.submit_task(desc(7)), Err(DmuError::UnknownTask(_))));
+        assert!(matches!(
+            dmu.finish_task(desc(7)),
+            Err(DmuError::UnknownTask(_))
+        ));
+        assert!(matches!(
+            dmu.submit_task(desc(7)),
+            Err(DmuError::UnknownTask(_))
+        ));
     }
 
     #[test]

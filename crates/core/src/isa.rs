@@ -70,7 +70,10 @@ impl std::fmt::Display for TdmInstruction {
                 address,
                 size,
                 direction,
-            } => write!(f, "add_dependence({descriptor}, {address}, {size}, {direction})"),
+            } => write!(
+                f,
+                "add_dependence({descriptor}, {address}, {size}, {direction})"
+            ),
             TdmInstruction::SubmitTask { descriptor } => write!(f, "submit_task({descriptor})"),
             TdmInstruction::FinishTask { descriptor } => write!(f, "finish_task({descriptor})"),
             TdmInstruction::GetReadyTask => write!(f, "get_ready_task()"),
@@ -101,7 +104,10 @@ pub enum TdmResponse {
 ///
 /// Propagates [`DmuError`] from the underlying operation (stalls and
 /// protocol violations). `get_ready_task` never fails.
-pub fn execute(dmu: &mut Dmu, instruction: TdmInstruction) -> Result<DmuResult<TdmResponse>, DmuError> {
+pub fn execute(
+    dmu: &mut Dmu,
+    instruction: TdmInstruction,
+) -> Result<DmuResult<TdmResponse>, DmuError> {
     match instruction {
         TdmInstruction::CreateTask { descriptor } => {
             let r = dmu.create_task(descriptor)?;
@@ -159,22 +165,30 @@ mod tests {
         let data = DepAddr(0xA000);
 
         let program = vec![
-            TdmInstruction::CreateTask { descriptor: producer },
+            TdmInstruction::CreateTask {
+                descriptor: producer,
+            },
             TdmInstruction::AddDependence {
                 descriptor: producer,
                 address: data,
                 size: 4096,
                 direction: DepDirection::Out,
             },
-            TdmInstruction::SubmitTask { descriptor: producer },
-            TdmInstruction::CreateTask { descriptor: consumer },
+            TdmInstruction::SubmitTask {
+                descriptor: producer,
+            },
+            TdmInstruction::CreateTask {
+                descriptor: consumer,
+            },
             TdmInstruction::AddDependence {
                 descriptor: consumer,
                 address: data,
                 size: 4096,
                 direction: DepDirection::In,
             },
-            TdmInstruction::SubmitTask { descriptor: consumer },
+            TdmInstruction::SubmitTask {
+                descriptor: consumer,
+            },
         ];
         for instr in program {
             execute(&mut dmu, instr).unwrap();
@@ -185,7 +199,13 @@ mod tests {
             TdmResponse::Ready(Some(t)) => assert_eq!(t.descriptor, producer),
             other => panic!("unexpected response {other:?}"),
         }
-        execute(&mut dmu, TdmInstruction::FinishTask { descriptor: producer }).unwrap();
+        execute(
+            &mut dmu,
+            TdmInstruction::FinishTask {
+                descriptor: producer,
+            },
+        )
+        .unwrap();
         let r = execute(&mut dmu, TdmInstruction::GetReadyTask).unwrap();
         match r.value {
             TdmResponse::Ready(Some(t)) => assert_eq!(t.descriptor, consumer),
@@ -205,15 +225,24 @@ mod tests {
         assert!(i.to_string().contains("add_dependence"));
         assert_eq!(TdmInstruction::GetReadyTask.mnemonic(), "get_ready_task");
         assert_eq!(
-            TdmInstruction::CreateTask { descriptor: DescriptorAddr(1) }.mnemonic(),
+            TdmInstruction::CreateTask {
+                descriptor: DescriptorAddr(1)
+            }
+            .mnemonic(),
             "create_task"
         );
         assert_eq!(
-            TdmInstruction::SubmitTask { descriptor: DescriptorAddr(1) }.mnemonic(),
+            TdmInstruction::SubmitTask {
+                descriptor: DescriptorAddr(1)
+            }
+            .mnemonic(),
             "submit_task"
         );
         assert_eq!(
-            TdmInstruction::FinishTask { descriptor: DescriptorAddr(1) }.mnemonic(),
+            TdmInstruction::FinishTask {
+                descriptor: DescriptorAddr(1)
+            }
+            .mnemonic(),
             "finish_task"
         );
     }

@@ -96,7 +96,10 @@ impl ListArray {
     /// Panics if either argument is zero.
     pub fn new(num_entries: usize, elems_per_entry: usize) -> Self {
         assert!(num_entries > 0, "list array needs at least one entry");
-        assert!(elems_per_entry > 0, "list array entries need at least one element slot");
+        assert!(
+            elems_per_entry > 0,
+            "list array entries need at least one element slot"
+        );
         ListArray {
             entries: vec![Entry::default(); num_entries],
             // Allocate low indices first; order is irrelevant to correctness.
@@ -191,7 +194,9 @@ impl ListArray {
         let (tail, walked) = self.tail_of(handle);
         if self.entries[tail].elems.len() < self.elems_per_entry {
             self.entries[tail].elems.push(value);
-            return Ok(Walk { entries_touched: walked });
+            return Ok(Walk {
+                entries_touched: walked,
+            });
         }
         let new_idx = self.take_free_entry()?;
         self.entries[new_idx].elems.push(value);
@@ -216,7 +221,12 @@ impl ListArray {
                 None => break,
             }
         }
-        (values, Walk { entries_touched: walked })
+        (
+            values,
+            Walk {
+                entries_touched: walked,
+            },
+        )
     }
 
     /// Returns the elements of the list in insertion order.
@@ -253,11 +263,23 @@ impl ListArray {
             walked += 1;
             if let Some(pos) = self.entries[idx].elems.iter().position(|&v| v == value) {
                 self.entries[idx].elems.remove(pos);
-                return (true, Walk { entries_touched: walked });
+                return (
+                    true,
+                    Walk {
+                        entries_touched: walked,
+                    },
+                );
             }
             match self.entries[idx].next {
                 Some(next) => idx = next,
-                None => return (false, Walk { entries_touched: walked }),
+                None => {
+                    return (
+                        false,
+                        Walk {
+                            entries_touched: walked,
+                        },
+                    )
+                }
             }
         }
     }
@@ -277,7 +299,9 @@ impl ListArray {
             idx = self.entries[cur].next;
             self.release_entry(cur);
         }
-        Walk { entries_touched: walked }
+        Walk {
+            entries_touched: walked,
+        }
     }
 
     fn release_entry(&mut self, idx: usize) {
@@ -301,7 +325,9 @@ impl ListArray {
             idx = self.entries[cur].next;
             self.release_entry(cur);
         }
-        Walk { entries_touched: walked }
+        Walk {
+            entries_touched: walked,
+        }
     }
 }
 
@@ -461,6 +487,81 @@ mod tests {
         la.free_list(a);
         assert_eq!(la.entries_in_use(), 0);
         assert_eq!(la.peak_entries_in_use(), 3);
+    }
+
+    /// Figure 5 layout under interleaving: two lists grown alternately chain
+    /// through interleaved storage entries, yet each keeps its own contents
+    /// and per-list walk counts.
+    #[test]
+    fn interleaved_lists_chain_without_cross_talk() {
+        let mut la = ListArray::new(16, 2);
+        let a = la.alloc_list().unwrap();
+        let b = la.alloc_list().unwrap();
+        for v in 0..12u32 {
+            if v % 2 == 0 {
+                la.push(a, v).unwrap();
+            } else {
+                la.push(b, v).unwrap();
+            }
+        }
+        assert_eq!(la.collect(a), vec![0, 2, 4, 6, 8, 10]);
+        assert_eq!(la.collect(b), vec![1, 3, 5, 7, 9, 11]);
+        // 6 elements at 2 per entry → 3 entries each.
+        assert_eq!(la.entries_spanned(a), 3);
+        assert_eq!(la.entries_spanned(b), 3);
+        assert_eq!(la.entries_in_use(), 6);
+    }
+
+    /// Overflow recovery (Section III-D): a push blocked by a full array
+    /// succeeds once another list releases an entry — the stall-and-retry
+    /// protocol the DMU applies to TDM instructions.
+    #[test]
+    fn blocked_push_succeeds_after_another_list_frees_entries() {
+        let mut la = ListArray::new(3, 1);
+        let a = la.alloc_list().unwrap();
+        let b = la.alloc_list().unwrap();
+        la.push(a, 1).unwrap();
+        la.push(a, 2).unwrap(); // chains the third and last entry
+        la.push(b, 7).unwrap(); // fits in b's head entry
+        assert_eq!(la.push(b, 8), Err(ListArrayFull));
+        la.free_list(a);
+        la.push(b, 8).expect("freed entries must unblock the push");
+        assert_eq!(la.collect(b), vec![7, 8]);
+    }
+
+    /// Flush walks the whole chain (head + continuations) and reports it, so
+    /// the DMU charges one SRAM access per entry released.
+    #[test]
+    fn flush_walk_counts_every_chained_entry() {
+        let mut la = ListArray::new(8, 2);
+        let l = la.alloc_list().unwrap();
+        for v in 0..7 {
+            la.push(l, v).unwrap(); // 7 elements at 2/entry → 4 entries
+        }
+        let walk = la.flush(l);
+        assert_eq!(walk.entries_touched, 4);
+        assert_eq!(la.entries_in_use(), 1);
+        assert_eq!(la.free_entries(), 7);
+    }
+
+    /// Removing elements can leave an empty entry in the middle of a chain;
+    /// traversal must skip through it without losing the tail.
+    #[test]
+    fn traversal_crosses_emptied_middle_entries() {
+        let mut la = ListArray::new(8, 2);
+        let l = la.alloc_list().unwrap();
+        for v in 0..6 {
+            la.push(l, v).unwrap(); // entries: [0,1] [2,3] [4,5]
+        }
+        la.remove(l, 2);
+        la.remove(l, 3); // middle entry now empty but still chained
+        assert_eq!(la.collect(l), vec![0, 1, 4, 5]);
+        assert_eq!(la.entries_spanned(l), 3);
+        // Pushes still go to the tail (the emptied middle entry is not
+        // reused until the list is flushed or freed).
+        la.push(l, 9).unwrap();
+        assert_eq!(la.collect(l), vec![0, 1, 4, 5, 9]);
+        assert_eq!(la.entries_spanned(l), 4);
     }
 
     #[test]

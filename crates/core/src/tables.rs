@@ -186,7 +186,10 @@ impl DependenceTable {
     /// Panics if `id` is already occupied.
     pub fn insert(&mut self, id: DepId, entry: DepEntry) {
         let slot = &mut self.entries[id.index()];
-        assert!(slot.is_none(), "dependence table entry {id} is already occupied");
+        assert!(
+            slot.is_none(),
+            "dependence table entry {id} is already occupied"
+        );
         *slot = Some(entry);
         self.live += 1;
         self.peak = self.peak.max(self.live);

@@ -102,15 +102,16 @@ mod tests {
     #[test]
     fn area_grows_with_capacity_and_associativity() {
         assert!(area_mm2(32.0, SramKind::DirectMapped) > area_mm2(16.0, SramKind::DirectMapped));
-        assert!(
-            area_mm2(16.0, SramKind::SetAssociative) > area_mm2(16.0, SramKind::DirectMapped)
-        );
+        assert!(area_mm2(16.0, SramKind::SetAssociative) > area_mm2(16.0, SramKind::DirectMapped));
     }
 
     #[test]
     fn access_energy_and_leakage_are_positive_and_monotonic() {
         assert!(access_energy_pj(0.0, SramKind::Fifo) > 0.0);
-        assert!(access_energy_pj(64.0, SramKind::DirectMapped) > access_energy_pj(8.0, SramKind::DirectMapped));
+        assert!(
+            access_energy_pj(64.0, SramKind::DirectMapped)
+                > access_energy_pj(8.0, SramKind::DirectMapped)
+        );
         assert!(leakage_mw(64.0) > leakage_mw(8.0));
     }
 

@@ -64,14 +64,14 @@ pub struct CostModel {
 impl Default for CostModel {
     fn default() -> Self {
         CostModel {
-            sw_task_alloc: Cycle::new(3_000),          // 1.5 us
-            sw_dep_register: Cycle::new(3_400),        // 1.7 us per declared dependence
-            sw_edge_work: Cycle::new(500),             // 0.25 us per edge / reader walked
-            sw_finish_base: Cycle::new(1_200),         // 0.6 us
-            sw_finish_per_successor: Cycle::new(300),  // 0.15 us
-            sw_sched_pick: Cycle::new(400),            // 0.2 us
-            sw_sched_push: Cycle::new(200),            // 0.1 us
-            tdm_task_alloc: Cycle::new(1_200),         // 0.6 us
+            sw_task_alloc: Cycle::new(3_000),         // 1.5 us
+            sw_dep_register: Cycle::new(3_400),       // 1.7 us per declared dependence
+            sw_edge_work: Cycle::new(500),            // 0.25 us per edge / reader walked
+            sw_finish_base: Cycle::new(1_200),        // 0.6 us
+            sw_finish_per_successor: Cycle::new(300), // 0.15 us
+            sw_sched_pick: Cycle::new(400),           // 0.2 us
+            sw_sched_push: Cycle::new(200),           // 0.1 us
+            tdm_task_alloc: Cycle::new(1_200),        // 0.6 us
             tdm_instr_issue: Cycle::new(20),
             hw_queue_op: Cycle::new(40),
             tss_task_alloc: Cycle::new(1_200),
@@ -92,7 +92,10 @@ impl CostModel {
     /// Software cost of finishing a task that wakes `num_successors`
     /// successors.
     pub fn sw_finish_cost(&self, num_successors: u32) -> Cycle {
-        self.sw_finish_base + self.sw_finish_per_successor.scaled(u64::from(num_successors))
+        self.sw_finish_base
+            + self
+                .sw_finish_per_successor
+                .scaled(u64::from(num_successors))
     }
 
     /// Core-side cost of one TDM instruction excluding DMU processing:

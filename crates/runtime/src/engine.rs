@@ -128,7 +128,9 @@ impl SoftwareEngine {
     pub fn with_name(name: &'static str, workload: &Workload, cost: CostModel) -> Self {
         let graph = TaskGraph::build(workload);
         let n = workload.len();
-        let pending = (0..n).map(|i| graph.predecessor_count(TaskRef(i))).collect();
+        let pending = (0..n)
+            .map(|i| graph.predecessor_count(TaskRef(i)))
+            .collect();
         let succ = (0..n).map(|i| graph.successor_count(TaskRef(i))).collect();
         SoftwareEngine {
             name,
@@ -565,7 +567,11 @@ mod tests {
                 // Stalled: fall through to execute something so resources free up.
             }
             if pool.is_empty() {
-                panic!("no ready task but {} of {} still unfinished", n - order.len(), n);
+                panic!(
+                    "no ready task but {} of {} still unfinished",
+                    n - order.len(),
+                    n
+                );
             }
             let info = pool.remove(0);
             let fin = engine.finish_task(now, info.task, 0);
@@ -667,7 +673,10 @@ mod tests {
         let mut e = SoftwareEngine::new(&w, CostModel::default());
         let root_cost = e.create_task(Cycle::ZERO, TaskRef(0)).cost;
         let leaf_cost = e.create_task(Cycle::ZERO, TaskRef(1)).cost;
-        assert!(leaf_cost > root_cost, "2-dep leaf should cost more than 1-dep root");
+        assert!(
+            leaf_cost > root_cost,
+            "2-dep leaf should cost more than 1-dep root"
+        );
     }
 
     #[test]
@@ -693,14 +702,16 @@ mod tests {
     #[test]
     fn hardware_engine_stalls_and_recovers_with_tiny_dmu() {
         let w = chain_workload(40);
-        let mut config = DmuConfig::default();
-        config.tat_entries = 8;
-        config.tat_ways = 8;
-        config.dat_entries = 8;
-        config.dat_ways = 8;
-        config.successor_la_entries = 8;
-        config.dependence_la_entries = 8;
-        config.reader_la_entries = 8;
+        let config = DmuConfig {
+            tat_entries: 8,
+            tat_ways: 8,
+            dat_entries: 8,
+            dat_ways: 8,
+            successor_la_entries: 8,
+            dependence_la_entries: 8,
+            reader_la_entries: 8,
+            ..DmuConfig::default()
+        };
         let mut hw = HardwareEngine::new(
             HardwareFlavor::Tdm,
             &w,
@@ -730,7 +741,10 @@ mod tests {
         // DMU to finish processing the first.
         let c0 = hw.create_task(Cycle::ZERO, TaskRef(0)).cost;
         let c1 = hw.create_task(Cycle::ZERO, TaskRef(1)).cost;
-        assert!(c1 >= c0, "second creation at the same time must queue behind the first");
+        assert!(
+            c1 >= c0,
+            "second creation at the same time must queue behind the first"
+        );
     }
 
     #[test]
@@ -752,7 +766,10 @@ mod tests {
         );
         assert_eq!(tdm.name(), "tdm");
         assert_eq!(tss.name(), "task-superscalar");
-        assert_eq!(SoftwareEngine::new(&w, CostModel::default()).name(), "software");
+        assert_eq!(
+            SoftwareEngine::new(&w, CostModel::default()).name(),
+            "software"
+        );
         assert_eq!(
             SoftwareEngine::with_name("carbon", &w, CostModel::default()).name(),
             "carbon"

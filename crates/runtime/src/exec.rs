@@ -80,7 +80,9 @@ impl Backend {
     ) -> Box<dyn DependenceEngine> {
         match self {
             Backend::Software => Box::new(SoftwareEngine::new(workload, cost.clone())),
-            Backend::Carbon => Box::new(SoftwareEngine::with_name("carbon", workload, cost.clone())),
+            Backend::Carbon => {
+                Box::new(SoftwareEngine::with_name("carbon", workload, cost.clone()))
+            }
             Backend::Tdm(dmu) => Box::new(HardwareEngine::new(
                 HardwareFlavor::Tdm,
                 workload,
@@ -123,8 +125,8 @@ pub struct ExecConfig {
 impl Default for ExecConfig {
     fn default() -> Self {
         let chip = ChipConfig::default();
-        let locality = chip.memory.l1_size_bytes
-            + chip.memory.l2_size_bytes / chip.num_cores as u64;
+        let locality =
+            chip.memory.l1_size_bytes + chip.memory.l2_size_bytes / chip.num_cores as u64;
         ExecConfig {
             chip,
             cost: CostModel::default(),
@@ -140,6 +142,19 @@ impl ExecConfig {
         self.chip = ChipConfig::with_cores(num_cores);
         self
     }
+}
+
+/// One completed task in the executed schedule: which task ran, on which
+/// core, and the cycle at which its finish was processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ScheduledTask {
+    /// The task that finished.
+    pub task: TaskRef,
+    /// The core it executed on.
+    pub core: usize,
+    /// Cycle at which the finish completed (dependence-release cost
+    /// included).
+    pub finish: Cycle,
 }
 
 /// The outcome of one simulated execution.
@@ -158,6 +173,11 @@ pub struct RunReport {
     pub hardware: Option<HardwareReport>,
     /// Number of tasks executed.
     pub tasks: u64,
+    /// The executed schedule, in finish order. Conformance tests replay this
+    /// against the reference [`TaskGraph`](crate::tdg::TaskGraph) to check
+    /// that the run respected every dependence and executed each task
+    /// exactly once.
+    pub schedule: Vec<ScheduledTask>,
 }
 
 impl RunReport {
@@ -180,6 +200,11 @@ impl RunReport {
     /// Fraction of total CPU time (all cores) spent in `phase`.
     pub fn chip_fraction(&self, phase: Phase) -> f64 {
         self.stats.chip_fraction(phase)
+    }
+
+    /// The tasks in the order they finished, extracted from the schedule.
+    pub fn finish_order(&self) -> Vec<TaskRef> {
+        self.schedule.iter().map(|s| s.task).collect()
     }
 }
 
@@ -230,6 +255,7 @@ pub fn simulate(
     let mut idle_set: BTreeSet<usize> = BTreeSet::new();
     let mut next_create = 0usize;
     let mut finished = 0usize;
+    let mut schedule: Vec<ScheduledTask> = Vec::with_capacity(total_tasks);
     let mut makespan = Cycle::ZERO;
     // True while the last creation attempt stalled on a full DMU structure;
     // the master then behaves as a worker (runtime-system throttling) and
@@ -267,6 +293,11 @@ pub fn simulate(
             t += fin.cost;
             finished += 1;
             finished_here = true;
+            schedule.push(ScheduledTask {
+                task,
+                core,
+                finish: t,
+            });
             makespan = makespan.max(t);
             push_ready(
                 &fin.ready,
@@ -378,6 +409,7 @@ pub fn simulate(
         stats,
         hardware,
         tasks: total_tasks as u64,
+        schedule,
     }
 }
 
@@ -436,7 +468,10 @@ mod tests {
                 tasks.push(TaskSpec::new(
                     "link",
                     chip.micros(duration_us),
-                    vec![DependenceSpec::inout(0x10_0000 + (c as u64) * 0x1_0000, 4096)],
+                    vec![DependenceSpec::inout(
+                        0x10_0000 + (c as u64) * 0x1_0000,
+                        4096,
+                    )],
                 ));
             }
         }
@@ -538,15 +573,30 @@ mod tests {
         let w = independent_workload(16, 10.0);
         let report = simulate(&w, &Backend::Carbon, SchedulerKind::Lifo, &small_chip(4));
         assert_eq!(report.scheduler, "HW-FIFO");
-        let report = simulate(&w, &Backend::tdm_default(), SchedulerKind::Lifo, &small_chip(4));
+        let report = simulate(
+            &w,
+            &Backend::tdm_default(),
+            SchedulerKind::Lifo,
+            &small_chip(4),
+        );
         assert_eq!(report.scheduler, "LIFO");
     }
 
     #[test]
     fn run_is_deterministic() {
         let w = chains_workload(8, 8, 30.0);
-        let a = simulate(&w, &Backend::tdm_default(), SchedulerKind::Age, &small_chip(8));
-        let b = simulate(&w, &Backend::tdm_default(), SchedulerKind::Age, &small_chip(8));
+        let a = simulate(
+            &w,
+            &Backend::tdm_default(),
+            SchedulerKind::Age,
+            &small_chip(8),
+        );
+        let b = simulate(
+            &w,
+            &Backend::tdm_default(),
+            SchedulerKind::Age,
+            &small_chip(8),
+        );
         assert_eq!(a.makespan(), b.makespan());
         assert_eq!(a.stats, b.stats);
     }
@@ -579,14 +629,16 @@ mod tests {
     #[test]
     fn tiny_dmu_still_completes_with_stalls() {
         let w = chains_workload(2, 30, 10.0);
-        let mut dmu = DmuConfig::default();
-        dmu.tat_entries = 16;
-        dmu.tat_ways = 8;
-        dmu.dat_entries = 16;
-        dmu.dat_ways = 8;
-        dmu.successor_la_entries = 16;
-        dmu.dependence_la_entries = 16;
-        dmu.reader_la_entries = 16;
+        let dmu = DmuConfig {
+            tat_entries: 16,
+            tat_ways: 8,
+            dat_entries: 16,
+            dat_ways: 8,
+            successor_la_entries: 16,
+            dependence_la_entries: 16,
+            reader_la_entries: 16,
+            ..DmuConfig::default()
+        };
         let report = simulate(&w, &Backend::Tdm(dmu), SchedulerKind::Fifo, &small_chip(4));
         assert_eq!(report.stats.tasks_executed, 60);
         let hw = report.hardware.unwrap();
@@ -648,7 +700,12 @@ mod tests {
         w.locality_benefit = 0.3;
         let config = small_chip(8);
         let fifo = simulate(&w, &Backend::tdm_default(), SchedulerKind::Fifo, &config);
-        let local = simulate(&w, &Backend::tdm_default(), SchedulerKind::Locality, &config);
+        let local = simulate(
+            &w,
+            &Backend::tdm_default(),
+            SchedulerKind::Locality,
+            &config,
+        );
         assert!(
             local.makespan() < fifo.makespan(),
             "locality scheduling ({}) should beat FIFO ({}) here",

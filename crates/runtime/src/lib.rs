@@ -48,7 +48,7 @@ pub mod tdg;
 
 pub use cost::CostModel;
 pub use engine::{DependenceEngine, HardwareEngine, HardwareFlavor, SoftwareEngine};
-pub use exec::{simulate, Backend, ExecConfig, RunReport};
+pub use exec::{simulate, Backend, ExecConfig, RunReport, ScheduledTask};
 pub use scheduler::{ReadyEntry, Scheduler, SchedulerKind};
 pub use task::{DependenceSpec, TaskRef, TaskSpec, Workload};
 pub use tdg::TaskGraph;

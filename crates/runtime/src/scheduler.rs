@@ -115,9 +115,7 @@ impl SchedulerKind {
             SchedulerKind::Fifo => Box::new(FifoScheduler::new()),
             SchedulerKind::Lifo => Box::new(LifoScheduler::new()),
             SchedulerKind::Locality => Box::new(LocalityScheduler::new()),
-            SchedulerKind::Successor { threshold } => {
-                Box::new(SuccessorScheduler::new(threshold))
-            }
+            SchedulerKind::Successor { threshold } => Box::new(SuccessorScheduler::new(threshold)),
             SchedulerKind::Age => Box::new(AgeScheduler::new()),
         }
     }
@@ -301,7 +299,8 @@ impl PartialOrd for OrderedEntry {
 
 impl Ord for OrderedEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.0.creation_seq, self.0.task.index()).cmp(&(other.0.creation_seq, other.0.task.index()))
+        (self.0.creation_seq, self.0.task.index())
+            .cmp(&(other.0.creation_seq, other.0.task.index()))
     }
 }
 
@@ -318,7 +317,8 @@ impl Scheduler for AgeScheduler {
     }
 
     fn push(&mut self, entry: ReadyEntry) {
-        self.heap.push(Reverse((entry.creation_seq, OrderedEntry(entry))));
+        self.heap
+            .push(Reverse((entry.creation_seq, OrderedEntry(entry))));
     }
 
     fn pop(&mut self, _core: usize) -> Option<ReadyEntry> {
@@ -350,7 +350,9 @@ mod tests {
         for i in 0..5 {
             s.push(entry(i, i, 0, None));
         }
-        let order: Vec<usize> = std::iter::from_fn(|| s.pop(0)).map(|e| e.task.index()).collect();
+        let order: Vec<usize> = std::iter::from_fn(|| s.pop(0))
+            .map(|e| e.task.index())
+            .collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4]);
         assert!(s.is_empty());
     }
@@ -361,7 +363,9 @@ mod tests {
         for i in 0..5 {
             s.push(entry(i, i, 0, None));
         }
-        let order: Vec<usize> = std::iter::from_fn(|| s.pop(0)).map(|e| e.task.index()).collect();
+        let order: Vec<usize> = std::iter::from_fn(|| s.pop(0))
+            .map(|e| e.task.index())
+            .collect();
         assert_eq!(order, vec![4, 3, 2, 1, 0]);
     }
 
@@ -394,7 +398,9 @@ mod tests {
         s.push(entry(1, 1, 5, None)); // high
         s.push(entry(2, 2, 1, None)); // low
         s.push(entry(3, 3, 2, None)); // high
-        let order: Vec<usize> = std::iter::from_fn(|| s.pop(0)).map(|e| e.task.index()).collect();
+        let order: Vec<usize> = std::iter::from_fn(|| s.pop(0))
+            .map(|e| e.task.index())
+            .collect();
         assert_eq!(order, vec![1, 3, 0, 2]);
         assert_eq!(s.threshold(), 2);
     }
@@ -406,7 +412,9 @@ mod tests {
         s.push(entry(5, 5, 0, None));
         s.push(entry(1, 1, 0, None));
         s.push(entry(3, 3, 0, None));
-        let order: Vec<usize> = std::iter::from_fn(|| s.pop(0)).map(|e| e.task.index()).collect();
+        let order: Vec<usize> = std::iter::from_fn(|| s.pop(0))
+            .map(|e| e.task.index())
+            .collect();
         assert_eq!(order, vec![1, 3, 5]);
     }
 
@@ -432,8 +440,9 @@ mod tests {
                 s.push(entry(i, 19 - i, (i % 4) as u32, Some(i % 3)));
             }
             assert_eq!(s.len(), 20);
-            let mut seen: Vec<usize> =
-                std::iter::from_fn(|| s.pop(1)).map(|e| e.task.index()).collect();
+            let mut seen: Vec<usize> = std::iter::from_fn(|| s.pop(1))
+                .map(|e| e.task.index())
+                .collect();
             seen.sort_unstable();
             assert_eq!(seen, (0..20).collect::<Vec<_>>(), "policy {}", kind.name());
         }

@@ -329,9 +329,18 @@ mod tests {
             "diamond",
             vec![
                 spec(vec![DependenceSpec::output(0x1, 64)]),
-                spec(vec![DependenceSpec::input(0x1, 64), DependenceSpec::output(0x2, 64)]),
-                spec(vec![DependenceSpec::input(0x1, 64), DependenceSpec::output(0x3, 64)]),
-                spec(vec![DependenceSpec::input(0x2, 64), DependenceSpec::input(0x3, 64)]),
+                spec(vec![
+                    DependenceSpec::input(0x1, 64),
+                    DependenceSpec::output(0x2, 64),
+                ]),
+                spec(vec![
+                    DependenceSpec::input(0x1, 64),
+                    DependenceSpec::output(0x3, 64),
+                ]),
+                spec(vec![
+                    DependenceSpec::input(0x2, 64),
+                    DependenceSpec::input(0x3, 64),
+                ]),
             ],
         );
         let g = TaskGraph::build(&w);

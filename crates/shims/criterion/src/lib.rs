@@ -1,0 +1,175 @@
+//! Offline minimal stand-in for the `criterion` benchmark harness.
+//!
+//! The workspace builds without network access, so the real criterion crate
+//! cannot be fetched. This shim implements the subset of its API that the
+//! `tdm-bench` bench targets use — [`Criterion`], [`BenchmarkGroup`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! wall-clock sampler: each benchmark runs for a bounded number of samples
+//! and prints the median time per iteration.
+//!
+//! It produces real (if unsophisticated) measurements, so `cargo bench` is
+//! usable for coarse comparisons; swap the `criterion` entry in the root
+//! `[workspace.dependencies]` for the registry crate when statistical rigor
+//! is needed.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim times only the routine,
+/// never the setup, so the variants are behaviorally identical here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input (criterion batches many per allocation).
+    SmallInput,
+    /// Large per-iteration input (criterion uses few per batch).
+    LargeInput,
+    /// One setup call per routine call.
+    PerIteration,
+}
+
+/// Entry point handed to each benchmark function, mirroring
+/// `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name), self.sample_size, f);
+        self
+    }
+
+    /// Finishes the group (a no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over `self.iters` back-to-back calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Collects `samples` timed samples of `f` and prints the median ns/iter.
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    // Calibrate: grow the iteration count until one sample takes >= 1 ms,
+    // so per-call timer overhead is amortized for fast routines.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    println!("{name:<50} median {median:>12.1} ns/iter ({samples} samples x {iters} iters)");
+}
+
+/// Bundles benchmark functions into a group runner, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main()` invoking each group, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

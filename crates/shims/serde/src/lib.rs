@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde`'s derive macros.
+//!
+//! The workspace builds in environments without network access to crates.io,
+//! so the real `serde` cannot be vendored. The model crates only use serde for
+//! `#[derive(Serialize, Deserialize)]` annotations (no code calls the traits),
+//! so this shim accepts the derives — including `#[serde(...)]` helper
+//! attributes such as `transparent` and `skip` — and expands to nothing.
+//!
+//! To switch to the real crate, replace the `serde` entry in the root
+//! `[workspace.dependencies]` with a registry version; no source change is
+//! needed in the model crates.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde::Serialize`'s derive macro.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde::Deserialize`'s derive macro.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -28,7 +28,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(start + latency, Cycle::new(116));
 /// assert_eq!((start + latency) - start, latency);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Cycle(u64);
 
@@ -201,7 +203,10 @@ impl Frequency {
     ///
     /// Panics if `hz` is not strictly positive and finite.
     pub fn hz(hz: f64) -> Self {
-        assert!(hz.is_finite() && hz > 0.0, "frequency must be positive, got {hz}");
+        assert!(
+            hz.is_finite() && hz > 0.0,
+            "frequency must be positive, got {hz}"
+        );
         Frequency { hz }
     }
 

@@ -153,7 +153,8 @@ impl ChipConfig {
 
     /// Round-trip NoC latency between a core and the DMU.
     pub fn dmu_round_trip(&self) -> Cycle {
-        self.noc_hop_latency.scaled(u64::from(self.noc_avg_hops) * 2)
+        self.noc_hop_latency
+            .scaled(u64::from(self.noc_avg_hops) * 2)
     }
 
     /// Convenience: convert microseconds to cycles at this chip's frequency.

@@ -4,7 +4,10 @@
 //! the earliest pending event from an [`EventQueue`]. Events scheduled for the
 //! same cycle are delivered in insertion order (FIFO), which keeps the
 //! simulation fully deterministic: two runs with identical inputs produce
-//! identical timelines.
+//! identical timelines. Tie-breaking never involves randomness — see the
+//! seeding contract in [`crate::rng`] for how this queue and the seeded
+//! [`SplitMix64`](crate::rng::SplitMix64) together guarantee reproducible
+//! cycle counts.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -228,5 +231,41 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.len(), 0);
         assert_eq!(q.peek_time(), None);
+    }
+
+    /// The seeding contract of [`crate::rng`], exercised end to end at the
+    /// substrate level: a seeded random mix of schedules and pops (including
+    /// heavy same-cycle ties) replays to an identical timeline.
+    #[test]
+    fn seeded_replay_produces_identical_timeline() {
+        use crate::rng::SplitMix64;
+
+        fn run(seed: u64) -> Vec<(Cycle, u64)> {
+            let mut rng = SplitMix64::new(seed);
+            let mut q = EventQueue::new();
+            let mut timeline = Vec::new();
+            let mut next_id = 0u64;
+            for _ in 0..500 {
+                if rng.next_below(3) > 0 || q.is_empty() {
+                    // Coarse times force frequent ties on the same cycle.
+                    let delay = Cycle::new(rng.next_below(4) * 10);
+                    q.schedule_after(delay, next_id);
+                    next_id += 1;
+                } else {
+                    timeline.push(q.pop().unwrap());
+                }
+            }
+            while let Some(ev) = q.pop() {
+                timeline.push(ev);
+            }
+            timeline
+        }
+
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            assert_eq!(run(seed), run(seed), "seed {seed}");
+        }
+        // Distinct seeds produce distinct interleavings (sanity check that
+        // the workload above is actually seed-sensitive).
+        assert_ne!(run(1), run(2));
     }
 }

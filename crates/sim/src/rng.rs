@@ -2,10 +2,35 @@
 //!
 //! The simulator occasionally needs cheap, reproducible randomness — e.g. to
 //! jitter task durations so that perfectly symmetric workloads do not finish
-//! in lock-step, which real systems never do. Workload *generation* uses the
-//! `rand` crate in `tdm-workloads`; this module provides a tiny SplitMix64
-//! generator so the simulation substrate itself stays dependency-light and
-//! bit-for-bit reproducible across platforms.
+//! in lock-step, which real systems never do. This module provides a tiny
+//! SplitMix64 generator so the simulation substrate stays dependency-light
+//! and bit-for-bit reproducible across platforms (workload generation and the
+//! integration tests use it too, so the whole workspace shares one seeding
+//! story).
+//!
+//! # Seeding contract
+//!
+//! Every source of randomness in a simulated run derives from a single `u64`
+//! seed (`ExecConfig::seed` in `tdm-runtime`), under these rules:
+//!
+//! 1. **Pure function of the seed.** [`SplitMix64::new`] is the only way
+//!    randomness enters the system; there is no global RNG, no
+//!    time/thread/platform dependence. Two runs with the same seed and the
+//!    same inputs produce bit-identical cycle counts.
+//! 2. **Derived streams, not shared streams.** A consumer that needs
+//!    per-entity randomness (e.g. per-task duration jitter) must derive an
+//!    independent generator per entity — `SplitMix64::new(seed ^ f(entity))`
+//!    — rather than draw from one shared stream, so results do not depend on
+//!    the order in which entities are visited (schedulers and backends may
+//!    reorder them).
+//! 3. **Ties never consult the RNG.** Simultaneous events are ordered by the
+//!    [`EventQueue`](crate::event::EventQueue)'s insertion sequence number,
+//!    never by randomness, so determinism does not depend on rule 2 being
+//!    applied to event ordering.
+//!
+//! The conformance suite (`tests/conformance/determinism.rs` at the
+//! workspace root) enforces the end-to-end consequence: identical
+//! `RunReport`s, schedules and makespans across repeated seeded runs.
 
 use serde::{Deserialize, Serialize};
 
@@ -69,7 +94,10 @@ impl SplitMix64 {
     ///
     /// Panics if `spread` is negative or not less than 1.
     pub fn jitter(&mut self, spread: f64) -> f64 {
-        assert!((0.0..1.0).contains(&spread), "spread must be in [0, 1), got {spread}");
+        assert!(
+            (0.0..1.0).contains(&spread),
+            "spread must be in [0, 1), got {spread}"
+        );
         1.0 + (self.next_f64() * 2.0 - 1.0) * spread
     }
 }
@@ -92,7 +120,10 @@ mod tests {
         let mut a = SplitMix64::new(1);
         let mut b = SplitMix64::new(2);
         let same = (0..10).filter(|_| a.next_u64() == b.next_u64()).count();
-        assert!(same < 10, "distinct seeds should not produce identical streams");
+        assert!(
+            same < 10,
+            "distinct seeds should not produce identical streams"
+        );
     }
 
     #[test]
@@ -119,7 +150,10 @@ mod tests {
         for _ in 0..200 {
             seen[rng.next_below(4) as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all residues should appear: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues should appear: {seen:?}"
+        );
     }
 
     #[test]

@@ -181,7 +181,10 @@ impl SimStats {
     ///
     /// Panics if `master >= num_cores`.
     pub fn new(num_cores: usize, master: usize) -> Self {
-        assert!(master < num_cores, "master core {master} out of range ({num_cores} cores)");
+        assert!(
+            master < num_cores,
+            "master core {master} out of range ({num_cores} cores)"
+        );
         SimStats {
             makespan: Cycle::ZERO,
             cores: vec![CoreBreakdown::new(); num_cores],
@@ -239,7 +242,10 @@ impl SimStats {
     ///
     /// Panics if this run's makespan is zero.
     pub fn speedup_over(&self, baseline: &SimStats) -> f64 {
-        assert!(!self.makespan.is_zero(), "cannot compute speedup of an empty run");
+        assert!(
+            !self.makespan.is_zero(),
+            "cannot compute speedup of an empty run"
+        );
         baseline.makespan.as_f64() / self.makespan.as_f64()
     }
 }

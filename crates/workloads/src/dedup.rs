@@ -79,9 +79,7 @@ pub fn generate() -> Workload {
 
     // Final verification reads the archive and every index record.
     let mut verify_deps = vec![DependenceSpec::input(ARCHIVE_ADDR, 4096)];
-    verify_deps.extend(
-        (0..INDEX_RECORDS).map(|r| DependenceSpec::input(INDEX_BASE + r * 64, 64)),
-    );
+    verify_deps.extend((0..INDEX_RECORDS).map(|r| DependenceSpec::input(INDEX_BASE + r * 64, 64)));
     tasks.push(TaskSpec::new("verify", micros(VERIFY_US), verify_deps));
 
     Workload::new("dedup", tasks)

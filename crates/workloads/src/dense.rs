@@ -29,7 +29,7 @@ impl BlockMatrix {
     pub fn new(base: u64, dim: usize, blocks: usize, elem_bytes: u64) -> Self {
         assert!(blocks > 0, "need at least one block per dimension");
         assert!(
-            dim % blocks == 0,
+            dim.is_multiple_of(blocks),
             "matrix dimension {dim} must be divisible by blocks {blocks}"
         );
         let tile = (dim / blocks) as u64;
@@ -46,7 +46,10 @@ impl BlockMatrix {
     ///
     /// Panics if the coordinates are out of range.
     pub fn block(&self, row: usize, col: usize) -> u64 {
-        assert!(row < self.blocks && col < self.blocks, "block ({row},{col}) out of range");
+        assert!(
+            row < self.blocks && col < self.blocks,
+            "block ({row},{col}) out of range"
+        );
         self.base + (row * self.blocks + col) as u64 * self.block_bytes
     }
 

@@ -46,7 +46,11 @@ pub fn generate() -> Workload {
             } else {
                 deps.push(DependenceSpec::output(out_buffer, buffer_bytes));
             }
-            tasks.push(TaskSpec::new(STAGE_NAMES[stage], micros(STAGE_US[stage]), deps));
+            tasks.push(TaskSpec::new(
+                STAGE_NAMES[stage],
+                micros(STAGE_US[stage]),
+                deps,
+            ));
         }
     }
     Workload::new("ferret", tasks)

@@ -52,9 +52,7 @@ pub fn generate(params: Params) -> Workload {
     let partition_bytes = 8 * 1024 * 1024 / params.partitions as u64;
     let duration = micros(task_us);
     // Two buffers per partition (ping-pong across timesteps).
-    let addr = |p: usize, buffer: usize| {
-        PARTITION_BASE + (p * 2 + buffer) as u64 * partition_bytes
-    };
+    let addr = |p: usize, buffer: usize| PARTITION_BASE + (p * 2 + buffer) as u64 * partition_bytes;
 
     let mut tasks = Vec::with_capacity(params.partitions * params.timesteps);
     for step in 0..params.timesteps {
@@ -66,10 +64,16 @@ pub fn generate(params: Params) -> Workload {
                 DependenceSpec::output(addr(p, write_buf), partition_bytes),
             ];
             if p > 0 {
-                deps.push(DependenceSpec::input(addr(p - 1, read_buf), partition_bytes));
+                deps.push(DependenceSpec::input(
+                    addr(p - 1, read_buf),
+                    partition_bytes,
+                ));
             }
             if p + 1 < params.partitions {
-                deps.push(DependenceSpec::input(addr(p + 1, read_buf), partition_bytes));
+                deps.push(DependenceSpec::input(
+                    addr(p + 1, read_buf),
+                    partition_bytes,
+                ));
             }
             tasks.push(TaskSpec::new("advance_cell", duration, deps));
         }

@@ -144,7 +144,10 @@ mod tests {
         assert_eq!(count("lu0"), 8);
         assert_eq!(count("fwd"), 28);
         assert_eq!(count("bdiv"), 28);
-        assert_eq!(count("bmod"), (0..8).map(|k| (7 - k) * (7 - k)).sum::<usize>());
+        assert_eq!(
+            count("bmod"),
+            (0..8).map(|k| (7 - k) * (7 - k)).sum::<usize>()
+        );
     }
 
     #[test]

@@ -188,7 +188,10 @@ mod tests {
         assert_eq!(count("geqrt"), 8);
         assert_eq!(count("unmqr"), 28);
         assert_eq!(count("tsqrt"), 28);
-        assert_eq!(count("tsmqr"), (0..8).map(|k| (7 - k) * (7 - k)).sum::<usize>());
+        assert_eq!(
+            count("tsmqr"),
+            (0..8).map(|k| (7 - k) * (7 - k)).sum::<usize>()
+        );
         assert_eq!(w.len(), task_count(8));
     }
 }

@@ -228,11 +228,7 @@ mod tests {
     fn check_calibration_detects_mismatches() {
         let w = Workload::new(
             "fake",
-            vec![tdm_runtime::task::TaskSpec::new(
-                "t",
-                micros(100.0),
-                vec![],
-            )],
+            vec![tdm_runtime::task::TaskSpec::new("t", micros(100.0), vec![])],
         );
         assert!(check_calibration(&w, (1, 100.0), 0.05, 0.05).is_ok());
         assert!(check_calibration(&w, (10, 100.0), 0.05, 0.05).is_err());

@@ -24,7 +24,11 @@ fn main() {
     for entries in [128usize, 256, 512, 1024, 2048] {
         let dmu = DmuConfig::default().with_alias_sizes(entries, entries);
         let report = simulate(&workload, &Backend::Tdm(dmu), SchedulerKind::Fifo, &config);
-        let stalls = report.hardware.as_ref().map(|h| h.stats.stalls).unwrap_or(0);
+        let stalls = report
+            .hardware
+            .as_ref()
+            .map(|h| h.stats.stalls)
+            .unwrap_or(0);
         println!(
             "  {entries:>5} entries: perf vs ideal = {:.3}, DMU stalls = {stalls}",
             ideal.makespan().as_f64() / report.makespan().as_f64()

@@ -20,17 +20,49 @@ fn main() {
     let data = DepAddr(0xA000_0000);
 
     let program = [
-        TdmInstruction::CreateTask { descriptor: producer },
-        TdmInstruction::AddDependence { descriptor: producer, address: data, size: 4096, direction: DepDirection::Out },
-        TdmInstruction::SubmitTask { descriptor: producer },
-        TdmInstruction::CreateTask { descriptor: consumer_a },
-        TdmInstruction::AddDependence { descriptor: consumer_a, address: data, size: 4096, direction: DepDirection::In },
-        TdmInstruction::SubmitTask { descriptor: consumer_a },
-        TdmInstruction::CreateTask { descriptor: consumer_b },
-        TdmInstruction::AddDependence { descriptor: consumer_b, address: data, size: 4096, direction: DepDirection::In },
-        TdmInstruction::SubmitTask { descriptor: consumer_b },
+        TdmInstruction::CreateTask {
+            descriptor: producer,
+        },
+        TdmInstruction::AddDependence {
+            descriptor: producer,
+            address: data,
+            size: 4096,
+            direction: DepDirection::Out,
+        },
+        TdmInstruction::SubmitTask {
+            descriptor: producer,
+        },
+        TdmInstruction::CreateTask {
+            descriptor: consumer_a,
+        },
+        TdmInstruction::AddDependence {
+            descriptor: consumer_a,
+            address: data,
+            size: 4096,
+            direction: DepDirection::In,
+        },
+        TdmInstruction::SubmitTask {
+            descriptor: consumer_a,
+        },
+        TdmInstruction::CreateTask {
+            descriptor: consumer_b,
+        },
+        TdmInstruction::AddDependence {
+            descriptor: consumer_b,
+            address: data,
+            size: 4096,
+            direction: DepDirection::In,
+        },
+        TdmInstruction::SubmitTask {
+            descriptor: consumer_b,
+        },
         TdmInstruction::CreateTask { descriptor: writer },
-        TdmInstruction::AddDependence { descriptor: writer, address: data, size: 4096, direction: DepDirection::Out },
+        TdmInstruction::AddDependence {
+            descriptor: writer,
+            address: data,
+            size: 4096,
+            direction: DepDirection::Out,
+        },
         TdmInstruction::SubmitTask { descriptor: writer },
     ];
 
@@ -48,7 +80,9 @@ fn main() {
     println!("\n-- execution phase --");
     loop {
         let ready = execute(&mut dmu, TdmInstruction::GetReadyTask).unwrap();
-        let TdmResponse::Ready(slot) = ready.value else { unreachable!() };
+        let TdmResponse::Ready(slot) = ready.value else {
+            unreachable!()
+        };
         let Some(task) = slot else {
             if dmu.is_drained() {
                 break;
@@ -56,10 +90,15 @@ fn main() {
             // Nothing ready right now (should not happen in this linear walk).
             continue;
         };
-        println!("get_ready_task -> {} ({} successors)", task.descriptor, task.num_successors);
+        println!(
+            "get_ready_task -> {} ({} successors)",
+            task.descriptor, task.num_successors
+        );
         let finish = execute(
             &mut dmu,
-            TdmInstruction::FinishTask { descriptor: task.descriptor },
+            TdmInstruction::FinishTask {
+                descriptor: task.descriptor,
+            },
         )
         .unwrap();
         println!(
@@ -73,6 +112,10 @@ fn main() {
     let stats = dmu.stats();
     println!(
         "ops: {} creates, {} add_dependences, {} finishes, {} get_ready; {} SRAM accesses total",
-        stats.creates, stats.add_dependences, stats.finishes, stats.get_readies, stats.total_accesses
+        stats.creates,
+        stats.add_dependences,
+        stats.finishes,
+        stats.get_readies,
+        stats.total_accesses
     );
 }

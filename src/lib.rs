@@ -49,7 +49,7 @@ pub mod prelude {
     pub use tdm_core::ids::{DepAddr, DepDirection, DescriptorAddr};
     pub use tdm_energy::chip::ChipPowerModel;
     pub use tdm_energy::edp::evaluate as evaluate_energy;
-    pub use tdm_runtime::exec::{simulate, Backend, ExecConfig, RunReport};
+    pub use tdm_runtime::exec::{simulate, Backend, ExecConfig, RunReport, ScheduledTask};
     pub use tdm_runtime::scheduler::SchedulerKind;
     pub use tdm_runtime::task::{DependenceSpec, TaskSpec, Workload};
     pub use tdm_runtime::tdg::TaskGraph;

@@ -1,0 +1,64 @@
+//! Determinism: the simulator must be a pure function of (workload, backend,
+//! scheduler, config). Repeated runs with the same `ExecConfig::seed` must
+//! produce bit-identical cycle counts, phase breakdowns and schedules.
+
+use crate::common::small_benchmarks;
+use crate::{all_backends, conformance_config};
+use tdm::prelude::*;
+
+/// Two runs of every benchmark × backend × scheduler cell must agree on
+/// makespan, full per-core statistics and the executed schedule.
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let config = conformance_config();
+    for workload in small_benchmarks() {
+        for backend in all_backends() {
+            for scheduler in [
+                SchedulerKind::Fifo,
+                SchedulerKind::Locality,
+                SchedulerKind::Age,
+            ] {
+                let a = simulate(&workload, &backend, scheduler, &config);
+                let b = simulate(&workload, &backend, scheduler, &config);
+                let context = format!(
+                    "{} on {} with {}",
+                    workload.name,
+                    backend.name(),
+                    scheduler.name()
+                );
+                assert_eq!(a.makespan(), b.makespan(), "{context}: makespan");
+                assert_eq!(a.stats, b.stats, "{context}: stats");
+                assert_eq!(a.schedule, b.schedule, "{context}: schedule");
+            }
+        }
+    }
+}
+
+/// The jitter seed changes durations but never correctness: different seeds
+/// may change the makespan, while each seed remains self-consistent.
+#[test]
+fn different_seeds_are_each_self_consistent() {
+    let workload = &small_benchmarks()[0];
+    let graph = TaskGraph::build(workload);
+    for seed in [1u64, 7, 42] {
+        let config = ExecConfig {
+            seed,
+            ..conformance_config()
+        };
+        let a = simulate(
+            workload,
+            &Backend::tdm_default(),
+            SchedulerKind::Fifo,
+            &config,
+        );
+        let b = simulate(
+            workload,
+            &Backend::tdm_default(),
+            SchedulerKind::Fifo,
+            &config,
+        );
+        assert_eq!(a.makespan(), b.makespan(), "seed {seed}");
+        assert_eq!(a.schedule, b.schedule, "seed {seed}");
+        assert!(graph.check_order(&a.finish_order()).is_ok(), "seed {seed}");
+    }
+}

@@ -1,60 +1,43 @@
 //! Cross-crate property tests: the DMU (hardware dependence tracking) must
 //! agree with the reference software Task Dependence Graph on every workload,
 //! including randomly generated ones.
+//!
+//! The seed version of this file used `proptest`; the workspace builds
+//! offline, so the random workloads are generated instead from the in-tree
+//! deterministic [`SplitMix64`](tdm::sim::rng::SplitMix64) over a fixed set
+//! of seeds (see [`common::random_workload`]). Failures therefore reproduce
+//! exactly: the panic message names the offending seed.
 
-use proptest::prelude::*;
+mod common;
+
+use common::{assert_is_permutation, drive, random_workload};
 use tdm::core::config::DmuConfig;
 use tdm::prelude::*;
 use tdm::runtime::cost::CostModel;
-use tdm::runtime::engine::{DependenceEngine, HardwareEngine, HardwareFlavor, SoftwareEngine};
-use tdm::runtime::task::TaskRef;
+use tdm::runtime::engine::{HardwareEngine, HardwareFlavor, SoftwareEngine};
 
-/// Drives an engine to completion executing ready tasks in FIFO order and
-/// returns the finish order.
-fn drive(engine: &mut dyn DependenceEngine, n: usize) -> Vec<TaskRef> {
-    let mut order = Vec::new();
-    let mut pool = Vec::new();
-    let mut next = 0usize;
-    while order.len() < n {
-        if next < n {
-            let outcome = engine.create_task(Cycle::ZERO, TaskRef(next));
-            pool.extend(outcome.ready);
-            if outcome.completed {
-                next += 1;
-                continue;
-            }
-        }
-        assert!(!pool.is_empty(), "engine deadlocked with {} tasks left", n - order.len());
-        let info = pool.remove(0);
-        let fin = engine.finish_task(Cycle::ZERO, info.task, 0);
-        pool.extend(fin.ready);
-        order.push(info.task);
+/// Number of random workloads each property is checked against (the seed's
+/// proptest configuration used 64 cases).
+const CASES: u64 = 64;
+
+fn tiny_dmu_config() -> DmuConfig {
+    DmuConfig {
+        tat_entries: 16,
+        tat_ways: 8,
+        dat_entries: 16,
+        dat_ways: 8,
+        successor_la_entries: 16,
+        dependence_la_entries: 16,
+        reader_la_entries: 16,
+        ..DmuConfig::default()
     }
-    order
 }
 
-/// Strategy: a random workload over a small pool of addresses, so RAW/WAR/WAW
-/// collisions are frequent.
-fn arbitrary_workload() -> impl Strategy<Value = Workload> {
-    let dep = (0u64..24, 0usize..3).prop_map(|(block, dir)| {
-        let addr = 0x9_0000 + block * 0x1000;
-        match dir {
-            0 => DependenceSpec::input(addr, 0x1000),
-            1 => DependenceSpec::output(addr, 0x1000),
-            _ => DependenceSpec::inout(addr, 0x1000),
-        }
-    });
-    let task = prop::collection::vec(dep, 0..5)
-        .prop_map(|deps| TaskSpec::new("rand", Cycle::new(10_000), deps));
-    prop::collection::vec(task, 1..120).prop_map(|tasks| Workload::new("random", tasks))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any order the DMU permits respects the reference graph.
-    #[test]
-    fn dmu_execution_order_respects_reference_graph(workload in arbitrary_workload()) {
+/// Any order the DMU permits respects the reference graph.
+#[test]
+fn dmu_execution_order_respects_reference_graph() {
+    for seed in 0..CASES {
+        let workload = random_workload(seed);
         let graph = TaskGraph::build(&workload);
         let mut engine = HardwareEngine::new(
             HardwareFlavor::Tdm,
@@ -64,38 +47,36 @@ proptest! {
             Cycle::new(16),
         );
         let order = drive(&mut engine, workload.len());
-        prop_assert_eq!(order.len(), workload.len());
-        prop_assert!(graph.check_order(&order).is_ok());
+        assert_is_permutation(&order, workload.len());
+        assert!(graph.check_order(&order).is_ok(), "seed {seed}");
     }
+}
 
-    /// A severely undersized DMU still completes every workload (instructions
-    /// block and retry, they never lose tasks) and still respects the graph.
-    #[test]
-    fn tiny_dmu_completes_and_respects_graph(workload in arbitrary_workload()) {
-        let mut config = DmuConfig::default();
-        config.tat_entries = 16;
-        config.tat_ways = 8;
-        config.dat_entries = 16;
-        config.dat_ways = 8;
-        config.successor_la_entries = 16;
-        config.dependence_la_entries = 16;
-        config.reader_la_entries = 16;
+/// A severely undersized DMU still completes every workload (instructions
+/// block and retry, they never lose tasks) and still respects the graph.
+#[test]
+fn tiny_dmu_completes_and_respects_graph() {
+    for seed in 0..CASES {
+        let workload = random_workload(seed);
         let graph = TaskGraph::build(&workload);
         let mut engine = HardwareEngine::new(
             HardwareFlavor::Tdm,
             &workload,
-            config,
+            tiny_dmu_config(),
             CostModel::default(),
             Cycle::new(16),
         );
         let order = drive(&mut engine, workload.len());
-        prop_assert!(graph.check_order(&order).is_ok());
+        assert!(graph.check_order(&order).is_ok(), "seed {seed}");
     }
+}
 
-    /// The software engine and the DMU agree on which tasks become ready
-    /// after each finish when driven identically.
-    #[test]
-    fn software_and_hardware_engines_agree(workload in arbitrary_workload()) {
+/// The software engine and the DMU agree on which tasks become ready after
+/// each finish when driven identically.
+#[test]
+fn software_and_hardware_engines_agree() {
+    for seed in 0..CASES {
+        let workload = random_workload(seed);
         let mut sw = SoftwareEngine::new(&workload, CostModel::default());
         let mut hw = HardwareEngine::new(
             HardwareFlavor::Tdm,
@@ -108,21 +89,30 @@ proptest! {
         let hw_order = drive(&mut hw, workload.len());
         // Both engines execute with the same FIFO tie-breaking, so the finish
         // orders must be identical.
-        prop_assert_eq!(sw_order, hw_order);
+        assert_eq!(sw_order, hw_order, "seed {seed}");
     }
+}
 
-    /// A full simulation executes every task exactly once under every backend
-    /// and scheduler combination.
-    #[test]
-    fn simulation_always_completes(workload in arbitrary_workload(), sched in 0usize..5) {
-        let scheduler = SchedulerKind::all()[sched];
-        let config = ExecConfig {
-            chip: ChipConfig::with_cores(4),
-            ..ExecConfig::default()
-        };
+/// A full simulation executes every task exactly once under every backend
+/// and scheduler combination.
+#[test]
+fn simulation_always_completes() {
+    let config = ExecConfig {
+        chip: ChipConfig::with_cores(4),
+        ..ExecConfig::default()
+    };
+    for seed in 0..CASES {
+        let workload = random_workload(seed);
+        let scheduler = SchedulerKind::all()[(seed % 5) as usize];
         for backend in [Backend::Software, Backend::tdm_default()] {
             let report = simulate(&workload, &backend, scheduler, &config);
-            prop_assert_eq!(report.stats.tasks_executed, workload.len() as u64);
+            assert_eq!(
+                report.stats.tasks_executed,
+                workload.len() as u64,
+                "seed {seed} backend {} scheduler {}",
+                backend.name(),
+                scheduler.name()
+            );
         }
     }
 }

@@ -23,7 +23,12 @@ fn tdm_beats_software_on_cholesky() {
     let workload = cholesky::software_optimal();
     let cfg = config(32);
     let sw = simulate(&workload, &Backend::Software, SchedulerKind::Fifo, &cfg);
-    let tdm = simulate(&workload, &Backend::tdm_default(), SchedulerKind::Fifo, &cfg);
+    let tdm = simulate(
+        &workload,
+        &Backend::tdm_default(),
+        SchedulerKind::Fifo,
+        &cfg,
+    );
     let speedup = tdm.speedup_over(&sw);
     assert!(
         speedup > 1.03,
@@ -71,7 +76,12 @@ fn master_creation_share_drops_with_tdm() {
     let workload = cholesky::generate(cholesky::Params { blocks: 16 });
     let cfg = config(32);
     let sw = simulate(&workload, &Backend::Software, SchedulerKind::Fifo, &cfg);
-    let tdm = simulate(&workload, &Backend::tdm_default(), SchedulerKind::Fifo, &cfg);
+    let tdm = simulate(
+        &workload,
+        &Backend::tdm_default(),
+        SchedulerKind::Fifo,
+        &cfg,
+    );
     assert!(tdm.master_deps_fraction() < sw.master_deps_fraction());
 }
 
@@ -90,7 +100,12 @@ fn tdm_matches_or_beats_task_superscalar() {
         SchedulerKind::Fifo,
         &cfg,
     );
-    let tdm = simulate(&workload, &Backend::tdm_default(), SchedulerKind::Locality, &cfg);
+    let tdm = simulate(
+        &workload,
+        &Backend::tdm_default(),
+        SchedulerKind::Locality,
+        &cfg,
+    );
     assert!(tss.speedup_over(&sw) > carbon.speedup_over(&sw));
     assert!(tdm.makespan() <= tss.makespan());
 }

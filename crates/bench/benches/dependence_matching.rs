@@ -41,22 +41,21 @@ fn bench_engines(c: &mut Criterion) {
 }
 
 /// Creates every task and immediately executes ready tasks FIFO until done.
+/// The pool doubles as the engines' append-only ready buffer.
 fn drive(engine: &mut dyn DependenceEngine, n: usize) -> usize {
     let mut pool = Vec::new();
     let mut next = 0;
     let mut finished = 0;
     while finished < n {
         if next < n {
-            let outcome = engine.create_task(Cycle::ZERO, TaskRef(next));
-            pool.extend(outcome.ready);
+            let outcome = engine.create_task(Cycle::ZERO, TaskRef(next), &mut pool);
             if outcome.completed {
                 next += 1;
                 continue;
             }
         }
         let info = pool.remove(0);
-        let fin = engine.finish_task(Cycle::ZERO, info.task, 0);
-        pool.extend(fin.ready);
+        engine.finish_task(Cycle::ZERO, info.task, 0, &mut pool);
         finished += 1;
     }
     finished

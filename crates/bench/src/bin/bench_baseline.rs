@@ -1,0 +1,121 @@
+//! Performance-baseline runner and CI regression gate.
+//!
+//! ```text
+//! bench_baseline emit  [path]                  # measure and (over)write the baseline
+//! bench_baseline check [committed] [fresh_out] # measure, compare, nonzero exit on failure
+//! ```
+//!
+//! `check` compares the fresh measurement against the committed JSON: any
+//! makespan-cycle or DMU-access drift fails (modeled metrics are a
+//! correctness canary), and wall-clock may regress at most
+//! `BENCH_WALL_TOLERANCE` (default 0.25 = 25%). When `fresh_out` is given
+//! the fresh measurement is also written there, so CI can upload it as an
+//! artifact for the next baseline refresh.
+
+use std::process::ExitCode;
+
+use tdm_bench::baseline::{
+    self, compare, geomean_tasks_per_sec, measure, Baseline, DEFAULT_WALL_TOLERANCE,
+};
+
+const DEFAULT_PATH: &str = "BENCH_baseline.json";
+
+fn print_summary(baseline: &Baseline) {
+    println!(
+        "| {:<14} | {:<15} | {:>7} | {:>16} | {:>12} | {:>9} | {:>12} |",
+        "Benchmark", "Backend", "Tasks", "Makespan cycles", "DMU accesses", "Wall ms", "Tasks/sec"
+    );
+    println!("|{}|", "-".repeat(106));
+    for e in &baseline.entries {
+        println!(
+            "| {:<14} | {:<15} | {:>7} | {:>16} | {:>12} | {:>9.2} | {:>12.0} |",
+            e.benchmark,
+            e.backend,
+            e.tasks,
+            e.makespan_cycles,
+            e.dmu_accesses,
+            e.wall_ms,
+            e.tasks_per_sec
+        );
+    }
+    println!(
+        "geomean throughput: {:.0} simulated tasks/sec",
+        geomean_tasks_per_sec(baseline)
+    );
+}
+
+fn wall_tolerance() -> f64 {
+    match std::env::var("BENCH_WALL_TOLERANCE") {
+        Ok(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("warning: ignoring unparsable BENCH_WALL_TOLERANCE={v:?}");
+            DEFAULT_WALL_TOLERANCE
+        }),
+        Err(_) => DEFAULT_WALL_TOLERANCE,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str).unwrap_or("check");
+    match mode {
+        "emit" => {
+            let path = args.get(1).map(String::as_str).unwrap_or(DEFAULT_PATH);
+            println!("measuring the benchmark × backend matrix...");
+            let fresh = measure();
+            print_summary(&fresh);
+            if let Err(e) = std::fs::write(path, fresh.to_json()) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("baseline written to {path}");
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            let path = args.get(1).map(String::as_str).unwrap_or(DEFAULT_PATH);
+            let committed = match std::fs::read_to_string(path) {
+                Ok(text) => match Baseline::from_json(&text) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("error: {path} is not a valid baseline: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e} (run `bench_baseline emit` first)");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("measuring the benchmark × backend matrix...");
+            let fresh = measure();
+            print_summary(&fresh);
+            if let Some(out) = args.get(2) {
+                if let Err(e) = std::fs::write(out, fresh.to_json()) {
+                    eprintln!("error: cannot write fresh baseline to {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("fresh measurement written to {out}");
+            }
+            let tolerance = wall_tolerance();
+            let failures = compare(&fresh, &committed, tolerance);
+            if failures.is_empty() {
+                println!(
+                    "baseline gate PASSED against {path} (schema v{}, wall tolerance {:.0}%)",
+                    baseline::SCHEMA_VERSION,
+                    tolerance * 100.0
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("baseline gate FAILED against {path}:");
+                for f in &failures {
+                    eprintln!("  - {f}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+        other => {
+            eprintln!("usage: bench_baseline [emit|check] [path] [fresh_out]");
+            eprintln!("unknown mode {other:?}");
+            ExitCode::FAILURE
+        }
+    }
+}

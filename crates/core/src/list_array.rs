@@ -53,6 +53,15 @@ struct Entry {
     next: Option<usize>,
     /// Whether this entry is currently part of some list.
     allocated: bool,
+    /// Cached index of the chain's tail entry. Only meaningful on a list's
+    /// *head* entry; lets `push` append in O(1) instead of re-walking the
+    /// chain. This is a simulator-side shortcut: the modeled hardware still
+    /// walks the chain, which is why walk *counts* are derived from
+    /// `chain_entries` below and stay exactly what a linear walk reports.
+    tail: usize,
+    /// Cached number of entries in the chain (head included). Only
+    /// meaningful on a head entry.
+    chain_entries: u64,
 }
 
 /// Result of an operation that walked a list: how many list-array entries
@@ -141,6 +150,8 @@ impl ListArray {
         entry.elems.clear();
         entry.next = None;
         entry.allocated = true;
+        entry.tail = idx;
+        entry.chain_entries = 1;
         self.peak_in_use = self.peak_in_use.max(self.entries_in_use());
         Ok(idx)
     }
@@ -162,9 +173,28 @@ impl ListArray {
         );
     }
 
-    /// Walks to the tail entry of a list, returning `(tail_index, entries_walked)`.
+    /// Tail entry and chain length of a list, from the head entry's cache:
+    /// `(tail_index, entries_a_linear_walk_would_touch)` in O(1).
+    ///
+    /// The modeled hardware has no such cache — it walks the chain — so the
+    /// second component is exactly what [`Self::tail_of_naive`] reports; a
+    /// `debug_assert` enforces that equivalence on every call in debug
+    /// builds (including the whole conformance matrix).
     fn tail_of(&self, handle: ListHandle) -> (usize, u64) {
         self.assert_allocated(handle);
+        let head = &self.entries[handle.0];
+        debug_assert_eq!(
+            (head.tail, head.chain_entries),
+            self.tail_of_naive(handle),
+            "cached tail/chain-length out of sync with a linear walk for {handle:?}"
+        );
+        (head.tail, head.chain_entries)
+    }
+
+    /// Reference implementation of [`Self::tail_of`]: the linear walk the
+    /// hardware performs. Used by debug assertions and the equivalence tests;
+    /// compiled (and optimized away) in release builds too, so it cannot rot.
+    fn tail_of_naive(&self, handle: ListHandle) -> (usize, u64) {
         let mut idx = handle.0;
         let mut walked = 1;
         while let Some(next) = self.entries[idx].next {
@@ -184,7 +214,10 @@ impl ListArray {
 
     /// Appends `value` to the list.
     ///
-    /// Returns how many entries were touched (for access accounting).
+    /// Returns how many entries were touched (for access accounting). The
+    /// append itself is O(1) thanks to the cached tail pointer, but the
+    /// returned [`Walk`] still counts every entry a hardware linear walk
+    /// would touch — that count feeds cycle accounting and must not shrink.
     ///
     /// # Errors
     ///
@@ -201,6 +234,9 @@ impl ListArray {
         let new_idx = self.take_free_entry()?;
         self.entries[new_idx].elems.push(value);
         self.entries[tail].next = Some(new_idx);
+        let head = &mut self.entries[handle.0];
+        head.tail = new_idx;
+        head.chain_entries = walked + 1;
         Ok(Walk {
             entries_touched: walked + 1,
         })
@@ -221,6 +257,10 @@ impl ListArray {
                 None => break,
             }
         }
+        debug_assert_eq!(
+            walked, self.entries[handle.0].chain_entries,
+            "cached chain length out of sync with a full traversal for {handle:?}"
+        );
         (
             values,
             Walk {
@@ -244,9 +284,10 @@ impl ListArray {
         self.len(handle) == 0
     }
 
-    /// Number of entries the list currently spans.
+    /// Number of entries the list currently spans. O(1) from the cached
+    /// chain length; equals what a full traversal would count.
     pub fn entries_spanned(&self, handle: ListHandle) -> u64 {
-        self.iter_with_walk(handle).1.entries_touched
+        self.tail_of(handle).1
     }
 
     /// Removes the first occurrence of `value` from the list, if present.
@@ -294,6 +335,8 @@ impl ListArray {
         let mut idx = self.entries[head].next;
         self.entries[head].elems.clear();
         self.entries[head].next = None;
+        self.entries[head].tail = head;
+        self.entries[head].chain_entries = 1;
         while let Some(cur) = idx {
             walked += 1;
             idx = self.entries[cur].next;
@@ -327,6 +370,178 @@ impl ListArray {
         }
         Walk {
             entries_touched: walked,
+        }
+    }
+}
+
+/// Linear-walk reference model of [`ListArray`], kept under `#[cfg(test)]`.
+///
+/// It mirrors every operation with the walks the hardware performs and no
+/// cached tail state; the conformance tests drive it in lockstep with the
+/// real implementation and require bit-identical contents *and* [`Walk`]
+/// counts, proving the cached-tail optimisation changed actual work only,
+/// never modeled work.
+#[cfg(test)]
+pub mod naive {
+    use super::{ListArrayFull, ListHandle, Walk};
+
+    #[derive(Debug, Clone, Default)]
+    struct NaiveEntry {
+        elems: Vec<u32>,
+        next: Option<usize>,
+        allocated: bool,
+    }
+
+    /// The reference list array: identical semantics, all-linear walks.
+    #[derive(Debug, Clone)]
+    pub struct NaiveListArray {
+        entries: Vec<NaiveEntry>,
+        free: Vec<usize>,
+        elems_per_entry: usize,
+    }
+
+    impl NaiveListArray {
+        /// Mirrors [`super::ListArray::new`].
+        pub fn new(num_entries: usize, elems_per_entry: usize) -> Self {
+            NaiveListArray {
+                entries: vec![NaiveEntry::default(); num_entries],
+                free: (0..num_entries).rev().collect(),
+                elems_per_entry,
+            }
+        }
+
+        fn take_free_entry(&mut self) -> Result<usize, ListArrayFull> {
+            let idx = self.free.pop().ok_or(ListArrayFull)?;
+            let entry = &mut self.entries[idx];
+            entry.elems.clear();
+            entry.next = None;
+            entry.allocated = true;
+            Ok(idx)
+        }
+
+        /// Mirrors [`super::ListArray::alloc_list`].
+        pub fn alloc_list(&mut self) -> Result<ListHandle, ListArrayFull> {
+            self.take_free_entry().map(ListHandle)
+        }
+
+        fn tail_of(&self, handle: ListHandle) -> (usize, u64) {
+            let mut idx = handle.0;
+            let mut walked = 1;
+            while let Some(next) = self.entries[idx].next {
+                idx = next;
+                walked += 1;
+            }
+            (idx, walked)
+        }
+
+        /// Mirrors [`super::ListArray::push`] with an explicit linear walk.
+        pub fn push(&mut self, handle: ListHandle, value: u32) -> Result<Walk, ListArrayFull> {
+            let (tail, walked) = self.tail_of(handle);
+            if self.entries[tail].elems.len() < self.elems_per_entry {
+                self.entries[tail].elems.push(value);
+                return Ok(Walk {
+                    entries_touched: walked,
+                });
+            }
+            let new_idx = self.take_free_entry()?;
+            self.entries[new_idx].elems.push(value);
+            self.entries[tail].next = Some(new_idx);
+            Ok(Walk {
+                entries_touched: walked + 1,
+            })
+        }
+
+        /// Mirrors [`super::ListArray::remove`].
+        pub fn remove(&mut self, handle: ListHandle, value: u32) -> (bool, Walk) {
+            let mut idx = handle.0;
+            let mut walked = 0;
+            loop {
+                walked += 1;
+                if let Some(pos) = self.entries[idx].elems.iter().position(|&v| v == value) {
+                    self.entries[idx].elems.remove(pos);
+                    return (
+                        true,
+                        Walk {
+                            entries_touched: walked,
+                        },
+                    );
+                }
+                match self.entries[idx].next {
+                    Some(next) => idx = next,
+                    None => {
+                        return (
+                            false,
+                            Walk {
+                                entries_touched: walked,
+                            },
+                        )
+                    }
+                }
+            }
+        }
+
+        /// Mirrors [`super::ListArray::flush`].
+        pub fn flush(&mut self, handle: ListHandle) -> Walk {
+            let mut walked = 1;
+            let head = handle.0;
+            let mut idx = self.entries[head].next;
+            self.entries[head].elems.clear();
+            self.entries[head].next = None;
+            while let Some(cur) = idx {
+                walked += 1;
+                idx = self.entries[cur].next;
+                self.release_entry(cur);
+            }
+            Walk {
+                entries_touched: walked,
+            }
+        }
+
+        fn release_entry(&mut self, idx: usize) {
+            let entry = &mut self.entries[idx];
+            entry.allocated = false;
+            entry.elems.clear();
+            entry.next = None;
+            self.free.push(idx);
+        }
+
+        /// Mirrors [`super::ListArray::free_list`].
+        pub fn free_list(&mut self, handle: ListHandle) -> Walk {
+            let mut idx = Some(handle.0);
+            let mut walked = 0;
+            while let Some(cur) = idx {
+                walked += 1;
+                idx = self.entries[cur].next;
+                self.release_entry(cur);
+            }
+            Walk {
+                entries_touched: walked,
+            }
+        }
+
+        /// Mirrors [`super::ListArray::collect`].
+        pub fn collect(&self, handle: ListHandle) -> Vec<u32> {
+            let mut values = Vec::new();
+            let mut idx = handle.0;
+            loop {
+                values.extend_from_slice(&self.entries[idx].elems);
+                match self.entries[idx].next {
+                    Some(next) => idx = next,
+                    None => break,
+                }
+            }
+            values
+        }
+
+        /// Mirrors [`super::ListArray::entries_spanned`].
+        pub fn entries_spanned(&self, handle: ListHandle) -> u64 {
+            self.tail_of(handle).1
+        }
+
+        /// Mirrors [`super::ListArray::push_needs_new_entry`].
+        pub fn push_needs_new_entry(&self, handle: ListHandle) -> bool {
+            let (tail, _) = self.tail_of(handle);
+            self.entries[tail].elems.len() >= self.elems_per_entry
         }
     }
 }
@@ -574,5 +789,102 @@ mod tests {
     #[should_panic(expected = "at least one element")]
     fn zero_elems_per_entry_panics() {
         let _ = ListArray::new(8, 0);
+    }
+
+    /// Lockstep conformance against the linear-walk reference: a long
+    /// deterministic random sequence of alloc/push/remove/flush/free over
+    /// interleaved lists must produce bit-identical contents AND bit-identical
+    /// [`Walk`] counts on the cached-tail implementation and the naive one.
+    #[test]
+    fn walk_counts_match_naive_reference_under_random_ops() {
+        use super::naive::NaiveListArray;
+        use tdm_sim::rng::SplitMix64;
+
+        for seed in 0..8u64 {
+            let mut rng = SplitMix64::new(0xC0FFEE ^ seed);
+            let mut fast = ListArray::new(64, 2);
+            let mut naive = NaiveListArray::new(64, 2);
+            let mut handles: Vec<ListHandle> = Vec::new();
+            for step in 0..2_000u32 {
+                let ctx = format!("seed {seed} step {step}");
+                match rng.next_below(10) {
+                    // Allocation (both must agree on success and handle).
+                    0 | 1 => {
+                        let a = fast.alloc_list();
+                        let b = naive.alloc_list();
+                        assert_eq!(a, b, "{ctx}: alloc");
+                        if let Ok(h) = a {
+                            handles.push(h);
+                        }
+                    }
+                    // Push dominates the mix: it is the DMU's hot operation.
+                    2..=6 if !handles.is_empty() => {
+                        let h = handles[rng.next_below(handles.len() as u64) as usize];
+                        let a = fast.push(h, step);
+                        let b = naive.push(h, step);
+                        assert_eq!(a, b, "{ctx}: push walk");
+                    }
+                    7 if !handles.is_empty() => {
+                        let h = handles[rng.next_below(handles.len() as u64) as usize];
+                        let victim = rng.next_below(u64::from(step) + 1) as u32;
+                        assert_eq!(
+                            fast.remove(h, victim),
+                            naive.remove(h, victim),
+                            "{ctx}: remove walk"
+                        );
+                    }
+                    8 if !handles.is_empty() => {
+                        let h = handles[rng.next_below(handles.len() as u64) as usize];
+                        assert_eq!(fast.flush(h), naive.flush(h), "{ctx}: flush walk");
+                    }
+                    9 if !handles.is_empty() => {
+                        let i = rng.next_below(handles.len() as u64) as usize;
+                        let h = handles.swap_remove(i);
+                        assert_eq!(fast.free_list(h), naive.free_list(h), "{ctx}: free walk");
+                    }
+                    _ => {}
+                }
+                // Read-side agreement on every live list, every step.
+                for &h in &handles {
+                    assert_eq!(fast.collect(h), naive.collect(h), "{ctx}: contents");
+                    assert_eq!(
+                        fast.entries_spanned(h),
+                        naive.entries_spanned(h),
+                        "{ctx}: span"
+                    );
+                    assert_eq!(
+                        fast.push_needs_new_entry(h),
+                        naive.push_needs_new_entry(h),
+                        "{ctx}: spill prediction"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The cached tail must survive the chain-mutating operations in
+    /// combination: grow, flush, regrow, remove-in-middle, regrow again.
+    #[test]
+    fn cached_tail_survives_flush_and_regrowth() {
+        let mut la = ListArray::new(16, 2);
+        let l = la.alloc_list().unwrap();
+        for v in 0..9 {
+            la.push(l, v).unwrap(); // 5 entries
+        }
+        assert_eq!(la.entries_spanned(l), 5);
+        la.flush(l);
+        assert_eq!(la.entries_spanned(l), 1);
+        for v in 0..5 {
+            la.push(l, v).unwrap(); // 3 entries
+        }
+        assert_eq!(la.entries_spanned(l), 3);
+        la.remove(l, 2);
+        la.remove(l, 3); // middle entry emptied, still chained
+        assert_eq!(la.entries_spanned(l), 3);
+        let walk = la.push(l, 9).unwrap();
+        // Tail entry holds one element (4), so the push lands there after a
+        // modeled 3-entry walk.
+        assert_eq!(walk.entries_touched, 3);
+        assert_eq!(la.collect(l), vec![0, 1, 4, 9]);
     }
 }

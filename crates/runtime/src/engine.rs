@@ -44,26 +44,20 @@ pub struct ReadyInfo {
 }
 
 /// Result of a (possibly partial) task-creation step on the master thread.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Tasks that became ready during the call are appended to the `ready`
+/// buffer the caller passes in (the created task itself if it had no
+/// unsatisfied dependences, plus any tasks drained from the hardware ready
+/// queue). The buffer is caller-owned so the execution driver can reuse one
+/// allocation across every event of a run instead of allocating a fresh
+/// vector per engine call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CreationOutcome {
     /// Cycles the creating core spent in this call (DEPS).
     pub cost: Cycle,
     /// Whether the creation completed. `false` means a DMU structure was
     /// full; the caller must retry after the next `finish_task`.
     pub completed: bool,
-    /// Tasks that became ready during this call (the created task itself if
-    /// it had no unsatisfied dependences, plus any tasks drained from the
-    /// hardware ready queue).
-    pub ready: Vec<ReadyInfo>,
-}
-
-/// Result of finishing a task.
-#[derive(Debug, Clone, PartialEq)]
-pub struct FinishOutcome {
-    /// Cycles the finishing core spent (DEPS).
-    pub cost: Cycle,
-    /// Tasks that became ready because of this finish.
-    pub ready: Vec<ReadyInfo>,
 }
 
 /// Snapshot of hardware dependence-tracker state, for reports.
@@ -82,15 +76,34 @@ pub struct HardwareReport {
 }
 
 /// How dependences are tracked for a run.
+///
+/// Both operations *append* newly ready tasks to a caller-owned `ready`
+/// buffer instead of returning a fresh vector; callers clear (or drain) the
+/// buffer between calls. This keeps the simulate loop allocation-free per
+/// event on its hottest path.
 pub trait DependenceEngine {
     /// Engine name for reports.
     fn name(&self) -> &'static str;
 
-    /// Performs (or resumes) the creation of `task` at simulated time `now`.
-    fn create_task(&mut self, now: Cycle, task: TaskRef) -> CreationOutcome;
+    /// Performs (or resumes) the creation of `task` at simulated time `now`,
+    /// appending tasks that became ready to `ready`.
+    fn create_task(
+        &mut self,
+        now: Cycle,
+        task: TaskRef,
+        ready: &mut Vec<ReadyInfo>,
+    ) -> CreationOutcome;
 
-    /// Notifies that `task` finished at time `now` on core `core`.
-    fn finish_task(&mut self, now: Cycle, task: TaskRef, core: usize) -> FinishOutcome;
+    /// Notifies that `task` finished at time `now` on core `core`, appending
+    /// tasks that became ready to `ready`. Returns the cycles the finishing
+    /// core spent (DEPS).
+    fn finish_task(
+        &mut self,
+        now: Cycle,
+        task: TaskRef,
+        core: usize,
+        ready: &mut Vec<ReadyInfo>,
+    ) -> Cycle;
 
     /// Hardware statistics, if this engine models a hardware tracker.
     fn hardware_report(&self) -> Option<HardwareReport> {
@@ -155,35 +168,42 @@ impl DependenceEngine for SoftwareEngine {
         self.name
     }
 
-    fn create_task(&mut self, _now: Cycle, task: TaskRef) -> CreationOutcome {
+    fn create_task(
+        &mut self,
+        _now: Cycle,
+        task: TaskRef,
+        ready: &mut Vec<ReadyInfo>,
+    ) -> CreationOutcome {
         let i = task.index();
         assert!(!self.created[i], "{task} created twice");
         self.created[i] = true;
         let cost = self
             .cost
             .sw_creation_cost(self.workload_deps[i], self.graph.creation_edge_work(task));
-        let ready = if self.pending_predecessors[i] == 0 {
-            vec![ReadyInfo {
+        if self.pending_predecessors[i] == 0 {
+            ready.push(ReadyInfo {
                 task,
                 num_successors: self.successor_counts[i],
-            }]
-        } else {
-            Vec::new()
-        };
+            });
+        }
         CreationOutcome {
             cost,
             completed: true,
-            ready,
         }
     }
 
-    fn finish_task(&mut self, _now: Cycle, task: TaskRef, _core: usize) -> FinishOutcome {
+    fn finish_task(
+        &mut self,
+        _now: Cycle,
+        task: TaskRef,
+        _core: usize,
+        ready: &mut Vec<ReadyInfo>,
+    ) -> Cycle {
         let i = task.index();
         assert!(self.created[i], "{task} finished before being created");
         assert!(!self.finished[i], "{task} finished twice");
         self.finished[i] = true;
         let successors = self.graph.successors(task);
-        let mut ready = Vec::new();
         for &succ in successors {
             let s = succ.index();
             debug_assert!(self.pending_predecessors[s] > 0);
@@ -195,10 +215,7 @@ impl DependenceEngine for SoftwareEngine {
                 });
             }
         }
-        FinishOutcome {
-            cost: self.cost.sw_finish_cost(successors.len() as u32),
-            ready,
-        }
+        self.cost.sw_finish_cost(successors.len() as u32)
     }
 }
 
@@ -401,11 +418,15 @@ impl DependenceEngine for HardwareEngine {
         }
     }
 
-    fn create_task(&mut self, now: Cycle, task: TaskRef) -> CreationOutcome {
+    fn create_task(
+        &mut self,
+        now: Cycle,
+        task: TaskRef,
+        ready: &mut Vec<ReadyInfo>,
+    ) -> CreationOutcome {
         let desc = self.descriptor(task);
         let latency = self.dmu.access_latency();
         let mut cost = Cycle::ZERO;
-        let mut ready = Vec::new();
 
         let mut pending = match self.pending.take() {
             Some(p) => {
@@ -437,16 +458,17 @@ impl DependenceEngine for HardwareEngine {
                     return CreationOutcome {
                         cost,
                         completed: false,
-                        ready,
                     };
                 }
                 Err(e) => panic!("unexpected DMU error during create: {e}"),
             }
         }
 
-        let deps = self.workload.deps[task.index()].clone();
-        while pending.next_dep < deps.len() {
-            let (addr, size, dir) = deps[pending.next_dep];
+        // Index the dependence slice in place each iteration (each element is
+        // a small Copy tuple) — cloning the whole per-task vector here used
+        // to show up on the simulate hot path.
+        while pending.next_dep < self.workload.deps[task.index()].len() {
+            let (addr, size, dir) = self.workload.deps[task.index()][pending.next_dep];
             match self.dmu.add_dependence(desc, DepAddr(addr), size, dir) {
                 Ok(r) => {
                     cost += self.charge_instruction(now + cost, r.cost(latency));
@@ -458,11 +480,10 @@ impl DependenceEngine for HardwareEngine {
                     self.pending = Some(pending);
                     // Ready tasks may already be sitting in the queue; expose
                     // them so workers are not starved while the master waits.
-                    self.drain_ready(now + cost, &mut cost, &mut ready);
+                    self.drain_ready(now + cost, &mut cost, ready);
                     return CreationOutcome {
                         cost,
                         completed: false,
-                        ready,
                     };
                 }
                 Err(e) => panic!("unexpected DMU error during add_dependence: {e}"),
@@ -475,15 +496,20 @@ impl DependenceEngine for HardwareEngine {
             .expect("submit of a created task cannot fail");
         cost += self.charge_instruction(now + cost, submit.cost(latency));
 
-        self.drain_ready(now + cost, &mut cost, &mut ready);
+        self.drain_ready(now + cost, &mut cost, ready);
         CreationOutcome {
             cost,
             completed: true,
-            ready,
         }
     }
 
-    fn finish_task(&mut self, now: Cycle, task: TaskRef, _core: usize) -> FinishOutcome {
+    fn finish_task(
+        &mut self,
+        now: Cycle,
+        task: TaskRef,
+        _core: usize,
+        ready: &mut Vec<ReadyInfo>,
+    ) -> Cycle {
         let desc = self.descriptor(task);
         let latency = self.dmu.access_latency();
         let mut cost = Cycle::ZERO;
@@ -493,9 +519,8 @@ impl DependenceEngine for HardwareEngine {
             .expect("finishing an in-flight task cannot fail");
         cost += self.charge_instruction(now, result.cost(latency));
         self.release_descriptor(task);
-        let mut ready = Vec::new();
-        self.drain_ready(now + cost, &mut cost, &mut ready);
-        FinishOutcome { cost, ready }
+        self.drain_ready(now + cost, &mut cost, ready);
+        cost
     }
 
     fn hardware_report(&self) -> Option<HardwareReport> {
@@ -550,16 +575,16 @@ mod tests {
 
     fn run_engine_to_completion(engine: &mut dyn DependenceEngine, n: usize) -> Vec<TaskRef> {
         // Create everything (retrying stalls), executing ready tasks
-        // immediately in FIFO order; returns the completion order.
+        // immediately in FIFO order; returns the completion order. The pool
+        // doubles as the engines' append-only ready buffer.
         let mut order = Vec::new();
         let mut pool: Vec<ReadyInfo> = Vec::new();
         let mut next = 0usize;
         let mut now = Cycle::ZERO;
         while order.len() < n {
             if next < n {
-                let outcome = engine.create_task(now, TaskRef(next));
+                let outcome = engine.create_task(now, TaskRef(next), &mut pool);
                 now += outcome.cost;
-                pool.extend(outcome.ready);
                 if outcome.completed {
                     next += 1;
                     continue;
@@ -574,9 +599,7 @@ mod tests {
                 );
             }
             let info = pool.remove(0);
-            let fin = engine.finish_task(now, info.task, 0);
-            now += fin.cost;
-            pool.extend(fin.ready);
+            now += engine.finish_task(now, info.task, 0, &mut pool);
             order.push(info.task);
         }
         order
@@ -622,8 +645,8 @@ mod tests {
         let mut sw_ready = Vec::new();
         let mut hw_ready = Vec::new();
         for i in 0..w.len() {
-            sw_ready.extend(sw.create_task(Cycle::ZERO, TaskRef(i)).ready);
-            hw_ready.extend(hw.create_task(Cycle::ZERO, TaskRef(i)).ready);
+            sw.create_task(Cycle::ZERO, TaskRef(i), &mut sw_ready);
+            hw.create_task(Cycle::ZERO, TaskRef(i), &mut hw_ready);
         }
         // Only the root is ready on both.
         assert_eq!(sw_ready.len(), 1);
@@ -631,10 +654,12 @@ mod tests {
         assert_eq!(sw_ready[0].task, TaskRef(0));
         assert_eq!(hw_ready[0].task, TaskRef(0));
         // Finishing the root readies all four leaves on both.
-        let sw_fin = sw.finish_task(Cycle::ZERO, TaskRef(0), 0);
-        let hw_fin = hw.finish_task(Cycle::ZERO, TaskRef(0), 0);
-        let mut sw_tasks: Vec<usize> = sw_fin.ready.iter().map(|r| r.task.index()).collect();
-        let mut hw_tasks: Vec<usize> = hw_fin.ready.iter().map(|r| r.task.index()).collect();
+        let mut sw_fin = Vec::new();
+        let mut hw_fin = Vec::new();
+        sw.finish_task(Cycle::ZERO, TaskRef(0), 0, &mut sw_fin);
+        hw.finish_task(Cycle::ZERO, TaskRef(0), 0, &mut hw_fin);
+        let mut sw_tasks: Vec<usize> = sw_fin.iter().map(|r| r.task.index()).collect();
+        let mut hw_tasks: Vec<usize> = hw_fin.iter().map(|r| r.task.index()).collect();
         sw_tasks.sort_unstable();
         hw_tasks.sort_unstable();
         assert_eq!(sw_tasks, vec![1, 2, 3, 4]);
@@ -647,7 +672,8 @@ mod tests {
         // The software engine reports the whole-graph successor count (it
         // knows the full TDG); the root of the fork-join has 4 successors.
         let mut sw = SoftwareEngine::new(&w, CostModel::default());
-        let sw_ready = sw.create_task(Cycle::ZERO, TaskRef(0)).ready;
+        let mut sw_ready = Vec::new();
+        sw.create_task(Cycle::ZERO, TaskRef(0), &mut sw_ready);
         assert_eq!(sw_ready[0].num_successors, 4);
         // The hardware engine reports the count registered in the DMU at the
         // moment the task is handed to the runtime; for a leaf readied by the
@@ -661,18 +687,20 @@ mod tests {
         );
         let mut ready = Vec::new();
         for i in 0..w.len() {
-            ready.extend(hw.create_task(Cycle::ZERO, TaskRef(i)).ready);
+            hw.create_task(Cycle::ZERO, TaskRef(i), &mut ready);
         }
-        let fin = hw.finish_task(Cycle::ZERO, TaskRef(0), 0);
-        assert!(fin.ready.iter().all(|r| r.num_successors == 0));
+        let mut fin = Vec::new();
+        hw.finish_task(Cycle::ZERO, TaskRef(0), 0, &mut fin);
+        assert!(fin.iter().all(|r| r.num_successors == 0));
     }
 
     #[test]
     fn software_creation_cost_scales_with_dependences() {
         let w = fork_join_workload();
         let mut e = SoftwareEngine::new(&w, CostModel::default());
-        let root_cost = e.create_task(Cycle::ZERO, TaskRef(0)).cost;
-        let leaf_cost = e.create_task(Cycle::ZERO, TaskRef(1)).cost;
+        let mut ready = Vec::new();
+        let root_cost = e.create_task(Cycle::ZERO, TaskRef(0), &mut ready).cost;
+        let leaf_cost = e.create_task(Cycle::ZERO, TaskRef(1), &mut ready).cost;
         assert!(
             leaf_cost > root_cost,
             "2-dep leaf should cost more than 1-dep root"
@@ -691,8 +719,9 @@ mod tests {
             cost,
             Cycle::new(16),
         );
-        let sw_cost = sw.create_task(Cycle::ZERO, TaskRef(0)).cost;
-        let hw_cost = hw.create_task(Cycle::ZERO, TaskRef(0)).cost;
+        let mut ready = Vec::new();
+        let sw_cost = sw.create_task(Cycle::ZERO, TaskRef(0), &mut ready).cost;
+        let hw_cost = hw.create_task(Cycle::ZERO, TaskRef(0), &mut ready).cost;
         assert!(
             hw_cost.raw() * 2 < sw_cost.raw(),
             "TDM creation ({hw_cost}) should be far cheaper than software ({sw_cost})"
@@ -739,8 +768,9 @@ mod tests {
         );
         // Two creations issued at the same instant: the second waits for the
         // DMU to finish processing the first.
-        let c0 = hw.create_task(Cycle::ZERO, TaskRef(0)).cost;
-        let c1 = hw.create_task(Cycle::ZERO, TaskRef(1)).cost;
+        let mut ready = Vec::new();
+        let c0 = hw.create_task(Cycle::ZERO, TaskRef(0), &mut ready).cost;
+        let c1 = hw.create_task(Cycle::ZERO, TaskRef(1), &mut ready).cost;
         assert!(
             c1 >= c0,
             "second creation at the same time must queue behind the first"

@@ -8,8 +8,6 @@
 //! result is a [`RunReport`] from which every figure and table of the paper's
 //! evaluation can be derived.
 
-use std::collections::BTreeSet;
-
 use serde::Serialize;
 use tdm_core::config::DmuConfig;
 use tdm_sim::cache::LocalityModel;
@@ -120,6 +118,13 @@ pub struct ExecConfig {
     /// default corresponds to a core's share of the L1 plus the shared L2
     /// (4 MB / 32 cores + 32 KB).
     pub locality_capacity_bytes: u64,
+    /// Record the full executed schedule in [`RunReport::schedule`].
+    /// Off by default: the trace costs O(tasks) memory, which large
+    /// workloads should not pay. The conformance tests opt in explicitly to
+    /// replay schedules against the reference graph. Tracing never affects
+    /// modeled time — makespan and phase breakdowns are bit-identical either
+    /// way.
+    pub trace_schedule: bool,
 }
 
 impl Default for ExecConfig {
@@ -132,6 +137,7 @@ impl Default for ExecConfig {
             cost: CostModel::default(),
             seed: 42,
             locality_capacity_bytes: locality,
+            trace_schedule: false,
         }
     }
 }
@@ -141,6 +147,53 @@ impl ExecConfig {
     pub fn with_cores(mut self, num_cores: usize) -> Self {
         self.chip = ChipConfig::with_cores(num_cores);
         self
+    }
+
+    /// Same configuration with schedule tracing switched on.
+    pub fn with_trace_schedule(mut self) -> Self {
+        self.trace_schedule = true;
+        self
+    }
+}
+
+/// The set of currently idle cores: O(1) insert/remove via a per-core
+/// bitmap, with the lowest-numbered idle core woken first — the same wake
+/// order the `BTreeSet` it replaces produced, so runs stay bit-identical.
+#[derive(Debug)]
+struct IdleSet {
+    words: Vec<u64>,
+}
+
+impl IdleSet {
+    fn new(num_cores: usize) -> Self {
+        IdleSet {
+            words: vec![0; num_cores.div_ceil(64)],
+        }
+    }
+
+    fn insert(&mut self, core: usize) {
+        self.words[core >> 6] |= 1 << (core & 63);
+    }
+
+    /// Removes `core`, returning whether it was present.
+    fn remove(&mut self, core: usize) -> bool {
+        let word = &mut self.words[core >> 6];
+        let bit = 1u64 << (core & 63);
+        let was_idle = *word & bit != 0;
+        *word &= !bit;
+        was_idle
+    }
+
+    /// Removes and returns the lowest-numbered idle core.
+    fn pop_min(&mut self) -> Option<usize> {
+        for (i, word) in self.words.iter_mut().enumerate() {
+            if *word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                *word &= *word - 1; // clear the lowest set bit
+                return Some((i << 6) | bit);
+            }
+        }
+        None
     }
 }
 
@@ -173,10 +226,11 @@ pub struct RunReport {
     pub hardware: Option<HardwareReport>,
     /// Number of tasks executed.
     pub tasks: u64,
-    /// The executed schedule, in finish order. Conformance tests replay this
-    /// against the reference [`TaskGraph`](crate::tdg::TaskGraph) to check
-    /// that the run respected every dependence and executed each task
-    /// exactly once.
+    /// The executed schedule, in finish order — **empty unless
+    /// [`ExecConfig::trace_schedule`] is set**, because the trace costs
+    /// O(tasks) memory. Conformance tests opt in and replay this against the
+    /// reference [`TaskGraph`](crate::tdg::TaskGraph) to check that the run
+    /// respected every dependence and executed each task exactly once.
     pub schedule: Vec<ScheduledTask>,
 }
 
@@ -252,10 +306,17 @@ pub fn simulate(
     let mut events: EventQueue<usize> = EventQueue::new();
     let mut running: Vec<Option<TaskRef>> = vec![None; num_cores];
     let mut idle_since: Vec<Option<Cycle>> = vec![None; num_cores];
-    let mut idle_set: BTreeSet<usize> = BTreeSet::new();
+    let mut idle_set = IdleSet::new(num_cores);
+    // One ready buffer reused across every engine call of the run; engines
+    // append, `push_ready` drains.
+    let mut ready_buf: Vec<ReadyInfo> = Vec::new();
     let mut next_create = 0usize;
     let mut finished = 0usize;
-    let mut schedule: Vec<ScheduledTask> = Vec::with_capacity(total_tasks);
+    let mut schedule: Vec<ScheduledTask> = if config.trace_schedule {
+        Vec::with_capacity(total_tasks)
+    } else {
+        Vec::new()
+    };
     let mut makespan = Cycle::ZERO;
     // True while the last creation attempt stalled on a full DMU structure;
     // the master then behaves as a worker (runtime-system throttling) and
@@ -288,19 +349,22 @@ pub fn simulate(
             // Any finish releases DMU resources, so a throttled master may
             // retry creation at its next opportunity.
             master_throttled = false;
-            let fin = engine.finish_task(t, task, core);
-            stats.cores[core].add(Phase::Deps, fin.cost);
-            t += fin.cost;
+            ready_buf.clear();
+            let fin_cost = engine.finish_task(t, task, core, &mut ready_buf);
+            stats.cores[core].add(Phase::Deps, fin_cost);
+            t += fin_cost;
             finished += 1;
             finished_here = true;
-            schedule.push(ScheduledTask {
-                task,
-                core,
-                finish: t,
-            });
+            if config.trace_schedule {
+                schedule.push(ScheduledTask {
+                    task,
+                    core,
+                    finish: t,
+                });
+            }
             makespan = makespan.max(t);
             push_ready(
-                &fin.ready,
+                &ready_buf,
                 Some(core),
                 &mut t,
                 core,
@@ -314,8 +378,7 @@ pub fn simulate(
 
         // A finish frees DMU resources (and may ready tasks): make sure a
         // throttled or idle master gets a chance to resume creation.
-        if finished_here && core != master && next_create < total_tasks && idle_set.remove(&master)
-        {
+        if finished_here && core != master && next_create < total_tasks && idle_set.remove(master) {
             events.schedule(t, master);
         }
 
@@ -329,11 +392,12 @@ pub fn simulate(
         // ------------------------------------------------------------------
         if core == master && next_create < total_tasks && !master_throttled {
             let task = TaskRef(next_create);
-            let outcome = engine.create_task(t, task);
+            ready_buf.clear();
+            let outcome = engine.create_task(t, task, &mut ready_buf);
             stats.cores[master].add(Phase::Deps, outcome.cost);
             t += outcome.cost;
             push_ready(
-                &outcome.ready,
+                &ready_buf,
                 None,
                 &mut t,
                 master,
@@ -363,7 +427,7 @@ pub fn simulate(
             if let Some(since) = idle_since[core].take() {
                 stats.cores[core].add(Phase::Idle, t.saturating_sub(since));
             }
-            idle_set.remove(&core);
+            idle_set.remove(core);
             stats.cores[core].add(Phase::Sched, pick_cost);
             t += pick_cost;
 
@@ -424,7 +488,7 @@ fn push_ready(
     pool: &mut dyn Scheduler,
     stats: &mut SimStats,
     push_cost: Cycle,
-    idle_set: &mut BTreeSet<usize>,
+    idle_set: &mut IdleSet,
     events: &mut EventQueue<usize>,
 ) {
     for info in ready {
@@ -438,12 +502,11 @@ fn push_ready(
             producer_core,
         });
     }
-    // Wake one idle core per newly ready task.
+    // Wake one idle core per newly ready task, lowest-numbered first.
     for _ in 0..ready.len() {
-        let Some(&idle_core) = idle_set.iter().next() else {
+        let Some(idle_core) = idle_set.pop_min() else {
             break;
         };
-        idle_set.remove(&idle_core);
         events.schedule(*t, idle_core);
     }
 }

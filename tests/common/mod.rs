@@ -60,12 +60,12 @@ pub fn small_benchmarks() -> Vec<Workload> {
 /// completes creation nor becomes ready).
 pub fn drive(engine: &mut dyn DependenceEngine, n: usize) -> Vec<TaskRef> {
     let mut order = Vec::new();
+    // The FIFO pool doubles as the engines' append-only ready buffer.
     let mut pool = Vec::new();
     let mut next = 0usize;
     while order.len() < n {
         if next < n {
-            let outcome = engine.create_task(Cycle::ZERO, TaskRef(next));
-            pool.extend(outcome.ready);
+            let outcome = engine.create_task(Cycle::ZERO, TaskRef(next), &mut pool);
             if outcome.completed {
                 next += 1;
                 continue;
@@ -77,8 +77,7 @@ pub fn drive(engine: &mut dyn DependenceEngine, n: usize) -> Vec<TaskRef> {
             n - order.len()
         );
         let info = pool.remove(0);
-        let fin = engine.finish_task(Cycle::ZERO, info.task, 0);
-        pool.extend(fin.ready);
+        engine.finish_task(Cycle::ZERO, info.task, 0, &mut pool);
         order.push(info.task);
     }
     order

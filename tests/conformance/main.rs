@@ -23,6 +23,7 @@ mod common;
 
 mod determinism;
 mod schedule;
+mod stats;
 
 use tdm::prelude::*;
 
@@ -38,9 +39,13 @@ pub fn all_backends() -> Vec<Backend> {
 
 /// The chip configuration used by the conformance matrix: 8 cores keeps
 /// debug-build runtimes low while still exercising parallel scheduling.
+/// Schedule tracing is opt-in ([`ExecConfig::trace_schedule`]) and these
+/// tests are exactly the consumer it exists for: they replay the executed
+/// schedule against the golden model.
 pub fn conformance_config() -> ExecConfig {
     ExecConfig {
         chip: ChipConfig::with_cores(8),
         ..ExecConfig::default()
     }
+    .with_trace_schedule()
 }

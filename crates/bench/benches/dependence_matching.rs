@@ -1,24 +1,25 @@
 //! Criterion benchmarks comparing the dependence-tracking engines (software
 //! vs DMU-backed) processing the same task stream.
 
+use std::collections::VecDeque;
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use tdm_core::config::DmuConfig;
 use tdm_runtime::cost::CostModel;
 use tdm_runtime::engine::{DependenceEngine, HardwareEngine, HardwareFlavor, SoftwareEngine};
-use tdm_runtime::task::TaskRef;
+use tdm_runtime::task::{TaskRef, Workload};
 use tdm_sim::clock::Cycle;
 use tdm_workloads::cholesky;
 
 fn bench_engines(c: &mut Criterion) {
     // A small Cholesky (8×8 blocks = 120 tasks) keeps each iteration short.
     let workload = cholesky::generate(cholesky::Params { blocks: 8 });
-    let n = workload.len();
 
     let mut group = c.benchmark_group("dependence_matching/cholesky8");
     group.bench_function("software_engine", |b| {
         b.iter_batched(
-            || SoftwareEngine::new(&workload, CostModel::default()),
-            |mut engine| drive(&mut engine, n),
+            || SoftwareEngine::new(CostModel::default()),
+            |mut engine| drive(&mut engine, &workload),
             BatchSize::SmallInput,
         )
     });
@@ -27,13 +28,12 @@ fn bench_engines(c: &mut Criterion) {
             || {
                 HardwareEngine::new(
                     HardwareFlavor::Tdm,
-                    &workload,
                     DmuConfig::default(),
                     CostModel::default(),
                     Cycle::new(16),
                 )
             },
-            |mut engine| drive(&mut engine, n),
+            |mut engine| drive(&mut engine, &workload),
             BatchSize::SmallInput,
         )
     });
@@ -41,21 +41,31 @@ fn bench_engines(c: &mut Criterion) {
 }
 
 /// Creates every task and immediately executes ready tasks FIFO until done.
-/// The pool doubles as the engines' append-only ready buffer.
-fn drive(engine: &mut dyn DependenceEngine, n: usize) -> usize {
-    let mut pool = Vec::new();
+fn drive(engine: &mut dyn DependenceEngine, workload: &Workload) -> usize {
+    let n = workload.len();
+    let mut ready = Vec::new();
+    let mut pool = VecDeque::new();
     let mut next = 0;
     let mut finished = 0;
     while finished < n {
         if next < n {
-            let outcome = engine.create_task(Cycle::ZERO, TaskRef(next), &mut pool);
+            ready.clear();
+            let outcome = engine.create_task(
+                Cycle::ZERO,
+                TaskRef(next),
+                &workload.tasks[next],
+                &mut ready,
+            );
+            pool.extend(ready.drain(..));
             if outcome.completed {
                 next += 1;
                 continue;
             }
         }
-        let info = pool.remove(0);
-        engine.finish_task(Cycle::ZERO, info.task, 0, &mut pool);
+        let info = pool.pop_front().expect("engine deadlocked");
+        ready.clear();
+        engine.finish_task(Cycle::ZERO, info.task, 0, &mut ready);
+        pool.extend(ready.drain(..));
         finished += 1;
     }
     finished

@@ -49,7 +49,7 @@ pub const WALL_ABS_SLACK_MS: f64 = 5.0;
 pub const WALL_REPS: u32 = 3;
 
 /// Allowed range for the host-speed normalisation factor (see
-/// [`host_speed_factor`]). Hardware differences between a dev container and
+/// `host_speed_factor`). Hardware differences between a dev container and
 /// a CI runner live comfortably inside ±4×; a matrix-wide median ratio
 /// outside this band is treated as a real regression (or improvement), not
 /// as hardware.
@@ -214,7 +214,7 @@ fn host_speed_factor(current: &Baseline, committed: &Baseline) -> f64 {
 ///   must be bit-identical),
 /// * wall-clock more than `wall_tolerance` (relative) slower than recorded,
 ///   after normalising out the matrix-wide median host-speed ratio (see
-///   [`host_speed_factor`]) and granting [`WALL_ABS_SLACK_MS`] of absolute
+///   `host_speed_factor`) and granting [`WALL_ABS_SLACK_MS`] of absolute
 ///   slack — so a slower CI host doesn't fail an unchanged tree, but a
 ///   change that slows particular cells still does,
 /// * cells present in one baseline but missing from the other,

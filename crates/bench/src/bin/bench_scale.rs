@@ -1,0 +1,269 @@
+//! Scaled streaming-execution harness: million-task runs through the
+//! windowed master, plus the Table II eager-vs-streaming equivalence gate.
+//!
+//! ```text
+//! bench_scale run    [--tasks N] [--window W] [--bench NAME] [--backend B]
+//! bench_scale smoke  [--tasks N] [--window W]      # CI: small run, asserts bounds
+//! bench_scale verify                               # CI: Table II, 36 cells, bit-identical
+//! ```
+//!
+//! * `run` drives each selected benchmark's scaled-up lazy generator
+//!   ([`Benchmark::scaled_stream`]) through [`simulate_stream`] with a
+//!   finite window (default 4096) and reports simulated tasks/sec and the
+//!   peak number of resident `TaskSpec`s — which stays bounded by the
+//!   window no matter how many tasks stream through. The default is a
+//!   ≥1,000,000-task run per benchmark.
+//! * `smoke` is the small CI variant (default 50,000 tasks, window 256): it
+//!   fails (nonzero exit) if any run loses tasks or exceeds the resident
+//!   bound.
+//! * `verify` replays the full Table II benchmark × backend matrix twice —
+//!   eager `simulate` over the collected workload vs `simulate_stream` over
+//!   the lazy generator — and fails on any difference in makespan, task
+//!   count or DMU access totals. This is the 36-cell equivalence gate the
+//!   scaled-down conformance tests mirror in debug builds.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use tdm_bench::standard_config;
+use tdm_runtime::exec::{simulate, simulate_stream, Backend, ExecConfig};
+use tdm_runtime::scheduler::SchedulerKind;
+use tdm_workloads::Benchmark;
+
+/// Default task target for `run`: the million-task milestone.
+const DEFAULT_RUN_TASKS: usize = 1_000_000;
+/// Default task target for `smoke`: big enough to exercise windows and
+/// scaled generators, small enough for a CI job step.
+const DEFAULT_SMOKE_TASKS: usize = 50_000;
+/// Default creation window for `run` (double the DMU's 2048 in-flight
+/// tasks, so hardware backends are DMU-limited before window-limited).
+const DEFAULT_RUN_WINDOW: usize = 4096;
+/// Default creation window for `smoke`: deliberately tight.
+const DEFAULT_SMOKE_WINDOW: usize = 256;
+
+struct Options {
+    tasks: usize,
+    window: usize,
+    bench: Option<Benchmark>,
+    backend: Backend,
+}
+
+fn parse_options(args: &[String], tasks: usize, window: usize) -> Result<Options, String> {
+    let mut options = Options {
+        tasks,
+        window,
+        bench: None,
+        backend: Backend::tdm_default(),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--tasks" => {
+                options.tasks = value("--tasks")?
+                    .parse()
+                    .map_err(|e| format!("--tasks: {e}"))?
+            }
+            "--window" => {
+                options.window = value("--window")?
+                    .parse()
+                    .map_err(|e| format!("--window: {e}"))?
+            }
+            "--bench" => {
+                let name = value("--bench")?;
+                options.bench = Some(
+                    Benchmark::ALL
+                        .into_iter()
+                        .find(|b| b.name().eq_ignore_ascii_case(&name))
+                        .ok_or_else(|| format!("unknown benchmark {name:?}"))?,
+                );
+            }
+            "--backend" => {
+                options.backend = match value("--backend")?.to_ascii_lowercase().as_str() {
+                    "software" => Backend::Software,
+                    "tdm" => Backend::tdm_default(),
+                    "carbon" => Backend::Carbon,
+                    "tss" | "tasksuperscalar" => Backend::task_superscalar_default(),
+                    other => return Err(format!("unknown backend {other:?}")),
+                };
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+fn selected(options: &Options) -> Vec<Benchmark> {
+    match options.bench {
+        Some(b) => vec![b],
+        None => Benchmark::ALL.to_vec(),
+    }
+}
+
+/// One scaled streaming run; returns `(tasks, peak_resident, tasks_per_sec)`.
+fn scaled_run(bench: Benchmark, options: &Options, config: &ExecConfig) -> (u64, usize, f64, u64) {
+    let mut stream = bench.scaled_stream(options.tasks);
+    let start = Instant::now();
+    let report = simulate_stream(&mut stream, &options.backend, SchedulerKind::Fifo, config);
+    let wall = start.elapsed().as_secs_f64();
+    (
+        report.tasks,
+        report.peak_resident_tasks,
+        report.tasks as f64 / wall.max(1e-9),
+        report.makespan().raw(),
+    )
+}
+
+fn run_or_smoke(options: &Options) -> ExitCode {
+    let config = ExecConfig {
+        window: options.window.max(1),
+        ..standard_config()
+    };
+    println!(
+        "streaming {} tasks/benchmark through a window of {} on {} ({} cores)\n",
+        options.tasks,
+        config.window,
+        options.backend.name(),
+        config.chip.num_cores
+    );
+    println!(
+        "| {:<14} | {:>9} | {:>13} | {:>16} | {:>12} |",
+        "Benchmark", "Tasks", "Peak resident", "Makespan cycles", "Tasks/sec"
+    );
+    println!("|{}|", "-".repeat(78));
+    let mut failures = 0;
+    for bench in selected(options) {
+        let (tasks, peak, throughput, makespan) = scaled_run(bench, options, &config);
+        println!(
+            "| {:<14} | {:>9} | {:>13} | {:>16} | {:>12.0} |",
+            bench.name(),
+            tasks,
+            peak,
+            makespan,
+            throughput
+        );
+        if tasks < options.tasks as u64 {
+            eprintln!(
+                "FAIL {}: executed {tasks} tasks, expected at least {}",
+                bench.name(),
+                options.tasks
+            );
+            failures += 1;
+        }
+        // Window + 1 prefetched spec: the documented residency bound.
+        if peak > config.window + 1 {
+            eprintln!(
+                "FAIL {}: {peak} specs resident exceeds window bound {}",
+                bench.name(),
+                config.window + 1
+            );
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("\n{failures} failure(s)");
+        return ExitCode::FAILURE;
+    }
+    println!("\nall runs stayed within the window bound");
+    ExitCode::SUCCESS
+}
+
+/// Table II equivalence: every benchmark × backend cell, eager vs streaming,
+/// must agree bit-for-bit on the modeled metrics.
+fn verify() -> ExitCode {
+    let config = standard_config();
+    let mut failures = 0;
+    println!(
+        "| {:<14} | {:<15} | {:>7} | {:>16} | {:>12} | {:<9} |",
+        "Benchmark", "Backend", "Tasks", "Makespan cycles", "DMU accesses", "Streaming"
+    );
+    println!("|{}|", "-".repeat(92));
+    for bench in Benchmark::ALL {
+        for backend in tdm_bench::baseline::matrix_backends() {
+            // The paper's methodology: hardware dependence tracking uses the
+            // TDM-optimal granularity, the software runtimes their own.
+            let hardware_granularity =
+                matches!(backend, Backend::Tdm(_) | Backend::TaskSuperscalar(_));
+            let workload = if hardware_granularity {
+                bench.tdm_workload()
+            } else {
+                bench.software_workload()
+            };
+            let eager = simulate(&workload, &backend, SchedulerKind::Fifo, &config);
+            let mut stream = if hardware_granularity {
+                bench.tdm_stream()
+            } else {
+                bench.software_stream()
+            };
+            let streamed = simulate_stream(&mut stream, &backend, SchedulerKind::Fifo, &config);
+            let accesses = |r: &tdm_runtime::exec::RunReport| {
+                r.hardware.as_ref().map_or(0, |hw| hw.stats.total_accesses)
+            };
+            let identical = eager.makespan() == streamed.makespan()
+                && eager.tasks == streamed.tasks
+                && eager.stats == streamed.stats
+                && accesses(&eager) == accesses(&streamed);
+            println!(
+                "| {:<14} | {:<15} | {:>7} | {:>16} | {:>12} | {:<9} |",
+                bench.name(),
+                backend.name(),
+                eager.tasks,
+                eager.makespan().raw(),
+                accesses(&eager),
+                if identical { "identical" } else { "MISMATCH" }
+            );
+            if !identical {
+                eprintln!(
+                    "FAIL {} × {}: eager (makespan {}, {} accesses) vs streaming \
+                     (makespan {}, {} accesses)",
+                    bench.name(),
+                    backend.name(),
+                    eager.makespan(),
+                    accesses(&eager),
+                    streamed.makespan(),
+                    accesses(&streamed)
+                );
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("\n{failures} cell(s) diverged");
+        return ExitCode::FAILURE;
+    }
+    println!("\nall 36 cells bit-identical between eager and streaming execution");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str).unwrap_or("run");
+    let rest = args.get(1..).unwrap_or(&[]);
+    let parsed = match mode {
+        "run" => parse_options(rest, DEFAULT_RUN_TASKS, DEFAULT_RUN_WINDOW),
+        "smoke" => parse_options(rest, DEFAULT_SMOKE_TASKS, DEFAULT_SMOKE_WINDOW),
+        "verify" => {
+            if !rest.is_empty() {
+                eprintln!("verify takes no flags");
+                return ExitCode::FAILURE;
+            }
+            return verify();
+        }
+        other => {
+            eprintln!("usage: bench_scale [run|smoke|verify] [--tasks N] [--window W] [--bench NAME] [--backend B]");
+            eprintln!("unknown mode {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match parsed {
+        Ok(options) => run_or_smoke(&options),
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -397,7 +397,7 @@ impl Dmu {
                 }
             }
             if dir.writes() {
-                for reader_raw in self.rla.collect(dep_entry.reader_list) {
+                for reader_raw in self.rla.iter(dep_entry.reader_list) {
                     let reader = TaskId::new(reader_raw);
                     if reader == task {
                         continue;
@@ -495,13 +495,14 @@ impl Dmu {
 
         if dir.writes() {
             // WAR edges from every reader, then this task becomes the last
-            // writer and the reader list is flushed.
-            let readers = self.rla.collect(dep_entry.reader_list);
+            // writer and the reader list is flushed. The reader list is
+            // walked in place (no `collect()` allocation); the list arrays
+            // it mutates inside the loop are disjoint structures.
             accesses.record(
                 DmuStructure::ReaderLa,
                 self.rla.entries_spanned(dep_entry.reader_list),
             );
-            for reader_raw in readers {
+            for reader_raw in self.rla.iter(dep_entry.reader_list) {
                 let reader = TaskId::new(reader_raw);
                 if reader == task {
                     continue;
@@ -568,7 +569,11 @@ impl Dmu {
     ///
     /// Wakes up successors (moving newly ready tasks to the Ready Queue),
     /// detaches the task from its dependences, and frees every DMU resource
-    /// the task held.
+    /// the task held. Returns the tasks that became ready.
+    ///
+    /// This convenience wrapper allocates the woken list; the execution
+    /// driver's hot path uses [`Dmu::finish_task_into`] with a reusable
+    /// buffer instead.
     ///
     /// # Errors
     ///
@@ -577,20 +582,39 @@ impl Dmu {
         &mut self,
         desc: DescriptorAddr,
     ) -> Result<DmuResult<Vec<TaskId>>, DmuError> {
+        let mut woken = Vec::new();
+        let result = self.finish_task_into(desc, &mut woken)?;
+        Ok(DmuResult::new(woken, result.accesses))
+    }
+
+    /// Allocation-free variant of [`Dmu::finish_task`]: `woken` is cleared
+    /// and filled with the tasks that became ready, so callers can reuse one
+    /// buffer across every finish of a run. The successor, dependence and
+    /// reader lists are walked in place (no intermediate `collect()`), with
+    /// access accounting identical to the allocating path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmuError::UnknownTask`] if `desc` is not in flight.
+    pub fn finish_task_into(
+        &mut self,
+        desc: DescriptorAddr,
+        woken: &mut Vec<TaskId>,
+    ) -> Result<DmuResult<()>, DmuError> {
+        woken.clear();
         let mut accesses = AccessCounter::new();
         accesses.touch(DmuStructure::Tat);
         let task = self.task_id(desc)?;
         let entry = self.tasks.get(task).expect("task exists").clone();
         accesses.touch(DmuStructure::TaskTable);
 
-        // First loop: wake up successors.
-        let successors = self.sla.collect(entry.successor_list);
+        // First loop: wake up successors (walking the successor list in
+        // place; it mutates only the task table and the ready queue).
         accesses.record(
             DmuStructure::SuccessorLa,
             self.sla.entries_spanned(entry.successor_list),
         );
-        let mut woken = Vec::new();
-        for succ_raw in successors {
+        for succ_raw in self.sla.iter(entry.successor_list) {
             let succ = TaskId::new(succ_raw);
             let succ_entry = self
                 .tasks
@@ -611,13 +635,14 @@ impl Dmu {
             }
         }
 
-        // Second loop: detach from dependences and free dead ones.
-        let dep_ids = self.dla.collect(entry.dependence_list);
+        // Second loop: detach from dependences and free dead ones (walking
+        // the dependence list in place; it mutates only the reader list
+        // array, the dependence table and the DAT).
         accesses.record(
             DmuStructure::DependenceLa,
             self.dla.entries_spanned(entry.dependence_list),
         );
-        for dep_raw in dep_ids {
+        for dep_raw in self.dla.iter(entry.dependence_list) {
             let dep = DepId::new(dep_raw);
             let Some(dep_entry) = self.deps.get(dep) else {
                 // Already freed via an earlier duplicate in this task's list.
@@ -656,7 +681,7 @@ impl Dmu {
 
         self.stats.finishes += 1;
         self.record_completion(&accesses);
-        Ok(DmuResult::new(woken, accesses))
+        Ok(DmuResult::new((), accesses))
     }
 
     /// `get_ready_task()`: pops the oldest ready task, returning its

@@ -245,43 +245,42 @@ impl ListArray {
     /// Returns the elements of the list in insertion order together with the
     /// number of entries walked.
     pub fn iter_with_walk(&self, handle: ListHandle) -> (Vec<u32>, Walk) {
-        self.assert_allocated(handle);
-        let mut values = Vec::new();
-        let mut idx = handle.0;
-        let mut walked = 0;
-        loop {
-            walked += 1;
-            values.extend_from_slice(&self.entries[idx].elems);
-            match self.entries[idx].next {
-                Some(next) => idx = next,
-                None => break,
-            }
-        }
-        debug_assert_eq!(
-            walked, self.entries[handle.0].chain_entries,
-            "cached chain length out of sync with a full traversal for {handle:?}"
-        );
+        let values = self.iter(handle).collect();
         (
             values,
             Walk {
-                entries_touched: walked,
+                entries_touched: self.entries_spanned(handle),
             },
         )
     }
 
+    /// Iterates over the elements of the list in insertion order without
+    /// allocating. The list must not be mutated while the iterator lives
+    /// (the borrow checker enforces this), which is what the DMU's hot
+    /// operations (`add_dependence`, `finish_task`) rely on to avoid the
+    /// per-operation `collect()` allocations they used to make.
+    pub fn iter(&self, handle: ListHandle) -> ListIter<'_> {
+        self.assert_allocated(handle);
+        ListIter {
+            array: self,
+            entry: Some(handle.0),
+            slot: 0,
+        }
+    }
+
     /// Returns the elements of the list in insertion order.
     pub fn collect(&self, handle: ListHandle) -> Vec<u32> {
-        self.iter_with_walk(handle).0
+        self.iter(handle).collect()
     }
 
     /// Number of elements in the list.
     pub fn len(&self, handle: ListHandle) -> usize {
-        self.collect(handle).len()
+        self.iter(handle).count()
     }
 
     /// True if the list holds no elements.
     pub fn is_empty(&self, handle: ListHandle) -> bool {
-        self.len(handle) == 0
+        self.iter(handle).next().is_none()
     }
 
     /// Number of entries the list currently spans. O(1) from the cached
@@ -370,6 +369,36 @@ impl ListArray {
         }
         Walk {
             entries_touched: walked,
+        }
+    }
+}
+
+/// Borrowing iterator over a list's elements in insertion order (see
+/// [`ListArray::iter`]).
+#[derive(Debug, Clone)]
+pub struct ListIter<'a> {
+    array: &'a ListArray,
+    /// Entry currently being read, or `None` when the chain is exhausted.
+    entry: Option<usize>,
+    /// Next element slot within the current entry.
+    slot: usize,
+}
+
+impl Iterator for ListIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            let idx = self.entry?;
+            let entry = &self.array.entries[idx];
+            if let Some(&value) = entry.elems.get(self.slot) {
+                self.slot += 1;
+                return Some(value);
+            }
+            // Entry exhausted (possibly emptied by `remove`): follow the
+            // chain exactly like the hardware traversal does.
+            self.entry = entry.next;
+            self.slot = 0;
         }
     }
 }

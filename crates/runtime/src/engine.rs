@@ -16,15 +16,33 @@
 //! a real [`Dmu`] instance (used by TDM and Task Superscalar). Where the
 //! ready queue lives is a property of [`crate::exec::Backend`], handled by
 //! the driver.
+//!
+//! Both engines track dependences **incrementally**: they learn about a task
+//! (and its declared dependences) only when the driver calls
+//! [`DependenceEngine::create_task`] with its [`TaskSpec`], exactly like a
+//! real runtime system discovers the graph as the master thread creates
+//! tasks. Per-task state is dropped again when the task finishes, so neither
+//! engine needs the whole workload — the property the streaming/windowed
+//! execution path ([`crate::exec::simulate_stream`]) relies on. The
+//! hardware engine's memory is bounded by in-flight tasks outright (the DMU
+//! has fixed capacity); the software engine additionally keeps its
+//! per-address matching map, which grows with distinct addresses and with
+//! readers not yet flushed by a writer — the same footprint a real
+//! software runtime's dependence hash map has, so prefer a hardware
+//! backend for very long read-mostly streams. One observable consequence:
+//! the successor count a [`ReadyInfo`] carries is the number of successors
+//! *registered so far* at the moment the task is handed to the scheduler
+//! (the same semantics the DMU's `get_ready_task` has in hardware), never a
+//! whole-program lookahead.
 
 use tdm_core::config::DmuConfig;
 use tdm_core::dmu::{Dmu, DmuError, DmuStats, PeakOccupancy};
-use tdm_core::ids::{DepAddr, DepDirection, DescriptorAddr};
+use tdm_core::ids::{DepAddr, DescriptorAddr, TaskId};
 use tdm_sim::clock::Cycle;
 
 use crate::cost::CostModel;
-use crate::task::{TaskRef, Workload};
-use crate::tdg::TaskGraph;
+use crate::fast_map::FastMap;
+use crate::task::{TaskRef, TaskSpec};
 
 /// Base address used to synthesize task-descriptor addresses. Descriptors are
 /// spaced one cache line apart so consecutive tasks map to consecutive TAT
@@ -56,7 +74,8 @@ pub struct CreationOutcome {
     /// Cycles the creating core spent in this call (DEPS).
     pub cost: Cycle,
     /// Whether the creation completed. `false` means a DMU structure was
-    /// full; the caller must retry after the next `finish_task`.
+    /// full; the caller must retry (with the same spec) after the next
+    /// `finish_task`.
     pub completed: bool,
 }
 
@@ -77,20 +96,24 @@ pub struct HardwareReport {
 
 /// How dependences are tracked for a run.
 ///
-/// Both operations *append* newly ready tasks to a caller-owned `ready`
-/// buffer instead of returning a fresh vector; callers clear (or drain) the
-/// buffer between calls. This keeps the simulate loop allocation-free per
-/// event on its hottest path.
+/// The driver creates tasks strictly in program order, passing each task's
+/// [`TaskSpec`] to `create_task` (and passing the *same* spec again when
+/// retrying a stalled creation). Both operations *append* newly ready tasks
+/// to a caller-owned `ready` buffer instead of returning a fresh vector;
+/// callers clear (or drain) the buffer between calls. This keeps the
+/// simulate loop allocation-free per event on its hottest path.
 pub trait DependenceEngine {
     /// Engine name for reports.
     fn name(&self) -> &'static str;
 
     /// Performs (or resumes) the creation of `task` at simulated time `now`,
-    /// appending tasks that became ready to `ready`.
+    /// appending tasks that became ready to `ready`. Tasks must be created
+    /// in program order (`task.index()` is consecutive).
     fn create_task(
         &mut self,
         now: Cycle,
         task: TaskRef,
+        spec: &TaskSpec,
         ready: &mut Vec<ReadyInfo>,
     ) -> CreationOutcome;
 
@@ -115,51 +138,64 @@ pub trait DependenceEngine {
 // Software dependence tracking (baseline and Carbon)
 // ---------------------------------------------------------------------------
 
+/// Per-address matching state: the last in-flight writer and the readers
+/// registered since. Finished tasks are *not* pruned from this map (the
+/// software runtime walks its hash-map entries regardless), which keeps the
+/// modeled creation-time edge work identical to the reference
+/// [`TaskGraph`](crate::tdg::TaskGraph) construction.
+#[derive(Debug, Clone, Default)]
+struct AddrState {
+    last_writer: Option<TaskRef>,
+    readers: Vec<TaskRef>,
+}
+
+/// State of one created-but-unfinished task.
+#[derive(Debug, Clone, Default)]
+struct LiveTask {
+    /// Unsatisfied predecessor edges (with multiplicity).
+    pending_predecessors: u32,
+    /// Successor edges registered so far (with multiplicity); walked and
+    /// decremented when this task finishes.
+    successors: Vec<TaskRef>,
+}
+
 /// Software dependence tracking: the runtime system matches dependences and
 /// maintains the TDG in memory, paying the software costs of
 /// [`CostModel::sw_creation_cost`] / [`CostModel::sw_finish_cost`].
+///
+/// The graph is built incrementally with the same RAW/WAR/WAW address
+/// matching as the reference [`TaskGraph`](crate::tdg::TaskGraph): a task
+/// depends on the last writer of each address it touches and, when it
+/// writes, on the registered readers. Edges to already-finished tasks are
+/// satisfied immediately (they cost the same matching work but add no
+/// pending count), and per-task state is dropped at finish, so memory scales
+/// with in-flight tasks plus distinct addresses — like the hash-map-based
+/// tracker of a real runtime.
 #[derive(Debug, Clone)]
 pub struct SoftwareEngine {
     name: &'static str,
-    graph: TaskGraph,
-    workload_deps: Vec<usize>,
-    pending_predecessors: Vec<u32>,
-    successor_counts: Vec<u32>,
-    created: Vec<bool>,
-    finished: Vec<bool>,
     cost: CostModel,
+    addr_state: FastMap<u64, AddrState>,
+    live: FastMap<usize, LiveTask>,
+    next_create: usize,
 }
 
 impl SoftwareEngine {
-    /// Builds a software engine for `workload`.
-    pub fn new(workload: &Workload, cost: CostModel) -> Self {
-        Self::with_name("software", workload, cost)
+    /// Builds an empty software engine.
+    pub fn new(cost: CostModel) -> Self {
+        Self::with_name("software", cost)
     }
 
     /// Builds a software engine with a custom report name (used by Carbon,
     /// whose dependence tracking is identical to the baseline's).
-    pub fn with_name(name: &'static str, workload: &Workload, cost: CostModel) -> Self {
-        let graph = TaskGraph::build(workload);
-        let n = workload.len();
-        let pending = (0..n)
-            .map(|i| graph.predecessor_count(TaskRef(i)))
-            .collect();
-        let succ = (0..n).map(|i| graph.successor_count(TaskRef(i))).collect();
+    pub fn with_name(name: &'static str, cost: CostModel) -> Self {
         SoftwareEngine {
             name,
-            graph,
-            workload_deps: workload.tasks.iter().map(|t| t.deps.len()).collect(),
-            pending_predecessors: pending,
-            successor_counts: succ,
-            created: vec![false; n],
-            finished: vec![false; n],
             cost,
+            addr_state: FastMap::default(),
+            live: FastMap::default(),
+            next_create: 0,
         }
-    }
-
-    /// The reference graph built for this workload (shared with tests).
-    pub fn graph(&self) -> &TaskGraph {
-        &self.graph
     }
 }
 
@@ -172,22 +208,71 @@ impl DependenceEngine for SoftwareEngine {
         &mut self,
         _now: Cycle,
         task: TaskRef,
+        spec: &TaskSpec,
         ready: &mut Vec<ReadyInfo>,
     ) -> CreationOutcome {
         let i = task.index();
-        assert!(!self.created[i], "{task} created twice");
-        self.created[i] = true;
-        let cost = self
-            .cost
-            .sw_creation_cost(self.workload_deps[i], self.graph.creation_edge_work(task));
-        if self.pending_predecessors[i] == 0 {
+        assert_eq!(i, self.next_create, "{task} created out of program order");
+        self.next_create += 1;
+
+        // Match this task's dependences against the address map, mirroring
+        // TaskGraph::build edge for edge. `edge_work` counts the matching
+        // work performed (last-writer lookups that found an entry plus
+        // reader-list elements walked), finished or not — the runtime walks
+        // them either way; only *unfinished* sources contribute pending
+        // edges.
+        let mut edge_work = 0u32;
+        let mut pending = 0u32;
+        for dep in &spec.deps {
+            let state = self.addr_state.entry(dep.addr).or_default();
+            // RAW / WAW edge from the last writer.
+            if let Some(writer) = state.last_writer {
+                if writer != task {
+                    edge_work += 1;
+                    if let Some(w) = self.live.get_mut(&writer.index()) {
+                        w.successors.push(task);
+                        pending += 1;
+                    }
+                }
+            }
+            if dep.direction.writes() {
+                // WAR edges from every reader, then take over as writer.
+                edge_work += state.readers.len() as u32;
+                for &reader in &state.readers {
+                    if reader != task {
+                        if let Some(r) = self.live.get_mut(&reader.index()) {
+                            r.successors.push(task);
+                            pending += 1;
+                        }
+                    }
+                }
+                state.readers.clear();
+                state.last_writer = Some(task);
+            } else {
+                state.readers.push(task);
+                edge_work += 1;
+            }
+        }
+
+        let previous = self.live.insert(
+            i,
+            LiveTask {
+                pending_predecessors: pending,
+                successors: Vec::new(),
+            },
+        );
+        assert!(previous.is_none(), "{task} created twice");
+        if pending == 0 {
+            // No successor can be registered before the task exists, so a
+            // task that is ready at creation always reports zero successors
+            // (exactly like the DMU's submit-time readiness).
             ready.push(ReadyInfo {
                 task,
-                num_successors: self.successor_counts[i],
+                num_successors: 0,
             });
         }
         CreationOutcome {
-            cost,
+            cost: self.cost.sw_creation_cost(spec.deps.len(), edge_work),
             completed: true,
         }
     }
@@ -200,22 +285,25 @@ impl DependenceEngine for SoftwareEngine {
         ready: &mut Vec<ReadyInfo>,
     ) -> Cycle {
         let i = task.index();
-        assert!(self.created[i], "{task} finished before being created");
-        assert!(!self.finished[i], "{task} finished twice");
-        self.finished[i] = true;
-        let successors = self.graph.successors(task);
-        for &succ in successors {
-            let s = succ.index();
-            debug_assert!(self.pending_predecessors[s] > 0);
-            self.pending_predecessors[s] -= 1;
-            if self.pending_predecessors[s] == 0 && self.created[s] && !self.finished[s] {
+        let live = self
+            .live
+            .remove(&i)
+            .unwrap_or_else(|| panic!("{task} finished before being created, or twice"));
+        for &succ in &live.successors {
+            let s = self
+                .live
+                .get_mut(&succ.index())
+                .expect("successors of an in-flight task are in flight");
+            debug_assert!(s.pending_predecessors > 0, "predecessor underflow");
+            s.pending_predecessors -= 1;
+            if s.pending_predecessors == 0 {
                 ready.push(ReadyInfo {
                     task: succ,
-                    num_successors: self.successor_counts[s],
+                    num_successors: s.successors.len() as u32,
                 });
             }
         }
-        self.cost.sw_finish_cost(successors.len() as u32)
+        self.cost.sw_finish_cost(live.successors.len() as u32)
     }
 }
 
@@ -243,11 +331,15 @@ pub enum HardwareFlavor {
 }
 
 /// Hardware dependence tracking backed by a cycle-costed [`Dmu`] model.
+///
+/// The engine holds no per-workload state: task specs arrive one at a time
+/// through `create_task` and the only memory that scales with the run is the
+/// descriptor-slot map for *in-flight* tasks (plus the fixed-capacity DMU
+/// itself), so arbitrarily long task streams run in bounded space.
 #[derive(Debug, Clone)]
 pub struct HardwareEngine {
     flavor: HardwareFlavor,
     dmu: Dmu,
-    workload: WorkloadMirror,
     cost: CostModel,
     noc_round_trip: Cycle,
     /// Time at which the (sequential) DMU becomes free.
@@ -255,60 +347,42 @@ pub struct HardwareEngine {
     pending: Option<PendingCreation>,
     stall_cycles: Cycle,
     instructions: u64,
-    successor_hint: Vec<u32>,
     /// Descriptor-slot allocator. Real task descriptors are heap objects that
     /// the runtime's allocator recycles, so the set of live descriptor
     /// addresses stays compact; modelling that keeps the TAT's set-index
     /// behaviour realistic for long runs.
     free_slots: Vec<u64>,
     next_slot: u64,
-    /// Slot currently assigned to each task (by task index), if in flight.
-    task_slot: Vec<Option<u64>>,
-    /// Task owning each slot.
+    /// Slot currently assigned to each in-flight task (by task index).
+    task_slot: FastMap<usize, u64>,
+    /// Task owning each slot (bounded by peak in-flight tasks).
     slot_owner: Vec<usize>,
-}
-
-/// The slice of workload information the hardware engine needs (kept as owned
-/// data so the engine has no lifetime parameters).
-#[derive(Debug, Clone)]
-struct WorkloadMirror {
-    deps: Vec<Vec<(u64, u64, DepDirection)>>,
+    /// Reusable scratch buffer for `Dmu::finish_task_into` woken lists.
+    woken_buf: Vec<TaskId>,
 }
 
 impl HardwareEngine {
-    /// Builds a hardware engine over `workload` with the given DMU geometry.
+    /// Builds a hardware engine with the given DMU geometry.
     pub fn new(
         flavor: HardwareFlavor,
-        workload: &Workload,
         dmu_config: DmuConfig,
         cost: CostModel,
         noc_round_trip: Cycle,
     ) -> Self {
-        let deps = workload
-            .tasks
-            .iter()
-            .map(|t| {
-                t.deps
-                    .iter()
-                    .map(|d| (d.addr, d.size, d.direction))
-                    .collect()
-            })
-            .collect();
         HardwareEngine {
             flavor,
             dmu: Dmu::new(dmu_config),
-            workload: WorkloadMirror { deps },
             cost,
             noc_round_trip,
             dmu_free_at: Cycle::ZERO,
             pending: None,
             stall_cycles: Cycle::ZERO,
             instructions: 0,
-            successor_hint: vec![0; workload.len()],
             free_slots: Vec::new(),
             next_slot: 0,
-            task_slot: vec![None; workload.len()],
+            task_slot: FastMap::default(),
             slot_owner: Vec::new(),
+            woken_buf: Vec::new(),
         }
     }
 
@@ -321,15 +395,15 @@ impl HardwareEngine {
     /// Returns the descriptor address of `task`, allocating a descriptor slot
     /// the first time it is asked for during creation.
     fn descriptor(&mut self, task: TaskRef) -> DescriptorAddr {
-        let slot = match self.task_slot[task.index()] {
-            Some(slot) => slot,
+        let slot = match self.task_slot.get(&task.index()) {
+            Some(&slot) => slot,
             None => {
                 let slot = self.free_slots.pop().unwrap_or_else(|| {
                     let s = self.next_slot;
                     self.next_slot += 1;
                     s
                 });
-                self.task_slot[task.index()] = Some(slot);
+                self.task_slot.insert(task.index(), slot);
                 if self.slot_owner.len() <= slot as usize {
                     self.slot_owner.resize(slot as usize + 1, usize::MAX);
                 }
@@ -348,7 +422,7 @@ impl HardwareEngine {
 
     /// Releases the descriptor slot of a finished task.
     fn release_descriptor(&mut self, task: TaskRef) {
-        if let Some(slot) = self.task_slot[task.index()].take() {
+        if let Some(slot) = self.task_slot.remove(&task.index()) {
             self.free_slots.push(slot);
         }
     }
@@ -390,10 +464,8 @@ impl HardwareEngine {
             at += spent;
             match result.value {
                 Some(t) => {
-                    let task = self.task_of(t.descriptor);
-                    self.successor_hint[task.index()] = t.num_successors;
                     ready.push(ReadyInfo {
-                        task,
+                        task: self.task_of(t.descriptor),
                         num_successors: t.num_successors,
                     });
                 }
@@ -422,6 +494,7 @@ impl DependenceEngine for HardwareEngine {
         &mut self,
         now: Cycle,
         task: TaskRef,
+        spec: &TaskSpec,
         ready: &mut Vec<ReadyInfo>,
     ) -> CreationOutcome {
         let desc = self.descriptor(task);
@@ -464,12 +537,12 @@ impl DependenceEngine for HardwareEngine {
             }
         }
 
-        // Index the dependence slice in place each iteration (each element is
-        // a small Copy tuple) — cloning the whole per-task vector here used
-        // to show up on the simulate hot path.
-        while pending.next_dep < self.workload.deps[task.index()].len() {
-            let (addr, size, dir) = self.workload.deps[task.index()][pending.next_dep];
-            match self.dmu.add_dependence(desc, DepAddr(addr), size, dir) {
+        while pending.next_dep < spec.deps.len() {
+            let dep = &spec.deps[pending.next_dep];
+            match self
+                .dmu
+                .add_dependence(desc, DepAddr(dep.addr), dep.size, dep.direction)
+            {
                 Ok(r) => {
                     cost += self.charge_instruction(now + cost, r.cost(latency));
                     pending.next_dep += 1;
@@ -513,10 +586,14 @@ impl DependenceEngine for HardwareEngine {
         let desc = self.descriptor(task);
         let latency = self.dmu.access_latency();
         let mut cost = Cycle::ZERO;
+        // The woken list is reported through the ready queue drain below;
+        // the reusable buffer only avoids a per-finish allocation.
+        let mut woken = std::mem::take(&mut self.woken_buf);
         let result = self
             .dmu
-            .finish_task(desc)
+            .finish_task_into(desc, &mut woken)
             .expect("finishing an in-flight task cannot fail");
+        self.woken_buf = woken;
         cost += self.charge_instruction(now, result.cost(latency));
         self.release_descriptor(task);
         self.drain_ready(now + cost, &mut cost, ready);
@@ -537,7 +614,9 @@ impl DependenceEngine for HardwareEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::task::{DependenceSpec, TaskSpec};
+    use crate::task::{DependenceSpec, Workload};
+    use crate::tdg::TaskGraph;
+    use std::collections::VecDeque;
 
     fn chain_workload(n: usize) -> Workload {
         Workload::new(
@@ -573,17 +652,24 @@ mod tests {
         Workload::new("forkjoin", tasks)
     }
 
-    fn run_engine_to_completion(engine: &mut dyn DependenceEngine, n: usize) -> Vec<TaskRef> {
+    fn run_engine_to_completion(
+        engine: &mut dyn DependenceEngine,
+        workload: &Workload,
+    ) -> Vec<TaskRef> {
         // Create everything (retrying stalls), executing ready tasks
-        // immediately in FIFO order; returns the completion order. The pool
-        // doubles as the engines' append-only ready buffer.
+        // immediately in FIFO order; returns the completion order.
+        let n = workload.len();
         let mut order = Vec::new();
-        let mut pool: Vec<ReadyInfo> = Vec::new();
+        let mut pool: VecDeque<ReadyInfo> = VecDeque::new();
+        let mut ready = Vec::new();
         let mut next = 0usize;
         let mut now = Cycle::ZERO;
         while order.len() < n {
             if next < n {
-                let outcome = engine.create_task(now, TaskRef(next), &mut pool);
+                ready.clear();
+                let outcome =
+                    engine.create_task(now, TaskRef(next), &workload.tasks[next], &mut ready);
+                pool.extend(ready.drain(..));
                 now += outcome.cost;
                 if outcome.completed {
                     next += 1;
@@ -591,26 +677,37 @@ mod tests {
                 }
                 // Stalled: fall through to execute something so resources free up.
             }
-            if pool.is_empty() {
+            let Some(info) = pool.pop_front() else {
                 panic!(
                     "no ready task but {} of {} still unfinished",
                     n - order.len(),
                     n
                 );
-            }
-            let info = pool.remove(0);
-            now += engine.finish_task(now, info.task, 0, &mut pool);
+            };
+            ready.clear();
+            now += engine.finish_task(now, info.task, 0, &mut ready);
+            pool.extend(ready.drain(..));
             order.push(info.task);
         }
         order
     }
 
+    /// Creates all tasks of `workload` on `engine` at time zero, collecting
+    /// the tasks reported ready.
+    fn create_all(engine: &mut dyn DependenceEngine, workload: &Workload) -> Vec<ReadyInfo> {
+        let mut ready = Vec::new();
+        for (task, spec) in workload.iter() {
+            engine.create_task(Cycle::ZERO, task, spec, &mut ready);
+        }
+        ready
+    }
+
     #[test]
     fn software_engine_matches_graph_for_chain() {
         let w = chain_workload(10);
-        let mut e = SoftwareEngine::new(&w, CostModel::default());
+        let mut e = SoftwareEngine::new(CostModel::default());
         let graph = TaskGraph::build(&w);
-        let order = run_engine_to_completion(&mut e, w.len());
+        let order = run_engine_to_completion(&mut e, &w);
         assert!(graph.check_order(&order).is_ok());
         assert_eq!(order.len(), 10);
     }
@@ -620,34 +717,27 @@ mod tests {
         let w = chain_workload(10);
         let mut e = HardwareEngine::new(
             HardwareFlavor::Tdm,
-            &w,
             DmuConfig::default(),
             CostModel::default(),
             Cycle::new(16),
         );
         let graph = TaskGraph::build(&w);
-        let order = run_engine_to_completion(&mut e, w.len());
+        let order = run_engine_to_completion(&mut e, &w);
         assert!(graph.check_order(&order).is_ok());
     }
 
     #[test]
     fn engines_agree_on_fork_join_readiness() {
         let w = fork_join_workload();
-        let mut sw = SoftwareEngine::new(&w, CostModel::default());
+        let mut sw = SoftwareEngine::new(CostModel::default());
         let mut hw = HardwareEngine::new(
             HardwareFlavor::Tdm,
-            &w,
             DmuConfig::default(),
             CostModel::default(),
             Cycle::new(16),
         );
-        // Create all tasks on both engines.
-        let mut sw_ready = Vec::new();
-        let mut hw_ready = Vec::new();
-        for i in 0..w.len() {
-            sw.create_task(Cycle::ZERO, TaskRef(i), &mut sw_ready);
-            hw.create_task(Cycle::ZERO, TaskRef(i), &mut hw_ready);
-        }
+        let sw_ready = create_all(&mut sw, &w);
+        let hw_ready = create_all(&mut hw, &w);
         // Only the root is ready on both.
         assert_eq!(sw_ready.len(), 1);
         assert_eq!(hw_ready.len(), 1);
@@ -667,40 +757,58 @@ mod tests {
     }
 
     #[test]
-    fn successor_counts_are_exposed() {
+    fn successor_counts_reflect_registrations_so_far() {
+        // Both engines report the successor count registered *at hand-off*:
+        // a task ready at creation has no successors yet (none of them exist),
+        // and a leaf readied by the root's finish has zero (nothing depends
+        // on it) — identical semantics in software and hardware.
         let w = fork_join_workload();
-        // The software engine reports the whole-graph successor count (it
-        // knows the full TDG); the root of the fork-join has 4 successors.
-        let mut sw = SoftwareEngine::new(&w, CostModel::default());
-        let mut sw_ready = Vec::new();
-        sw.create_task(Cycle::ZERO, TaskRef(0), &mut sw_ready);
-        assert_eq!(sw_ready[0].num_successors, 4);
-        // The hardware engine reports the count registered in the DMU at the
-        // moment the task is handed to the runtime; for a leaf readied by the
-        // root's finish, all successors (zero) are known by then.
+        let mut sw = SoftwareEngine::new(CostModel::default());
+        let sw_ready = create_all(&mut sw, &w);
+        assert_eq!(sw_ready[0].num_successors, 0);
         let mut hw = HardwareEngine::new(
             HardwareFlavor::Tdm,
-            &w,
             DmuConfig::default(),
             CostModel::default(),
             Cycle::new(16),
         );
-        let mut ready = Vec::new();
-        for i in 0..w.len() {
-            hw.create_task(Cycle::ZERO, TaskRef(i), &mut ready);
-        }
+        create_all(&mut hw, &w);
+        let mut sw_fin = Vec::new();
+        let mut hw_fin = Vec::new();
+        sw.finish_task(Cycle::ZERO, TaskRef(0), 0, &mut sw_fin);
+        hw.finish_task(Cycle::ZERO, TaskRef(0), 0, &mut hw_fin);
+        assert!(sw_fin.iter().all(|r| r.num_successors == 0));
+        assert!(hw_fin.iter().all(|r| r.num_successors == 0));
+    }
+
+    #[test]
+    fn software_successor_counts_grow_with_registrations() {
+        // A producer finished after consumers were created reports the edges
+        // registered by then: consumer 1 becomes ready carrying the count of
+        // successors *it* accumulated so far (zero), while a chain head that
+        // readies its tail sees the tail's registered successor.
+        let w = chain_workload(3);
+        let mut sw = SoftwareEngine::new(CostModel::default());
+        create_all(&mut sw, &w);
         let mut fin = Vec::new();
-        hw.finish_task(Cycle::ZERO, TaskRef(0), 0, &mut fin);
-        assert!(fin.iter().all(|r| r.num_successors == 0));
+        sw.finish_task(Cycle::ZERO, TaskRef(0), 0, &mut fin);
+        assert_eq!(fin.len(), 1);
+        assert_eq!(fin[0].task, TaskRef(1));
+        // Task 1's successor (task 2) was registered during creation.
+        assert_eq!(fin[0].num_successors, 1);
     }
 
     #[test]
     fn software_creation_cost_scales_with_dependences() {
         let w = fork_join_workload();
-        let mut e = SoftwareEngine::new(&w, CostModel::default());
+        let mut e = SoftwareEngine::new(CostModel::default());
         let mut ready = Vec::new();
-        let root_cost = e.create_task(Cycle::ZERO, TaskRef(0), &mut ready).cost;
-        let leaf_cost = e.create_task(Cycle::ZERO, TaskRef(1), &mut ready).cost;
+        let root_cost = e
+            .create_task(Cycle::ZERO, TaskRef(0), &w.tasks[0], &mut ready)
+            .cost;
+        let leaf_cost = e
+            .create_task(Cycle::ZERO, TaskRef(1), &w.tasks[1], &mut ready)
+            .cost;
         assert!(
             leaf_cost > root_cost,
             "2-dep leaf should cost more than 1-dep root"
@@ -708,20 +816,74 @@ mod tests {
     }
 
     #[test]
+    fn software_finish_cost_scales_with_registered_successors() {
+        let w = fork_join_workload();
+        let mut root_only = SoftwareEngine::new(CostModel::default());
+        let mut ready = Vec::new();
+        root_only.create_task(Cycle::ZERO, TaskRef(0), &w.tasks[0], &mut ready);
+        let bare = root_only.finish_task(Cycle::ZERO, TaskRef(0), 0, &mut ready);
+
+        let mut full = SoftwareEngine::new(CostModel::default());
+        create_all(&mut full, &w);
+        ready.clear();
+        let loaded = full.finish_task(Cycle::ZERO, TaskRef(0), 0, &mut ready);
+        assert!(
+            loaded > bare,
+            "waking 4 registered successors ({loaded}) must cost more than waking none ({bare})"
+        );
+    }
+
+    #[test]
+    fn software_edge_work_matches_reference_graph() {
+        // The incremental matcher must charge exactly the creation edge work
+        // the whole-program reference graph reports, per task.
+        let mut tasks = vec![TaskSpec::new(
+            "w",
+            Cycle::new(100),
+            vec![DependenceSpec::output(0x1, 64)],
+        )];
+        for _ in 0..5 {
+            tasks.push(TaskSpec::new(
+                "r",
+                Cycle::new(100),
+                vec![DependenceSpec::input(0x1, 64)],
+            ));
+        }
+        tasks.push(TaskSpec::new(
+            "w2",
+            Cycle::new(100),
+            vec![DependenceSpec::output(0x1, 64)],
+        ));
+        let w = Workload::new("readers", tasks);
+        let graph = TaskGraph::build(&w);
+        let cost = CostModel::default();
+        let mut e = SoftwareEngine::new(cost.clone());
+        let mut ready = Vec::new();
+        for (task, spec) in w.iter() {
+            let got = e.create_task(Cycle::ZERO, task, spec, &mut ready).cost;
+            let want = cost.sw_creation_cost(spec.deps.len(), graph.creation_edge_work(task));
+            assert_eq!(got, want, "{task}");
+        }
+    }
+
+    #[test]
     fn hardware_creation_is_much_cheaper_than_software() {
         let w = chain_workload(20);
         let cost = CostModel::default();
-        let mut sw = SoftwareEngine::new(&w, cost.clone());
+        let mut sw = SoftwareEngine::new(cost.clone());
         let mut hw = HardwareEngine::new(
             HardwareFlavor::Tdm,
-            &w,
             DmuConfig::default(),
             cost,
             Cycle::new(16),
         );
         let mut ready = Vec::new();
-        let sw_cost = sw.create_task(Cycle::ZERO, TaskRef(0), &mut ready).cost;
-        let hw_cost = hw.create_task(Cycle::ZERO, TaskRef(0), &mut ready).cost;
+        let sw_cost = sw
+            .create_task(Cycle::ZERO, TaskRef(0), &w.tasks[0], &mut ready)
+            .cost;
+        let hw_cost = hw
+            .create_task(Cycle::ZERO, TaskRef(0), &w.tasks[0], &mut ready)
+            .cost;
         assert!(
             hw_cost.raw() * 2 < sw_cost.raw(),
             "TDM creation ({hw_cost}) should be far cheaper than software ({sw_cost})"
@@ -743,13 +905,12 @@ mod tests {
         };
         let mut hw = HardwareEngine::new(
             HardwareFlavor::Tdm,
-            &w,
             config,
             CostModel::default(),
             Cycle::new(16),
         );
         let graph = TaskGraph::build(&w);
-        let order = run_engine_to_completion(&mut hw, w.len());
+        let order = run_engine_to_completion(&mut hw, &w);
         assert!(graph.check_order(&order).is_ok());
         let report = hw.hardware_report().unwrap();
         assert!(report.stats.stalls > 0, "the tiny DMU must stall");
@@ -761,7 +922,6 @@ mod tests {
         let w = chain_workload(4);
         let mut hw = HardwareEngine::new(
             HardwareFlavor::Tdm,
-            &w,
             DmuConfig::default().with_access_latency(Cycle::new(16)),
             CostModel::default(),
             Cycle::new(16),
@@ -769,8 +929,12 @@ mod tests {
         // Two creations issued at the same instant: the second waits for the
         // DMU to finish processing the first.
         let mut ready = Vec::new();
-        let c0 = hw.create_task(Cycle::ZERO, TaskRef(0), &mut ready).cost;
-        let c1 = hw.create_task(Cycle::ZERO, TaskRef(1), &mut ready).cost;
+        let c0 = hw
+            .create_task(Cycle::ZERO, TaskRef(0), &w.tasks[0], &mut ready)
+            .cost;
+        let c1 = hw
+            .create_task(Cycle::ZERO, TaskRef(1), &w.tasks[1], &mut ready)
+            .cost;
         assert!(
             c1 >= c0,
             "second creation at the same time must queue behind the first"
@@ -778,30 +942,53 @@ mod tests {
     }
 
     #[test]
+    fn engine_memory_is_bounded_by_in_flight_tasks() {
+        // Run a long chain through both engines one task at a time; neither
+        // may accumulate per-task state for finished tasks.
+        let n = 200;
+        let w = chain_workload(n);
+        let mut sw = SoftwareEngine::new(CostModel::default());
+        let mut hw = HardwareEngine::new(
+            HardwareFlavor::Tdm,
+            DmuConfig::default(),
+            CostModel::default(),
+            Cycle::new(16),
+        );
+        let mut ready = Vec::new();
+        for (task, spec) in w.iter() {
+            ready.clear();
+            sw.create_task(Cycle::ZERO, task, spec, &mut ready);
+            hw.create_task(Cycle::ZERO, task, spec, &mut ready);
+            ready.clear();
+            sw.finish_task(Cycle::ZERO, task, 0, &mut ready);
+            hw.finish_task(Cycle::ZERO, task, 0, &mut ready);
+            assert!(sw.live.len() <= 1, "software live set leaked");
+            assert!(hw.task_slot.len() <= 1, "descriptor slots leaked");
+        }
+        // Recycled descriptor slots: the allocator never grew past the peak
+        // in-flight count.
+        assert!(hw.next_slot <= 2, "slots not recycled: {}", hw.next_slot);
+    }
+
+    #[test]
     fn flavor_names_differ() {
-        let w = chain_workload(2);
         let tdm = HardwareEngine::new(
             HardwareFlavor::Tdm,
-            &w,
             DmuConfig::default(),
             CostModel::default(),
             Cycle::new(16),
         );
         let tss = HardwareEngine::new(
             HardwareFlavor::TaskSuperscalar,
-            &w,
             DmuConfig::default(),
             CostModel::default(),
             Cycle::new(16),
         );
         assert_eq!(tdm.name(), "tdm");
         assert_eq!(tss.name(), "task-superscalar");
+        assert_eq!(SoftwareEngine::new(CostModel::default()).name(), "software");
         assert_eq!(
-            SoftwareEngine::new(&w, CostModel::default()).name(),
-            "software"
-        );
-        assert_eq!(
-            SoftwareEngine::with_name("carbon", &w, CostModel::default()).name(),
+            SoftwareEngine::with_name("carbon", CostModel::default()).name(),
             "carbon"
         );
     }

@@ -7,6 +7,46 @@
 //! attributed to the DEPS / SCHED / EXEC / IDLE phases of Figure 2. The
 //! result is a [`RunReport`] from which every figure and table of the paper's
 //! evaluation can be derived.
+//!
+//! # Streaming execution
+//!
+//! [`simulate_stream`] drives the same loop from a pull-based
+//! [`TaskSource`] instead of a materialised task list: the master fetches
+//! each task's spec only when it is about to create it, and the driver keeps
+//! a spec alive only while its task is in flight. Combined with the
+//! **windowed master** ([`ExecConfig::window`]) — the master creates tasks
+//! only while the in-flight count is below the window, otherwise it behaves
+//! like a throttled runtime system and executes tasks itself — this bounds
+//! peak resident [`TaskSpec`]s by the window regardless of how many tasks
+//! the stream produces, which is what makes million-task runs feasible.
+//! With the default unbounded window the two paths are interchangeable:
+//! driving the same workload through either produces bit-identical reports
+//! (the eager-vs-streaming conformance suite pins this).
+//!
+//! ```
+//! use tdm_runtime::exec::{simulate, simulate_stream, Backend, ExecConfig};
+//! use tdm_runtime::scheduler::SchedulerKind;
+//! use tdm_runtime::stream::WorkloadSource;
+//! use tdm_runtime::task::{DependenceSpec, TaskSpec, Workload};
+//! use tdm_sim::clock::Cycle;
+//!
+//! let workload = Workload::new(
+//!     "pair",
+//!     vec![
+//!         TaskSpec::new("a", Cycle::new(100_000), vec![DependenceSpec::output(0xA000, 64)]),
+//!         TaskSpec::new("b", Cycle::new(100_000), vec![DependenceSpec::input(0xA000, 64)]),
+//!     ],
+//! );
+//! let config = ExecConfig::default().with_window(4);
+//! let eager = simulate(&workload, &Backend::tdm_default(), SchedulerKind::Fifo, &config);
+//! let mut source = WorkloadSource::new(&workload);
+//! let streamed = simulate_stream(&mut source, &Backend::tdm_default(), SchedulerKind::Fifo, &config);
+//! assert_eq!(eager.makespan(), streamed.makespan());
+//! // The streaming run held at most window+1 specs at once.
+//! assert!(streamed.peak_resident_tasks <= 5);
+//! ```
+//!
+//! [`TaskSpec`]: crate::task::TaskSpec
 
 use serde::Serialize;
 use tdm_core::config::DmuConfig;
@@ -22,8 +62,10 @@ use crate::cost::CostModel;
 use crate::engine::{
     DependenceEngine, HardwareEngine, HardwareFlavor, HardwareReport, ReadyInfo, SoftwareEngine,
 };
+use crate::fast_map::FastMap;
 use crate::scheduler::{FifoScheduler, ReadyEntry, Scheduler, SchedulerKind};
-use crate::task::{TaskRef, Workload};
+use crate::stream::TaskSource;
+use crate::task::{TaskRef, TaskSpec, Workload};
 
 /// The runtime-system organisations compared in the paper (Sections II and
 /// VI-C).
@@ -70,27 +112,18 @@ impl Backend {
         Backend::TaskSuperscalar(DmuConfig::default())
     }
 
-    fn build_engine(
-        &self,
-        workload: &Workload,
-        cost: &CostModel,
-        noc_round_trip: Cycle,
-    ) -> Box<dyn DependenceEngine> {
+    fn build_engine(&self, cost: &CostModel, noc_round_trip: Cycle) -> Box<dyn DependenceEngine> {
         match self {
-            Backend::Software => Box::new(SoftwareEngine::new(workload, cost.clone())),
-            Backend::Carbon => {
-                Box::new(SoftwareEngine::with_name("carbon", workload, cost.clone()))
-            }
+            Backend::Software => Box::new(SoftwareEngine::new(cost.clone())),
+            Backend::Carbon => Box::new(SoftwareEngine::with_name("carbon", cost.clone())),
             Backend::Tdm(dmu) => Box::new(HardwareEngine::new(
                 HardwareFlavor::Tdm,
-                workload,
                 dmu.clone(),
                 cost.clone(),
                 noc_round_trip,
             )),
             Backend::TaskSuperscalar(dmu) => Box::new(HardwareEngine::new(
                 HardwareFlavor::TaskSuperscalar,
-                workload,
                 dmu.clone(),
                 cost.clone(),
                 noc_round_trip,
@@ -125,6 +158,13 @@ pub struct ExecConfig {
     /// modeled time — makespan and phase breakdowns are bit-identical either
     /// way.
     pub trace_schedule: bool,
+    /// Master-thread creation window: the master creates a new task only
+    /// while fewer than `window` created tasks are unfinished; at the limit
+    /// it behaves like a throttled runtime system (executes tasks, retries
+    /// after finishes). This models the paper's master/DMU backpressure and
+    /// bounds the specs a streaming run keeps resident. The default
+    /// (`usize::MAX`) never throttles, matching the classic eager driver.
+    pub window: usize,
 }
 
 impl Default for ExecConfig {
@@ -138,6 +178,7 @@ impl Default for ExecConfig {
             seed: 42,
             locality_capacity_bytes: locality,
             trace_schedule: false,
+            window: usize::MAX,
         }
     }
 }
@@ -152,6 +193,13 @@ impl ExecConfig {
     /// Same configuration with schedule tracing switched on.
     pub fn with_trace_schedule(mut self) -> Self {
         self.trace_schedule = true;
+        self
+    }
+
+    /// Same configuration with the master creation window set to `window`
+    /// in-flight tasks (clamped to at least 1).
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
         self
     }
 }
@@ -226,6 +274,13 @@ pub struct RunReport {
     pub hardware: Option<HardwareReport>,
     /// Number of tasks executed.
     pub tasks: u64,
+    /// Peak number of [`TaskSpec`]s the driver held
+    /// resident at once. For an eager [`simulate`] run this is the whole
+    /// workload (the caller materialised it); for a [`simulate_stream`] run
+    /// it is bounded by [`ExecConfig::window`] plus one prefetched spec —
+    /// the number `bench_scale` reports to show million-task runs stay in
+    /// bounded memory.
+    pub peak_resident_tasks: usize,
     /// The executed schedule, in finish order — **empty unless
     /// [`ExecConfig::trace_schedule`] is set**, because the trace costs
     /// O(tasks) memory. Conformance tests opt in and replay this against the
@@ -262,6 +317,154 @@ impl RunReport {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Task feeds: where the driver gets its specs from
+// ---------------------------------------------------------------------------
+
+/// Driver-internal abstraction over "where task specs come from and how long
+/// they stay resident". The eager feed borrows a materialised [`Workload`];
+/// the stream feed pulls from a [`TaskSource`] and retains only in-flight
+/// specs. Keeping the driver generic (monomorphised per feed) means the
+/// eager path pays no indirection or cloning for the refactor.
+trait TaskFeed {
+    fn name(&self) -> &str;
+    fn locality_benefit(&self) -> f64;
+    fn duration_jitter(&self) -> f64;
+    /// Tasks the source may still produce, if known (reporting only).
+    fn len_hint(&self) -> Option<usize>;
+    /// True once no task with index ≥ `next_create` will ever be available.
+    fn exhausted(&self, next_create: usize) -> bool;
+    /// Spec of the task about to be created. Called with consecutive indices
+    /// (repeats allowed, for stalled-creation retries); must not be called
+    /// when [`exhausted`](TaskFeed::exhausted) is true.
+    fn fetch(&mut self, index: usize) -> &TaskSpec;
+    /// Spec of an in-flight (fetched, unfinished) task.
+    fn spec(&self, task: TaskRef) -> &TaskSpec;
+    /// Drops the spec of a finished task.
+    fn release(&mut self, task: TaskRef);
+    /// Specs currently held resident.
+    fn resident(&self) -> usize;
+}
+
+/// Feed over a fully materialised workload: specs are borrowed in place and
+/// stay resident for the whole run.
+struct EagerFeed<'a> {
+    workload: &'a Workload,
+}
+
+impl TaskFeed for EagerFeed<'_> {
+    fn name(&self) -> &str {
+        &self.workload.name
+    }
+
+    fn locality_benefit(&self) -> f64 {
+        self.workload.locality_benefit
+    }
+
+    fn duration_jitter(&self) -> f64 {
+        self.workload.duration_jitter
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.workload.len())
+    }
+
+    fn exhausted(&self, next_create: usize) -> bool {
+        next_create >= self.workload.len()
+    }
+
+    fn fetch(&mut self, index: usize) -> &TaskSpec {
+        &self.workload.tasks[index]
+    }
+
+    fn spec(&self, task: TaskRef) -> &TaskSpec {
+        self.workload.spec(task)
+    }
+
+    fn release(&mut self, _task: TaskRef) {}
+
+    fn resident(&self) -> usize {
+        self.workload.len()
+    }
+}
+
+/// Feed over a pull-based source: holds the specs of in-flight tasks plus
+/// one prefetched spec (the prefetch is what lets the driver know *before*
+/// attempting a creation whether the stream has ended, so its wake-up and
+/// scheduling decisions match the eager driver exactly).
+struct StreamFeed<'a, S: TaskSource + ?Sized> {
+    source: &'a mut S,
+    /// Specs of fetched-but-unfinished tasks, keyed by task index.
+    in_flight: FastMap<usize, TaskSpec>,
+    /// The next spec the source produced, not yet fetched by the driver.
+    peeked: Option<TaskSpec>,
+    /// Index the peeked spec corresponds to.
+    next_index: usize,
+}
+
+impl<'a, S: TaskSource + ?Sized> StreamFeed<'a, S> {
+    fn new(source: &'a mut S) -> Self {
+        let peeked = source.next_task();
+        StreamFeed {
+            source,
+            in_flight: FastMap::default(),
+            peeked,
+            next_index: 0,
+        }
+    }
+}
+
+impl<S: TaskSource + ?Sized> TaskFeed for StreamFeed<'_, S> {
+    fn name(&self) -> &str {
+        self.source.name()
+    }
+
+    fn locality_benefit(&self) -> f64 {
+        self.source.locality_benefit()
+    }
+
+    fn duration_jitter(&self) -> f64 {
+        self.source.duration_jitter()
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        self.source
+            .len_hint()
+            .map(|left| left + self.in_flight.len() + usize::from(self.peeked.is_some()))
+    }
+
+    fn exhausted(&self, next_create: usize) -> bool {
+        // A stalled creation keeps its spec in `in_flight` without advancing
+        // `next_create`, so the retry finds it there.
+        self.peeked.is_none() && !self.in_flight.contains_key(&next_create)
+    }
+
+    fn fetch(&mut self, index: usize) -> &TaskSpec {
+        if !self.in_flight.contains_key(&index) {
+            assert_eq!(index, self.next_index, "stream fetched out of order");
+            let spec = self.peeked.take().expect("fetch past end of task stream");
+            self.in_flight.insert(index, spec);
+            self.next_index += 1;
+            self.peeked = self.source.next_task();
+        }
+        &self.in_flight[&index]
+    }
+
+    fn spec(&self, task: TaskRef) -> &TaskSpec {
+        self.in_flight
+            .get(&task.index())
+            .expect("spec of a task that is not in flight")
+    }
+
+    fn release(&mut self, task: TaskRef) {
+        self.in_flight.remove(&task.index());
+    }
+
+    fn resident(&self) -> usize {
+        self.in_flight.len() + usize::from(self.peeked.is_some())
+    }
+}
+
 /// Simulates `workload` on `backend` with the given scheduling policy.
 ///
 /// Hardware-scheduled backends (Carbon, Task Superscalar) ignore `scheduler`
@@ -277,13 +480,45 @@ pub fn simulate(
     scheduler: SchedulerKind,
     config: &ExecConfig,
 ) -> RunReport {
+    run_core(EagerFeed { workload }, backend, scheduler, config)
+}
+
+/// Simulates the tasks produced by `source` on `backend`, creating them
+/// through the windowed master (see [`ExecConfig::window`]) and keeping only
+/// in-flight specs resident.
+///
+/// With the default unbounded window this is observably identical to
+/// collecting the stream into a [`Workload`] and calling [`simulate`] —
+/// bit-identical makespans, stats and DMU access totals — while holding at
+/// most the in-flight specs in memory. With a finite window the master is
+/// additionally throttled, modelling runtime-system backpressure.
+///
+/// # Panics
+///
+/// Panics if the simulation deadlocks (see [`simulate`]).
+pub fn simulate_stream<S: TaskSource + ?Sized>(
+    source: &mut S,
+    backend: &Backend,
+    scheduler: SchedulerKind,
+    config: &ExecConfig,
+) -> RunReport {
+    run_core(StreamFeed::new(source), backend, scheduler, config)
+}
+
+/// The discrete-event loop shared by [`simulate`] and [`simulate_stream`].
+fn run_core<F: TaskFeed>(
+    mut feed: F,
+    backend: &Backend,
+    scheduler: SchedulerKind,
+    config: &ExecConfig,
+) -> RunReport {
     let num_cores = config.chip.num_cores;
     let master = 0usize;
-    let total_tasks = workload.len();
+    let window = config.window.max(1);
     let noc = NocModel::from_chip(&config.chip);
     let noc_round_trip = noc.average_round_trip();
 
-    let mut engine = backend.build_engine(workload, &config.cost, noc_round_trip);
+    let mut engine = backend.build_engine(&config.cost, noc_round_trip);
     let hardware_sched = backend.hardware_scheduling();
     let mut pool: Box<dyn Scheduler> = if hardware_sched {
         Box::new(FifoScheduler::new())
@@ -301,6 +536,8 @@ pub fn simulate(
         (config.cost.sw_sched_push, config.cost.sw_sched_pick)
     };
 
+    let locality_benefit = feed.locality_benefit();
+    let duration_jitter = feed.duration_jitter();
     let mut stats = SimStats::new(num_cores, master);
     let mut locality = LocalityModel::new(num_cores, config.locality_capacity_bytes.max(1));
     let mut events: EventQueue<usize> = EventQueue::new();
@@ -312,25 +549,27 @@ pub fn simulate(
     let mut ready_buf: Vec<ReadyInfo> = Vec::new();
     let mut next_create = 0usize;
     let mut finished = 0usize;
+    let mut peak_resident = feed.resident();
     let mut schedule: Vec<ScheduledTask> = if config.trace_schedule {
-        Vec::with_capacity(total_tasks)
+        Vec::with_capacity(feed.len_hint().unwrap_or(0))
     } else {
         Vec::new()
     };
     let mut makespan = Cycle::ZERO;
-    // True while the last creation attempt stalled on a full DMU structure;
-    // the master then behaves as a worker (runtime-system throttling) and
-    // retries after tasks finish.
+    // True while the master is held back from creating — either the last
+    // creation attempt stalled on a full DMU structure, or the in-flight
+    // count reached the configured window. The master then behaves as a
+    // worker (runtime-system throttling) and retries after tasks finish.
     let mut master_throttled = false;
 
     // Deterministic per-task duration jitter: the same task gets the same
     // duration regardless of scheduler or backend, so comparisons are fair.
     let jitter_for = |task: TaskRef| -> f64 {
-        if workload.duration_jitter == 0.0 {
+        if duration_jitter == 0.0 {
             1.0
         } else {
             let mut rng = SplitMix64::new(config.seed ^ (task.index() as u64).wrapping_mul(0x9E37));
-            rng.jitter(workload.duration_jitter)
+            rng.jitter(duration_jitter)
         }
     };
 
@@ -346,11 +585,13 @@ pub fn simulate(
         // ------------------------------------------------------------------
         let mut finished_here = false;
         if let Some(task) = running[core].take() {
-            // Any finish releases DMU resources, so a throttled master may
-            // retry creation at its next opportunity.
+            // Any finish releases DMU resources and shrinks the in-flight
+            // window, so a throttled master may retry creation at its next
+            // opportunity.
             master_throttled = false;
             ready_buf.clear();
             let fin_cost = engine.finish_task(t, task, core, &mut ready_buf);
+            feed.release(task);
             stats.cores[core].add(Phase::Deps, fin_cost);
             t += fin_cost;
             finished += 1;
@@ -378,49 +619,63 @@ pub fn simulate(
 
         // A finish frees DMU resources (and may ready tasks): make sure a
         // throttled or idle master gets a chance to resume creation.
-        if finished_here && core != master && next_create < total_tasks && idle_set.remove(master) {
+        if finished_here
+            && core != master
+            && !feed.exhausted(next_create)
+            && idle_set.remove(master)
+        {
             events.schedule(t, master);
         }
 
         // ------------------------------------------------------------------
         // Phase 2: the master creates tasks until it stalls or runs out.
         //
-        // When a creation attempt stalls on a full DMU structure the master
-        // does not busy-wait: like a throttled runtime system it falls
-        // through to the worker path, executes a task (or goes idle) and
-        // retries creation afterwards.
+        // When a creation attempt stalls on a full DMU structure, or the
+        // in-flight count reaches the configured window, the master does not
+        // busy-wait: like a throttled runtime system it falls through to the
+        // worker path, executes a task (or goes idle) and retries creation
+        // after the next finish.
         // ------------------------------------------------------------------
-        if core == master && next_create < total_tasks && !master_throttled {
-            let task = TaskRef(next_create);
-            ready_buf.clear();
-            let outcome = engine.create_task(t, task, &mut ready_buf);
-            stats.cores[master].add(Phase::Deps, outcome.cost);
-            t += outcome.cost;
-            push_ready(
-                &ready_buf,
-                None,
-                &mut t,
-                master,
-                &mut *pool,
-                &mut stats,
-                push_cost,
-                &mut idle_set,
-                &mut events,
-            );
-            if outcome.completed {
-                next_create += 1;
-                events.schedule(t, master);
-                continue;
+        if core == master && !master_throttled && !feed.exhausted(next_create) {
+            if next_create - finished >= window {
+                master_throttled = true;
+                // Fall through to the worker path while the window drains.
+            } else {
+                let task = TaskRef(next_create);
+                ready_buf.clear();
+                let outcome = {
+                    let spec = feed.fetch(next_create);
+                    engine.create_task(t, task, spec, &mut ready_buf)
+                };
+                peak_resident = peak_resident.max(feed.resident());
+                stats.cores[master].add(Phase::Deps, outcome.cost);
+                t += outcome.cost;
+                push_ready(
+                    &ready_buf,
+                    None,
+                    &mut t,
+                    master,
+                    &mut *pool,
+                    &mut stats,
+                    push_cost,
+                    &mut idle_set,
+                    &mut events,
+                );
+                if outcome.completed {
+                    next_create += 1;
+                    events.schedule(t, master);
+                    continue;
+                }
+                master_throttled = true;
+                // Fall through to the worker path: execute something (or
+                // idle) while the DMU drains.
             }
-            master_throttled = true;
-            // Fall through to the worker path: execute something (or idle)
-            // while the DMU drains.
         }
 
         // ------------------------------------------------------------------
         // Phase 3: worker behaviour — schedule and execute a ready task.
         // ------------------------------------------------------------------
-        if finished >= total_tasks && next_create >= total_tasks {
+        if feed.exhausted(next_create) && finished >= next_create {
             continue;
         }
         if let Some(entry) = pool.pop(core) {
@@ -431,15 +686,17 @@ pub fn simulate(
             stats.cores[core].add(Phase::Sched, pick_cost);
             t += pick_cost;
 
-            let spec = workload.spec(entry.task);
+            let spec = feed.spec(entry.task);
             let working_set = spec.working_set();
             let hit_fraction = locality.probe(core, &working_set).hit_fraction();
-            let locality_factor = 1.0 - workload.locality_benefit * hit_fraction;
+            let locality_factor = 1.0 - locality_benefit * hit_fraction;
             let duration = spec
                 .duration
                 .scaled_f64(locality_factor * jitter_for(entry.task));
-            locality.record_reads(core, &spec.read_set());
-            locality.record_writes(core, &spec.write_set());
+            let reads = spec.read_set();
+            let writes = spec.write_set();
+            locality.record_reads(core, &reads);
+            locality.record_writes(core, &writes);
 
             stats.cores[core].add(Phase::Exec, duration);
             running[core] = Some(entry.task);
@@ -452,13 +709,15 @@ pub fn simulate(
         }
     }
 
-    assert_eq!(
-        finished, total_tasks,
-        "simulation ended with {finished} of {total_tasks} tasks finished — dependence engine deadlock"
+    assert!(
+        feed.exhausted(next_create) && finished == next_create,
+        "simulation ended with {finished} of {next_create} created tasks finished \
+         (stream exhausted: {}) — dependence engine deadlock",
+        feed.exhausted(next_create)
     );
 
     stats.makespan = makespan;
-    stats.tasks_executed = total_tasks as u64;
+    stats.tasks_executed = finished as u64;
     let hardware = engine.hardware_report();
     if let Some(hw) = &hardware {
         stats.dmu_stall_cycles = hw.stall_cycles;
@@ -467,12 +726,13 @@ pub fn simulate(
     stats.normalize_to_makespan();
 
     RunReport {
-        workload: workload.name.clone(),
+        workload: feed.name().to_string(),
         backend: backend.name().to_string(),
         scheduler: scheduler_name,
         stats,
         hardware,
-        tasks: total_tasks as u64,
+        tasks: finished as u64,
+        peak_resident_tasks: peak_resident,
         schedule,
     }
 }
@@ -514,6 +774,7 @@ fn push_ready(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stream::WorkloadSource;
     use crate::task::{DependenceSpec, TaskSpec};
     use crate::tdg::TaskGraph;
 
@@ -737,6 +998,15 @@ mod tests {
         let report = simulate(&w, &Backend::Software, SchedulerKind::Fifo, &small_chip(4));
         assert_eq!(report.stats.tasks_executed, 0);
         assert_eq!(report.makespan(), Cycle::ZERO);
+        // The streaming path agrees on the degenerate case.
+        let mut source = WorkloadSource::new(&w);
+        let streamed = simulate_stream(
+            &mut source,
+            &Backend::Software,
+            SchedulerKind::Fifo,
+            &small_chip(4),
+        );
+        assert_eq!(streamed.stats.tasks_executed, 0);
     }
 
     #[test]
@@ -775,5 +1045,98 @@ mod tests {
             local.makespan(),
             fifo.makespan()
         );
+    }
+
+    #[test]
+    fn streaming_matches_eager_bit_for_bit() {
+        let mut w = chains_workload(6, 8, 25.0);
+        w.locality_benefit = 0.1;
+        let config = small_chip(6).with_trace_schedule();
+        for backend in [
+            Backend::Software,
+            Backend::tdm_default(),
+            Backend::Carbon,
+            Backend::task_superscalar_default(),
+        ] {
+            for scheduler in [SchedulerKind::Fifo, SchedulerKind::Age] {
+                let eager = simulate(&w, &backend, scheduler, &config);
+                let mut source = WorkloadSource::new(&w);
+                let streamed = simulate_stream(&mut source, &backend, scheduler, &config);
+                let context = format!("{} / {}", backend.name(), scheduler.name());
+                assert_eq!(eager.makespan(), streamed.makespan(), "{context}");
+                assert_eq!(eager.stats, streamed.stats, "{context}");
+                assert_eq!(eager.schedule, streamed.schedule, "{context}");
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_run_bounds_resident_specs_and_completes() {
+        let w = chains_workload(5, 10, 15.0);
+        let graph = TaskGraph::build(&w);
+        for window in [1usize, 2, 7, 50] {
+            let config = small_chip(4).with_trace_schedule().with_window(window);
+            let mut source = WorkloadSource::new(&w);
+            let report = simulate_stream(
+                &mut source,
+                &Backend::tdm_default(),
+                SchedulerKind::Fifo,
+                &config,
+            );
+            assert_eq!(report.stats.tasks_executed, 50, "window {window}");
+            assert!(
+                report.peak_resident_tasks <= window + 1,
+                "window {window}: {} specs resident",
+                report.peak_resident_tasks
+            );
+            assert!(
+                graph.check_order(&report.finish_order()).is_ok(),
+                "window {window}"
+            );
+        }
+    }
+
+    #[test]
+    fn window_throttling_never_loses_tasks_on_software_backend() {
+        let w = chains_workload(3, 12, 10.0);
+        let config = small_chip(3).with_window(2);
+        let mut source = WorkloadSource::new(&w);
+        let report = simulate_stream(
+            &mut source,
+            &Backend::Software,
+            SchedulerKind::Fifo,
+            &config,
+        );
+        assert_eq!(report.stats.tasks_executed, 36);
+        assert!(report.peak_resident_tasks <= 3);
+    }
+
+    #[test]
+    fn eager_window_throttles_master_too() {
+        // The window knob applies to the eager driver as well; a tight
+        // window serializes creation against completion and (at worst)
+        // lengthens the run, never deadlocks it.
+        let w = independent_workload(30, 20.0);
+        let wide = simulate(
+            &w,
+            &Backend::tdm_default(),
+            SchedulerKind::Fifo,
+            &small_chip(4),
+        );
+        let narrow = simulate(
+            &w,
+            &Backend::tdm_default(),
+            SchedulerKind::Fifo,
+            &small_chip(4).with_window(1),
+        );
+        assert_eq!(narrow.stats.tasks_executed, 30);
+        assert!(narrow.makespan() >= wide.makespan());
+    }
+
+    #[test]
+    fn with_window_clamps_to_one() {
+        assert_eq!(ExecConfig::default().with_window(0).window, 1);
+        assert_eq!(ExecConfig::default().with_window(9).window, 9);
+        assert_eq!(ExecConfig::default().window, usize::MAX);
     }
 }

@@ -1,0 +1,75 @@
+//! A fast deterministic hasher for the runtime's integer-keyed maps.
+//!
+//! The incremental engines and the streaming feed key their state by task
+//! index or dependence address — small integers with plenty of entropy in
+//! the low bits. `std`'s default SipHash is DoS-resistant but measurably
+//! slow on these hot paths (the dependence-matching maps are touched a few
+//! times per simulated task); this Fibonacci-multiply hasher is the classic
+//! FxHash-style alternative, inlined here because the workspace builds
+//! offline. Determinism note: no simulator behaviour may depend on map
+//! iteration order regardless of hasher (see `ARCHITECTURE.md`), so the
+//! hasher choice is a pure-performance decision.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` with the fast integer hasher.
+pub(crate) type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// Multiplicative hasher: one wrapping multiply by the 64-bit golden-ratio
+/// constant per written word.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct FastHasher {
+    state: u64,
+}
+
+impl Hasher for FastHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path (not hit by the integer keys we use): fold in 8-byte
+        // chunks.
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.state = (self.state.rotate_left(5) ^ value).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_hash_distinctly_enough() {
+        let mut map: FastMap<u64, u64> = FastMap::default();
+        for i in 0..10_000u64 {
+            map.insert(i * 64, i);
+        }
+        assert_eq!(map.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(map.get(&(i * 64)), Some(&i));
+        }
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let mut a = FastHasher::default();
+        let mut b = FastHasher::default();
+        a.write_u64(0xDEAD_BEEF);
+        b.write_u64(0xDEAD_BEEF);
+        assert_eq!(a.finish(), b.finish());
+        assert_ne!(a.finish(), 0);
+    }
+}

@@ -5,6 +5,8 @@
 //! represents. It provides:
 //!
 //! * the program-level task and workload model ([`task`]),
+//! * pull-based task sources for streaming (windowed) execution
+//!   ([`stream`]),
 //! * the reference Task Dependence Graph used both by the software runtime
 //!   and as the golden model for the DMU ([`tdg`]),
 //! * the cycle cost model of runtime operations ([`cost`]),
@@ -13,12 +15,16 @@
 //!   and Task Superscalar ([`engine`]),
 //! * and the discrete-event execution driver that ties everything to the
 //!   simulated 32-core chip and produces per-phase time breakdowns
-//!   ([`exec`]).
+//!   ([`exec`]). It runs either eagerly over a materialised [`Workload`]
+//!   ([`simulate`]) or lazily over a task stream through the windowed
+//!   master ([`simulate_stream`]), which keeps memory bounded by
+//!   [`ExecConfig::window`](exec::ExecConfig::window) for million-task
+//!   regions.
 //!
 //! # Example
 //!
 //! ```
-//! use tdm_runtime::exec::{simulate, Backend, ExecConfig};
+//! use tdm_runtime::exec::{simulate, Backend, ExecConfig, RunReport};
 //! use tdm_runtime::scheduler::SchedulerKind;
 //! use tdm_runtime::task::{DependenceSpec, TaskSpec, Workload};
 //! use tdm_sim::clock::Cycle;
@@ -31,9 +37,12 @@
 //!         TaskSpec::new("consume", Cycle::new(200_000), vec![DependenceSpec::input(0xA000, 4096)]),
 //!     ],
 //! );
-//! let config = ExecConfig::default();
-//! let report = simulate(&workload, &Backend::tdm_default(), SchedulerKind::Fifo, &config);
+//! let config = ExecConfig::default().with_cores(4);
+//! let report: RunReport = simulate(&workload, &Backend::tdm_default(), SchedulerKind::Fifo, &config);
 //! assert_eq!(report.stats.tasks_executed, 2);
+//! // The consumer serializes after the producer, so the region takes about
+//! // two task bodies, not one (durations carry a small default jitter).
+//! assert!(report.makespan() > Cycle::new(350_000));
 //! ```
 
 #![warn(missing_docs)]
@@ -42,13 +51,16 @@
 pub mod cost;
 pub mod engine;
 pub mod exec;
+pub(crate) mod fast_map;
 pub mod scheduler;
+pub mod stream;
 pub mod task;
 pub mod tdg;
 
 pub use cost::CostModel;
 pub use engine::{DependenceEngine, HardwareEngine, HardwareFlavor, SoftwareEngine};
-pub use exec::{simulate, Backend, ExecConfig, RunReport, ScheduledTask};
+pub use exec::{simulate, simulate_stream, Backend, ExecConfig, RunReport, ScheduledTask};
 pub use scheduler::{ReadyEntry, Scheduler, SchedulerKind};
+pub use stream::{TaskSource, WorkloadSource};
 pub use task::{DependenceSpec, TaskRef, TaskSpec, Workload};
 pub use tdg::TaskGraph;

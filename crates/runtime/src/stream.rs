@@ -1,0 +1,190 @@
+//! Pull-based task sources for streaming (windowed) execution.
+//!
+//! The paper's master thread does not materialise a million-entry task list
+//! up front: it creates tasks one at a time while the DMU consumes them, and
+//! backpressure (full DMU structures, runtime throttling) bounds how far it
+//! runs ahead. [`TaskSource`] is the driver-side contract for that mode: a
+//! pull-based iterator of [`TaskSpec`]s that [`simulate_stream`] drains
+//! lazily, holding at most a *window* of specs in memory (see
+//! [`ExecConfig::window`]).
+//!
+//! The benchmark generators in `tdm-workloads` provide the main
+//! implementation (`tdm_workloads::stream::TaskStream`); this trait lives
+//! here, below them in the crate graph, so the execution driver can consume
+//! any source without depending on the generators. An already-materialised
+//! [`Workload`] can be replayed as a source too, which is how the
+//! eager-vs-streaming conformance suite cross-checks the two paths.
+//!
+//! [`simulate_stream`]: crate::exec::simulate_stream
+//! [`ExecConfig::window`]: crate::exec::ExecConfig::window
+//! [`Workload`]: crate::task::Workload
+//!
+//! # Example
+//!
+//! ```
+//! use tdm_runtime::stream::TaskSource;
+//! use tdm_runtime::task::{DependenceSpec, TaskSpec};
+//! use tdm_sim::clock::Cycle;
+//!
+//! /// An endless-looking chain, produced one task at a time.
+//! struct Chain {
+//!     remaining: usize,
+//! }
+//!
+//! impl TaskSource for Chain {
+//!     fn name(&self) -> &str {
+//!         "chain"
+//!     }
+//!
+//!     fn next_task(&mut self) -> Option<TaskSpec> {
+//!         if self.remaining == 0 {
+//!             return None;
+//!         }
+//!         self.remaining -= 1;
+//!         Some(TaskSpec::new(
+//!             "link",
+//!             Cycle::new(10_000),
+//!             vec![DependenceSpec::inout(0xA000, 4096)],
+//!         ))
+//!     }
+//!
+//!     fn len_hint(&self) -> Option<usize> {
+//!         Some(self.remaining)
+//!     }
+//! }
+//!
+//! let mut source = Chain { remaining: 3 };
+//! assert_eq!(source.len_hint(), Some(3));
+//! assert!(source.next_task().is_some());
+//! ```
+
+use crate::task::{TaskSpec, Workload};
+
+/// A pull-based producer of tasks in program creation order.
+///
+/// The execution driver calls [`next_task`](TaskSource::next_task) exactly
+/// once per task, in creation order, and keeps the returned spec alive only
+/// while the task is in flight. Implementations must be deterministic: two
+/// passes over a freshly built source yield the same task sequence
+/// bit-for-bit (generators with random content carry their own seeded RNG
+/// state).
+pub trait TaskSource {
+    /// Workload name used in reports (e.g. `"cholesky"`).
+    fn name(&self) -> &str;
+
+    /// Produces the next task in program creation order, or `None` when the
+    /// parallel region is complete. Once `None` is returned, every later
+    /// call must return `None` too.
+    fn next_task(&mut self) -> Option<TaskSpec>;
+
+    /// Number of tasks still to be produced, when the source knows it
+    /// (generators with closed-form task counts do). Used only for
+    /// reporting and pre-sizing; correctness never depends on it.
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+
+    /// Fraction of a task's execution time saved when its working set is
+    /// resident in the executing core's cache (see
+    /// [`Workload::locality_benefit`]).
+    fn locality_benefit(&self) -> f64 {
+        0.0
+    }
+
+    /// Relative duration jitter (see [`Workload::duration_jitter`]).
+    fn duration_jitter(&self) -> f64 {
+        crate::task::DEFAULT_DURATION_JITTER
+    }
+}
+
+/// Replays an already-materialised [`Workload`] as a [`TaskSource`],
+/// cloning one spec at a time.
+///
+/// This exists for cross-checking the eager and streaming drivers against
+/// each other (the conformance suite) and for feeding ad-hoc workloads to
+/// [`simulate_stream`](crate::exec::simulate_stream); for large runs, use a
+/// real generator-backed source so the full task list never materialises.
+#[derive(Debug, Clone)]
+pub struct WorkloadSource<'a> {
+    workload: &'a Workload,
+    next: usize,
+}
+
+impl<'a> WorkloadSource<'a> {
+    /// Wraps `workload` as a source that yields its tasks in order.
+    pub fn new(workload: &'a Workload) -> Self {
+        WorkloadSource { workload, next: 0 }
+    }
+}
+
+impl TaskSource for WorkloadSource<'_> {
+    fn name(&self) -> &str {
+        &self.workload.name
+    }
+
+    fn next_task(&mut self) -> Option<TaskSpec> {
+        let spec = self.workload.tasks.get(self.next)?.clone();
+        self.next += 1;
+        Some(spec)
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.workload.len() - self.next)
+    }
+
+    fn locality_benefit(&self) -> f64 {
+        self.workload.locality_benefit
+    }
+
+    fn duration_jitter(&self) -> f64 {
+        self.workload.duration_jitter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::DependenceSpec;
+    use tdm_sim::clock::Cycle;
+
+    fn workload() -> Workload {
+        let mut w = Workload::new(
+            "w",
+            (0..4)
+                .map(|i| {
+                    TaskSpec::new(
+                        "t",
+                        Cycle::new(100 + i),
+                        vec![DependenceSpec::inout(0x1000, 64)],
+                    )
+                })
+                .collect(),
+        );
+        w.locality_benefit = 0.25;
+        w.duration_jitter = 0.1;
+        w
+    }
+
+    #[test]
+    fn workload_source_replays_in_order() {
+        let w = workload();
+        let mut source = WorkloadSource::new(&w);
+        assert_eq!(source.name(), "w");
+        assert_eq!(source.len_hint(), Some(4));
+        let mut produced = Vec::new();
+        while let Some(spec) = source.next_task() {
+            produced.push(spec);
+        }
+        assert_eq!(produced, w.tasks);
+        assert_eq!(source.len_hint(), Some(0));
+        assert!(source.next_task().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn workload_source_carries_modelling_knobs() {
+        let w = workload();
+        let source = WorkloadSource::new(&w);
+        assert_eq!(source.locality_benefit(), 0.25);
+        assert_eq!(source.duration_jitter(), 0.1);
+    }
+}

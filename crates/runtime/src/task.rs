@@ -10,6 +10,12 @@ use serde::{Deserialize, Serialize};
 use tdm_core::ids::DepDirection;
 use tdm_sim::clock::Cycle;
 
+/// Default relative duration jitter applied by [`Workload::new`] and by the
+/// streaming sources ([`crate::stream::TaskSource::duration_jitter`],
+/// `tdm_workloads`' `TaskStream`) — one shared constant so the eager and
+/// streaming forms of a workload can never disagree on the default.
+pub const DEFAULT_DURATION_JITTER: f64 = 0.02;
+
 /// Index of a task within its [`Workload`] (program creation order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TaskRef(pub usize);
@@ -141,7 +147,7 @@ impl Workload {
             name: name.into(),
             tasks,
             locality_benefit: 0.0,
-            duration_jitter: 0.02,
+            duration_jitter: DEFAULT_DURATION_JITTER,
         }
     }
 

@@ -10,6 +10,7 @@
 use tdm_runtime::task::{DependenceSpec, TaskSpec, Workload};
 
 use crate::spec::micros;
+use crate::stream::TaskStream;
 
 /// Number of independent option-batch chains.
 pub const CHAINS: usize = 50;
@@ -67,29 +68,44 @@ impl Params {
     }
 }
 
-/// Generates the Blackscholes workload: `chains` chains, each a sequence of
-/// tasks with an `inout` dependence on the chain's option block.
-pub fn generate(params: Params) -> Workload {
+/// Lazily generates the Blackscholes workload: `chains` chains, each a
+/// sequence of tasks with an `inout` dependence on the chain's option block.
+pub fn stream(params: Params) -> TaskStream {
     let duration = micros(params.task_us);
-    let mut tasks = Vec::with_capacity(params.chains * params.chain_len);
+    let block_bytes = params.block_bytes;
+    let chains = params.chains;
     // Tasks are created round-robin across chains (chain 0 step 0, chain 1
     // step 0, ..., chain 0 step 1, ...), matching a loop over option batches
     // with an outer iteration loop.
-    for step in 0..params.chain_len {
-        for chain in 0..params.chains {
+    let iter = (0..params.chain_len).flat_map(move |_step| {
+        (0..chains).map(move |chain| {
             // Option batches are consecutive blocks of one large array, so
             // their addresses differ only above the log2(block size) bit —
             // the pattern the DAT's dynamic index-bit selection targets.
-            let block = 0x4000_0000_0000 + chain as u64 * params.block_bytes;
-            let _ = step;
-            tasks.push(TaskSpec::new(
+            let block = 0x4000_0000_0000 + chain as u64 * block_bytes;
+            TaskSpec::new(
                 "bs_batch",
                 duration,
-                vec![DependenceSpec::inout(block, params.block_bytes)],
-            ));
-        }
-    }
-    Workload::new("blackscholes", tasks)
+                vec![DependenceSpec::inout(block, block_bytes)],
+            )
+        })
+    });
+    TaskStream::new("blackscholes", params.chains * params.chain_len, iter)
+}
+
+/// A scaled-up Blackscholes stream with at least `target_tasks` tasks:
+/// longer chains at the TDM-optimal granularity (more option-batch
+/// iterations over the same [`CHAINS`] blocks).
+pub fn stream_scaled(target_tasks: usize) -> TaskStream {
+    let mut params = Params::tdm();
+    params.chain_len = target_tasks.div_ceil(params.chains).max(1);
+    stream(params)
+}
+
+/// Generates the Blackscholes workload (the eager `collect()` of
+/// [`stream`]).
+pub fn generate(params: Params) -> Workload {
+    stream(params).into_workload()
 }
 
 /// Software-optimal workload: 3,300 tasks of ≈1,770 µs.

@@ -11,6 +11,7 @@ use tdm_runtime::task::{DependenceSpec, TaskSpec, Workload};
 
 use crate::dense::{scale_duration, BlockMatrix};
 use crate::spec::micros;
+use crate::stream::TaskStream;
 
 /// Matrix dimension evaluated in the paper.
 pub const MATRIX_DIM: usize = 2048;
@@ -48,70 +49,118 @@ pub fn task_count(blocks: usize) -> usize {
     n + n * (n - 1) / 2 + n * (n - 1) / 2 + n * (n - 1) * (n - 2) / 6
 }
 
-/// Generates the Cholesky workload for the given parameters.
-///
-/// # Panics
-///
-/// Panics if `params.blocks` does not divide the matrix dimension.
-pub fn generate(params: Params) -> Workload {
-    let blocks = params.blocks;
-    let matrix = BlockMatrix::new(0x1000_0000_0000, MATRIX_DIM, blocks, 4);
-    let bytes = matrix.block_bytes();
-    let gemm = micros(scale_duration(GEMM_US, OPTIMAL_BLOCKS, blocks));
-    let syrk = micros(scale_duration(SYRK_US, OPTIMAL_BLOCKS, blocks));
-    let trsm = micros(scale_duration(TRSM_US, OPTIMAL_BLOCKS, blocks));
-    let potrf = micros(scale_duration(POTRF_US, OPTIMAL_BLOCKS, blocks));
+/// Per-kernel durations in cycles for a given granularity.
+#[derive(Debug, Clone, Copy)]
+struct Durations {
+    gemm: tdm_sim::clock::Cycle,
+    syrk: tdm_sim::clock::Cycle,
+    trsm: tdm_sim::clock::Cycle,
+    potrf: tdm_sim::clock::Cycle,
+}
 
-    // Standard right-looking tile Cholesky: factorize the panel, solve the
-    // column below it, then update the trailing submatrix. The kernel counts
-    // are identical to the paper's listing (Figure 1); the right-looking
-    // order is the one production runtimes execute and keeps the trailing
-    // updates of one panel independent of each other.
-    let mut tasks = Vec::with_capacity(task_count(blocks));
-    for k in 0..blocks {
-        tasks.push(TaskSpec::new(
+/// Lazily generates the tile-Cholesky task sequence over `matrix`.
+///
+/// Standard right-looking tile Cholesky: factorize the panel, solve the
+/// column below it, then update the trailing submatrix. The kernel counts
+/// are identical to the paper's listing (Figure 1); the right-looking order
+/// is the one production runtimes execute and keeps the trailing updates of
+/// one panel independent of each other.
+fn stream_over(matrix: BlockMatrix, d: Durations) -> TaskStream {
+    let blocks = matrix.blocks;
+    let bytes = matrix.block_bytes();
+    let iter = (0..blocks).flat_map(move |k| {
+        let panel = std::iter::once(TaskSpec::new(
             "spotrf",
-            potrf,
+            d.potrf,
             vec![DependenceSpec::inout(matrix.block(k, k), bytes)],
         ));
-        for i in (k + 1)..blocks {
-            tasks.push(TaskSpec::new(
+        let solves = ((k + 1)..blocks).map(move |i| {
+            TaskSpec::new(
                 "strsm",
-                trsm,
+                d.trsm,
                 vec![
                     DependenceSpec::input(matrix.block(k, k), bytes),
                     DependenceSpec::inout(matrix.block(i, k), bytes),
                 ],
-            ));
-        }
-        for i in (k + 1)..blocks {
-            tasks.push(TaskSpec::new(
+            )
+        });
+        let updates = ((k + 1)..blocks).flat_map(move |i| {
+            std::iter::once(TaskSpec::new(
                 "ssyrk",
-                syrk,
+                d.syrk,
                 vec![
                     DependenceSpec::input(matrix.block(i, k), bytes),
                     DependenceSpec::inout(matrix.block(i, i), bytes),
                 ],
-            ));
-            for j in (k + 1)..i {
-                tasks.push(TaskSpec::new(
+            ))
+            .chain(((k + 1)..i).map(move |j| {
+                TaskSpec::new(
                     "sgemm",
-                    gemm,
+                    d.gemm,
                     vec![
                         DependenceSpec::input(matrix.block(i, k), bytes),
                         DependenceSpec::input(matrix.block(j, k), bytes),
                         DependenceSpec::inout(matrix.block(i, j), bytes),
                     ],
-                ));
-            }
-        }
-    }
-
-    let mut workload = Workload::new("cholesky", tasks);
+                )
+            }))
+        });
+        panel.chain(solves).chain(updates)
+    });
     // Cholesky is memory intensive and benefits from locality-aware
     // scheduling (Section VI-A reports Local+TDM ≈ 4% over FIFO+TDM).
-    workload.locality_benefit = 0.06;
-    workload
+    TaskStream::new("cholesky", task_count(blocks), iter).with_locality_benefit(0.06)
+}
+
+/// Lazily generates the Cholesky workload for the given parameters, one task
+/// at a time.
+///
+/// # Panics
+///
+/// Panics if `params.blocks` does not divide the matrix dimension.
+pub fn stream(params: Params) -> TaskStream {
+    let blocks = params.blocks;
+    let matrix = BlockMatrix::new(0x1000_0000_0000, MATRIX_DIM, blocks, 4);
+    stream_over(
+        matrix,
+        Durations {
+            gemm: micros(scale_duration(GEMM_US, OPTIMAL_BLOCKS, blocks)),
+            syrk: micros(scale_duration(SYRK_US, OPTIMAL_BLOCKS, blocks)),
+            trsm: micros(scale_duration(TRSM_US, OPTIMAL_BLOCKS, blocks)),
+            potrf: micros(scale_duration(POTRF_US, OPTIMAL_BLOCKS, blocks)),
+        },
+    )
+}
+
+/// A scaled-up Cholesky stream with **at least** `target_tasks` tasks: a
+/// bigger matrix factorised at the Table II-optimal 64×64-element tile size
+/// (so per-task durations stay calibrated and only the task count grows).
+pub fn stream_scaled(target_tasks: usize) -> TaskStream {
+    let mut blocks = OPTIMAL_BLOCKS;
+    while task_count(blocks) < target_tasks {
+        blocks += 1;
+    }
+    let tile = MATRIX_DIM / OPTIMAL_BLOCKS;
+    let matrix = BlockMatrix::new(0x1000_0000_0000, blocks * tile, blocks, 4);
+    stream_over(
+        matrix,
+        Durations {
+            gemm: micros(GEMM_US),
+            syrk: micros(SYRK_US),
+            trsm: micros(TRSM_US),
+            potrf: micros(POTRF_US),
+        },
+    )
+}
+
+/// Generates the Cholesky workload for the given parameters (the eager
+/// `collect()` of [`stream`]).
+///
+/// # Panics
+///
+/// Panics if `params.blocks` does not divide the matrix dimension.
+pub fn generate(params: Params) -> Workload {
+    stream(params).into_workload()
 }
 
 /// The software-optimal and TDM-optimal granularities coincide for Cholesky

@@ -18,6 +18,7 @@
 use tdm_runtime::task::{DependenceSpec, TaskSpec, Workload};
 
 use crate::spec::micros;
+use crate::stream::TaskStream;
 
 /// Number of input chunks (one compute + one I/O task each).
 pub const CHUNKS: usize = 121;
@@ -41,48 +42,72 @@ const INDEX_RECORDS: u64 = 16;
 /// Base address of the (read-only) input chunks.
 const INPUT_BASE: u64 = 0x5300_0000_0000;
 
-/// Generates the Dedup workload: 2×[`CHUNKS`] pipeline tasks, one leading
-/// scan task and one trailing verification task (244 total).
-pub fn generate() -> Workload {
+/// Lazily generates a Dedup pipeline over `chunks` input chunks:
+/// 2×`chunks` pipeline tasks, one leading scan task and one trailing
+/// verification task.
+pub fn stream_with_chunks(chunks: usize) -> TaskStream {
     let chunk_bytes = 2 * 1024 * 1024;
-    let mut tasks = Vec::with_capacity(2 * CHUNKS + 2);
 
     // A leading scan task that partitions the input (reads nothing tracked,
     // writes the chunk boundaries the compute tasks read).
-    tasks.push(TaskSpec::new(
+    let scan = std::iter::once(TaskSpec::new(
         "scan",
         micros(10_000.0),
         vec![DependenceSpec::output(INPUT_BASE, 4096)],
     ));
 
-    for chunk in 0..CHUNKS {
+    let pipeline = (0..chunks).flat_map(move |chunk| {
         let compressed = COMPRESSED_BASE + chunk as u64 * chunk_bytes;
         let index = INDEX_BASE + (chunk as u64 % INDEX_RECORDS) * 64;
-        tasks.push(TaskSpec::new(
-            "compress",
-            micros(COMPUTE_US),
-            vec![
-                DependenceSpec::input(INPUT_BASE, 4096),
-                DependenceSpec::output(compressed, chunk_bytes),
-            ],
-        ));
-        tasks.push(TaskSpec::new(
-            "write",
-            micros(IO_US),
-            vec![
-                DependenceSpec::input(compressed, chunk_bytes),
-                DependenceSpec::inout(ARCHIVE_ADDR, 4096),
-                DependenceSpec::inout(index, 64),
-            ],
-        ));
-    }
+        [
+            TaskSpec::new(
+                "compress",
+                micros(COMPUTE_US),
+                vec![
+                    DependenceSpec::input(INPUT_BASE, 4096),
+                    DependenceSpec::output(compressed, chunk_bytes),
+                ],
+            ),
+            TaskSpec::new(
+                "write",
+                micros(IO_US),
+                vec![
+                    DependenceSpec::input(compressed, chunk_bytes),
+                    DependenceSpec::inout(ARCHIVE_ADDR, 4096),
+                    DependenceSpec::inout(index, 64),
+                ],
+            ),
+        ]
+        .into_iter()
+    });
 
     // Final verification reads the archive and every index record.
-    let mut verify_deps = vec![DependenceSpec::input(ARCHIVE_ADDR, 4096)];
-    verify_deps.extend((0..INDEX_RECORDS).map(|r| DependenceSpec::input(INDEX_BASE + r * 64, 64)));
-    tasks.push(TaskSpec::new("verify", micros(VERIFY_US), verify_deps));
+    let verify = std::iter::once_with(|| {
+        let mut verify_deps = vec![DependenceSpec::input(ARCHIVE_ADDR, 4096)];
+        verify_deps
+            .extend((0..INDEX_RECORDS).map(|r| DependenceSpec::input(INDEX_BASE + r * 64, 64)));
+        TaskSpec::new("verify", micros(VERIFY_US), verify_deps)
+    });
 
-    Workload::new("dedup", tasks)
+    TaskStream::new("dedup", 2 * chunks + 2, scan.chain(pipeline).chain(verify))
+}
+
+/// Lazily generates the Table II Dedup workload ([`CHUNKS`] chunks).
+pub fn stream() -> TaskStream {
+    stream_with_chunks(CHUNKS)
+}
+
+/// A scaled-up Dedup stream with at least `target_tasks` tasks: a longer
+/// input (more chunks through the same pipeline).
+pub fn stream_scaled(target_tasks: usize) -> TaskStream {
+    stream_with_chunks(target_tasks.saturating_sub(2).div_ceil(2).max(1))
+}
+
+/// Generates the Dedup workload: 2×[`CHUNKS`] pipeline tasks, one leading
+/// scan task and one trailing verification task (244 total; the eager
+/// `collect()` of [`stream`]).
+pub fn generate() -> Workload {
+    stream().into_workload()
 }
 
 /// The single granularity point (software and TDM coincide).

@@ -9,6 +9,7 @@
 use tdm_runtime::task::{DependenceSpec, TaskSpec, Workload};
 
 use crate::spec::micros;
+use crate::stream::TaskStream;
 
 /// Number of query images.
 pub const QUERIES: usize = 256;
@@ -28,12 +29,11 @@ const BUFFER_BASE: u64 = 0x6000_0000_0000;
 /// Address of the shared results file position.
 const RESULTS_ADDR: u64 = 0x6100_0000_0000;
 
-/// Generates the Ferret workload.
-pub fn generate() -> Workload {
+/// Lazily generates a Ferret pipeline over `queries` query images.
+pub fn stream_with_queries(queries: usize) -> TaskStream {
     let buffer_bytes = 256 * 1024;
-    let mut tasks = Vec::with_capacity(QUERIES * STAGES);
-    for query in 0..QUERIES {
-        for stage in 0..STAGES {
+    let iter = (0..queries).flat_map(move |query| {
+        (0..STAGES).map(move |stage| {
             let out_buffer = BUFFER_BASE + (query * STAGES + stage) as u64 * buffer_bytes;
             let mut deps = Vec::new();
             if stage > 0 {
@@ -46,14 +46,26 @@ pub fn generate() -> Workload {
             } else {
                 deps.push(DependenceSpec::output(out_buffer, buffer_bytes));
             }
-            tasks.push(TaskSpec::new(
-                STAGE_NAMES[stage],
-                micros(STAGE_US[stage]),
-                deps,
-            ));
-        }
-    }
-    Workload::new("ferret", tasks)
+            TaskSpec::new(STAGE_NAMES[stage], micros(STAGE_US[stage]), deps)
+        })
+    });
+    TaskStream::new("ferret", queries * STAGES, iter)
+}
+
+/// Lazily generates the Table II Ferret workload ([`QUERIES`] queries).
+pub fn stream() -> TaskStream {
+    stream_with_queries(QUERIES)
+}
+
+/// A scaled-up Ferret stream with at least `target_tasks` tasks: more query
+/// images through the same six-stage pipeline.
+pub fn stream_scaled(target_tasks: usize) -> TaskStream {
+    stream_with_queries(target_tasks.div_ceil(STAGES).max(1))
+}
+
+/// Generates the Ferret workload (the eager `collect()` of [`stream`]).
+pub fn generate() -> Workload {
+    stream().into_workload()
 }
 
 /// The single granularity point (pipeline stages are fixed by the

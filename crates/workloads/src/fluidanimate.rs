@@ -9,6 +9,7 @@
 use tdm_runtime::task::{DependenceSpec, TaskSpec, Workload};
 
 use crate::spec::micros;
+use crate::stream::TaskStream;
 
 /// Partitions of the 3D volume at the optimal granularity.
 pub const OPTIMAL_PARTITIONS: usize = 256;
@@ -39,26 +40,28 @@ impl Default for Params {
     }
 }
 
-/// Generates the Fluidanimate workload: a 1D domain decomposition of the 3D
-/// volume with double-buffered particle state. In each timestep a task reads
-/// the previous-step buffers of its own partition and of both neighbours and
-/// writes its partition's current-step buffer, so partitions within a
-/// timestep update in parallel and timesteps chain through the buffers.
-pub fn generate(params: Params) -> Workload {
+/// Lazily generates the Fluidanimate workload: a 1D domain decomposition of
+/// the 3D volume with double-buffered particle state. In each timestep a
+/// task reads the previous-step buffers of its own partition and of both
+/// neighbours and writes its partition's current-step buffer, so partitions
+/// within a timestep update in parallel and timesteps chain through the
+/// buffers.
+pub fn stream(params: Params) -> TaskStream {
     assert!(params.partitions > 0, "need at least one partition");
+    let partitions = params.partitions;
     // Total work is constant: fewer partitions means proportionally longer
     // tasks.
-    let task_us = TASK_US * OPTIMAL_PARTITIONS as f64 / params.partitions as f64;
-    let partition_bytes = 8 * 1024 * 1024 / params.partitions as u64;
+    let task_us = TASK_US * OPTIMAL_PARTITIONS as f64 / partitions as f64;
+    let partition_bytes = 8 * 1024 * 1024 / partitions as u64;
     let duration = micros(task_us);
     // Two buffers per partition (ping-pong across timesteps).
-    let addr = |p: usize, buffer: usize| PARTITION_BASE + (p * 2 + buffer) as u64 * partition_bytes;
+    let addr =
+        move |p: usize, buffer: usize| PARTITION_BASE + (p * 2 + buffer) as u64 * partition_bytes;
 
-    let mut tasks = Vec::with_capacity(params.partitions * params.timesteps);
-    for step in 0..params.timesteps {
+    let iter = (0..params.timesteps).flat_map(move |step| {
         let read_buf = step % 2;
         let write_buf = 1 - read_buf;
-        for p in 0..params.partitions {
+        (0..partitions).map(move |p| {
             let mut deps = vec![
                 DependenceSpec::input(addr(p, read_buf), partition_bytes),
                 DependenceSpec::output(addr(p, write_buf), partition_bytes),
@@ -69,18 +72,32 @@ pub fn generate(params: Params) -> Workload {
                     partition_bytes,
                 ));
             }
-            if p + 1 < params.partitions {
+            if p + 1 < partitions {
                 deps.push(DependenceSpec::input(
                     addr(p + 1, read_buf),
                     partition_bytes,
                 ));
             }
-            tasks.push(TaskSpec::new("advance_cell", duration, deps));
-        }
-    }
-    let mut workload = Workload::new("fluidanimate", tasks);
-    workload.locality_benefit = 0.04;
-    workload
+            TaskSpec::new("advance_cell", duration, deps)
+        })
+    });
+    TaskStream::new("fluidanimate", params.partitions * params.timesteps, iter)
+        .with_locality_benefit(0.04)
+}
+
+/// A scaled-up Fluidanimate stream with at least `target_tasks` tasks: a
+/// longer simulation (more timesteps) at the optimal partitioning.
+pub fn stream_scaled(target_tasks: usize) -> TaskStream {
+    stream(Params {
+        partitions: OPTIMAL_PARTITIONS,
+        timesteps: target_tasks.div_ceil(OPTIMAL_PARTITIONS).max(1),
+    })
+}
+
+/// Generates the Fluidanimate workload (the eager `collect()` of
+/// [`stream`]).
+pub fn generate(params: Params) -> Workload {
+    stream(params).into_workload()
 }
 
 /// Optimal granularity (software and TDM coincide): 2,560 tasks of ≈1,804 µs.

@@ -9,6 +9,7 @@
 use tdm_runtime::task::{DependenceSpec, TaskSpec, Workload};
 
 use crate::spec::micros;
+use crate::stream::TaskStream;
 
 /// Local (per-stripe) tasks at the optimal granularity.
 pub const OPTIMAL_STRIPES: usize = 256;
@@ -41,12 +42,12 @@ impl Default for Params {
     }
 }
 
-/// Generates the Histogram workload.
+/// Lazily generates the Histogram workload.
 ///
 /// # Panics
 ///
 /// Panics if `stripes` is not a power of two greater than one.
-pub fn generate(params: Params) -> Workload {
+pub fn stream(params: Params) -> TaskStream {
     let stripes = params.stripes;
     assert!(
         stripes.is_power_of_two() && stripes > 1,
@@ -58,45 +59,67 @@ pub fn generate(params: Params) -> Workload {
     // Total scan work is constant across granularities.
     let local_us = LOCAL_US * OPTIMAL_STRIPES as f64 / stripes as f64;
 
-    let mut tasks = Vec::new();
     // Local histograms.
-    for s in 0..stripes {
-        tasks.push(TaskSpec::new(
+    let locals = (0..stripes).map(move |s| {
+        TaskSpec::new(
             "local_hist",
             micros(local_us),
             vec![
                 DependenceSpec::input(IMAGE_BASE + s as u64 * stripe_bytes, stripe_bytes),
                 DependenceSpec::output(HIST_BASE + s as u64 * hist_bytes, hist_bytes),
             ],
-        ));
-    }
+        )
+    });
     // Binary reduction tree: level by level, merge pairs into the
-    // lower-indexed buffer.
-    let mut level_nodes: Vec<usize> = (0..stripes).collect();
-    while level_nodes.len() > 1 {
-        let mut next = Vec::with_capacity(level_nodes.len() / 2);
-        for pair in level_nodes.chunks(2) {
-            let (a, b) = (pair[0], pair[1]);
-            tasks.push(TaskSpec::new(
+    // lower-indexed buffer. At level `l` (1-based) the live nodes are the
+    // multiples of 2^l and each merges in its sibling at offset 2^(l-1) —
+    // the closed form of the original level-by-level worklist.
+    let levels = stripes.trailing_zeros();
+    let merges = (1..=levels).flat_map(move |l| {
+        let step = 1usize << l;
+        (0..stripes / step).map(move |i| {
+            let a = i * step;
+            let b = a + step / 2;
+            TaskSpec::new(
                 "merge",
                 micros(MERGE_US),
                 vec![
                     DependenceSpec::inout(HIST_BASE + a as u64 * hist_bytes, hist_bytes),
                     DependenceSpec::input(HIST_BASE + b as u64 * hist_bytes, hist_bytes),
                 ],
-            ));
-            next.push(a);
-        }
-        level_nodes = next;
-    }
+            )
+        })
+    });
     // Final cumulative pass over the root histogram.
-    tasks.push(TaskSpec::new(
+    let cumulative = std::iter::once(TaskSpec::new(
         "cumulative",
         micros(FINAL_US),
         vec![DependenceSpec::inout(HIST_BASE, hist_bytes)],
     ));
 
-    Workload::new("histogram", tasks)
+    // stripes locals + (stripes - 1) merges + 1 final.
+    TaskStream::new(
+        "histogram",
+        2 * stripes,
+        locals.chain(merges).chain(cumulative),
+    )
+}
+
+/// A scaled-up Histogram stream with at least `target_tasks` tasks: a larger
+/// image split into more stripes (power of two), with the reduction tree
+/// growing along.
+pub fn stream_scaled(target_tasks: usize) -> TaskStream {
+    let stripes = target_tasks.div_ceil(2).next_power_of_two().max(2);
+    stream(Params { stripes })
+}
+
+/// Generates the Histogram workload (the eager `collect()` of [`stream`]).
+///
+/// # Panics
+///
+/// Panics if `stripes` is not a power of two greater than one.
+pub fn generate(params: Params) -> Workload {
+    stream(params).into_workload()
 }
 
 /// Optimal granularity (software and TDM coincide): 512 tasks of ≈3,824 µs.

@@ -12,6 +12,16 @@
 //! (Fluidanimate), a reduction tree (Histogram) and fork-join phases
 //! (Streamcluster). Granularity parameters reproduce the sweep of Figure 6.
 //!
+//! Every generator exists in two task-for-task identical forms: a lazy
+//! [`TaskStream`] (each module's `stream` function, the
+//! primary implementation) that produces tasks one at a time for the
+//! windowed streaming driver, and the eager `generate` / `*_optimal`
+//! wrappers that collect the stream into a
+//! [`Workload`](tdm_runtime::task::Workload). Scaled-up variants
+//! ([`Benchmark::scaled_stream`]) grow each benchmark's input to an
+//! arbitrary task count (millions of tasks) without ever materialising the
+//! task list.
+//!
 //! # Example
 //!
 //! ```
@@ -19,6 +29,10 @@
 //!
 //! let cholesky = Benchmark::Cholesky.software_workload();
 //! assert_eq!(cholesky.len(), 5_984); // Table II
+//!
+//! // The same workload as a lazy stream, scaled to at least a million tasks.
+//! let big = Benchmark::Cholesky.scaled_stream(1_000_000);
+//! assert!(big.len() >= 1_000_000);
 //! ```
 
 #![warn(missing_docs)]
@@ -34,6 +48,8 @@ pub mod histogram;
 pub mod lu;
 pub mod qr;
 pub mod spec;
+pub mod stream;
 pub mod streamcluster;
 
 pub use spec::{check_calibration, micros, Benchmark};
+pub use stream::TaskStream;

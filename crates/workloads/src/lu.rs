@@ -9,6 +9,7 @@ use tdm_runtime::task::{DependenceSpec, TaskSpec, Workload};
 
 use crate::dense::{scale_duration, BlockMatrix};
 use crate::spec::micros;
+use crate::stream::TaskStream;
 
 /// Matrix dimension evaluated in the paper.
 pub const MATRIX_DIM: usize = 2048;
@@ -45,61 +46,101 @@ pub fn task_count(blocks: usize) -> usize {
     n + n * (n - 1) / 2 + n * (n - 1) / 2 + bmod
 }
 
-/// Generates the LU workload.
-pub fn generate(params: Params) -> Workload {
-    let blocks = params.blocks;
-    let matrix = BlockMatrix::new(0x2000_0000_0000, MATRIX_DIM, blocks, 4);
-    let bytes = matrix.block_bytes();
-    let bmod = micros(scale_duration(BMOD_US, OPTIMAL_BLOCKS, blocks));
-    let fwd = micros(scale_duration(FWD_US, OPTIMAL_BLOCKS, blocks));
-    let bdiv = micros(scale_duration(BDIV_US, OPTIMAL_BLOCKS, blocks));
-    let lu0 = micros(scale_duration(LU0_US, OPTIMAL_BLOCKS, blocks));
+/// Per-kernel durations in cycles for a given granularity.
+#[derive(Debug, Clone, Copy)]
+struct Durations {
+    bmod: tdm_sim::clock::Cycle,
+    fwd: tdm_sim::clock::Cycle,
+    bdiv: tdm_sim::clock::Cycle,
+    lu0: tdm_sim::clock::Cycle,
+}
 
-    let mut tasks = Vec::with_capacity(task_count(blocks));
-    for k in 0..blocks {
-        tasks.push(TaskSpec::new(
+/// Lazily generates the tiled-LU task sequence over `matrix`.
+fn stream_over(matrix: BlockMatrix, d: Durations) -> TaskStream {
+    let blocks = matrix.blocks;
+    let bytes = matrix.block_bytes();
+    let iter = (0..blocks).flat_map(move |k| {
+        let panel = std::iter::once(TaskSpec::new(
             "lu0",
-            lu0,
+            d.lu0,
             vec![DependenceSpec::inout(matrix.block(k, k), bytes)],
         ));
-        for j in (k + 1)..blocks {
-            tasks.push(TaskSpec::new(
+        let fwds = ((k + 1)..blocks).map(move |j| {
+            TaskSpec::new(
                 "fwd",
-                fwd,
+                d.fwd,
                 vec![
                     DependenceSpec::input(matrix.block(k, k), bytes),
                     DependenceSpec::inout(matrix.block(k, j), bytes),
                 ],
-            ));
-        }
-        for i in (k + 1)..blocks {
-            tasks.push(TaskSpec::new(
+            )
+        });
+        let bdivs = ((k + 1)..blocks).map(move |i| {
+            TaskSpec::new(
                 "bdiv",
-                bdiv,
+                d.bdiv,
                 vec![
                     DependenceSpec::input(matrix.block(k, k), bytes),
                     DependenceSpec::inout(matrix.block(i, k), bytes),
                 ],
-            ));
-        }
-        for i in (k + 1)..blocks {
-            for j in (k + 1)..blocks {
-                tasks.push(TaskSpec::new(
+            )
+        });
+        let bmods = ((k + 1)..blocks).flat_map(move |i| {
+            ((k + 1)..blocks).map(move |j| {
+                TaskSpec::new(
                     "bmod",
-                    bmod,
+                    d.bmod,
                     vec![
                         DependenceSpec::input(matrix.block(i, k), bytes),
                         DependenceSpec::input(matrix.block(k, j), bytes),
                         DependenceSpec::inout(matrix.block(i, j), bytes),
                     ],
-                ));
-            }
-        }
-    }
+                )
+            })
+        });
+        panel.chain(fwds).chain(bdivs).chain(bmods)
+    });
+    TaskStream::new("LU", task_count(blocks), iter).with_locality_benefit(0.04)
+}
 
-    let mut workload = Workload::new("LU", tasks);
-    workload.locality_benefit = 0.04;
-    workload
+/// Lazily generates the LU workload, one task at a time.
+pub fn stream(params: Params) -> TaskStream {
+    let blocks = params.blocks;
+    let matrix = BlockMatrix::new(0x2000_0000_0000, MATRIX_DIM, blocks, 4);
+    stream_over(
+        matrix,
+        Durations {
+            bmod: micros(scale_duration(BMOD_US, OPTIMAL_BLOCKS, blocks)),
+            fwd: micros(scale_duration(FWD_US, OPTIMAL_BLOCKS, blocks)),
+            bdiv: micros(scale_duration(BDIV_US, OPTIMAL_BLOCKS, blocks)),
+            lu0: micros(scale_duration(LU0_US, OPTIMAL_BLOCKS, blocks)),
+        },
+    )
+}
+
+/// A scaled-up LU stream with at least `target_tasks` tasks: a bigger matrix
+/// decomposed at the Table II-optimal 128×128-element tile size.
+pub fn stream_scaled(target_tasks: usize) -> TaskStream {
+    let mut blocks = OPTIMAL_BLOCKS;
+    while task_count(blocks) < target_tasks {
+        blocks += 1;
+    }
+    let tile = MATRIX_DIM / OPTIMAL_BLOCKS;
+    let matrix = BlockMatrix::new(0x2000_0000_0000, blocks * tile, blocks, 4);
+    stream_over(
+        matrix,
+        Durations {
+            bmod: micros(BMOD_US),
+            fwd: micros(FWD_US),
+            bdiv: micros(BDIV_US),
+            lu0: micros(LU0_US),
+        },
+    )
+}
+
+/// Generates the LU workload (the eager `collect()` of [`stream`]).
+pub fn generate(params: Params) -> Workload {
+    stream(params).into_workload()
 }
 
 /// Software-optimal granularity (same as TDM's, Table II): 1,496 tasks of

@@ -9,6 +9,7 @@ use tdm_runtime::task::{DependenceSpec, TaskSpec, Workload};
 
 use crate::dense::{scale_duration, BlockMatrix};
 use crate::spec::micros;
+use crate::stream::TaskStream;
 
 /// Matrix dimension evaluated in the paper.
 pub const MATRIX_DIM: usize = 1024;
@@ -69,45 +70,44 @@ fn kernel_durations(blocks: usize) -> (f64, f64, f64, f64) {
     }
 }
 
-/// Generates the QR workload.
-pub fn generate(params: Params) -> Workload {
-    let blocks = params.blocks;
-    let matrix = BlockMatrix::new(0x3000_0000_0000, MATRIX_DIM, blocks, 4);
+/// Lazily generates the tile-QR task sequence over `matrix` with the given
+/// per-kernel durations (µs).
+fn stream_over(matrix: BlockMatrix, durations_us: (f64, f64, f64, f64)) -> TaskStream {
+    let blocks = matrix.blocks;
     let bytes = matrix.block_bytes();
-    let (tsmqr_us, unmqr_us, tsqrt_us, geqrt_us) = kernel_durations(blocks);
+    let (tsmqr_us, unmqr_us, tsqrt_us, geqrt_us) = durations_us;
     let tsmqr = micros(tsmqr_us);
     let unmqr = micros(unmqr_us);
     let tsqrt = micros(tsqrt_us);
     let geqrt = micros(geqrt_us);
 
-    let mut tasks = Vec::with_capacity(task_count(blocks));
-    for k in 0..blocks {
-        tasks.push(TaskSpec::new(
+    let iter = (0..blocks).flat_map(move |k| {
+        let panel = std::iter::once(TaskSpec::new(
             "geqrt",
             geqrt,
             vec![DependenceSpec::inout(matrix.block(k, k), bytes)],
         ));
-        for j in (k + 1)..blocks {
-            tasks.push(TaskSpec::new(
+        let row_updates = ((k + 1)..blocks).map(move |j| {
+            TaskSpec::new(
                 "unmqr",
                 unmqr,
                 vec![
                     DependenceSpec::input(matrix.block(k, k), bytes),
                     DependenceSpec::inout(matrix.block(k, j), bytes),
                 ],
-            ));
-        }
-        for i in (k + 1)..blocks {
-            tasks.push(TaskSpec::new(
+            )
+        });
+        let column = ((k + 1)..blocks).flat_map(move |i| {
+            std::iter::once(TaskSpec::new(
                 "tsqrt",
                 tsqrt,
                 vec![
                     DependenceSpec::inout(matrix.block(k, k), bytes),
                     DependenceSpec::inout(matrix.block(i, k), bytes),
                 ],
-            ));
-            for j in (k + 1)..blocks {
-                tasks.push(TaskSpec::new(
+            ))
+            .chain(((k + 1)..blocks).map(move |j| {
+                TaskSpec::new(
                     "tsmqr",
                     tsmqr,
                     vec![
@@ -115,14 +115,39 @@ pub fn generate(params: Params) -> Workload {
                         DependenceSpec::inout(matrix.block(k, j), bytes),
                         DependenceSpec::inout(matrix.block(i, j), bytes),
                     ],
-                ));
-            }
-        }
-    }
+                )
+            }))
+        });
+        panel.chain(row_updates).chain(column)
+    });
+    TaskStream::new("QR", task_count(blocks), iter).with_locality_benefit(0.04)
+}
 
-    let mut workload = Workload::new("QR", tasks);
-    workload.locality_benefit = 0.04;
-    workload
+/// Lazily generates the QR workload, one task at a time.
+pub fn stream(params: Params) -> TaskStream {
+    let blocks = params.blocks;
+    let matrix = BlockMatrix::new(0x3000_0000_0000, MATRIX_DIM, blocks, 4);
+    stream_over(matrix, kernel_durations(blocks))
+}
+
+/// A scaled-up QR stream with at least `target_tasks` tasks: a bigger matrix
+/// factorised at the TDM-optimal 32×32-element tile size.
+pub fn stream_scaled(target_tasks: usize) -> TaskStream {
+    let mut blocks = TDM_BLOCKS;
+    while task_count(blocks) < target_tasks {
+        blocks += 1;
+    }
+    let tile = MATRIX_DIM / TDM_BLOCKS;
+    let matrix = BlockMatrix::new(0x3000_0000_0000, blocks * tile, blocks, 4);
+    stream_over(
+        matrix,
+        (TDM_TSMQR_US, TDM_UNMQR_US, TDM_TSQRT_US, TDM_GEQRT_US),
+    )
+}
+
+/// Generates the QR workload (the eager `collect()` of [`stream`]).
+pub fn generate(params: Params) -> Workload {
+    stream(params).into_workload()
 }
 
 /// Software-optimal granularity: 1,496 tasks of ≈997 µs.

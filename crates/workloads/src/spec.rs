@@ -11,6 +11,8 @@
 use serde::{Deserialize, Serialize};
 use tdm_runtime::task::Workload;
 
+use crate::stream::TaskStream;
+
 /// The nine benchmarks of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Benchmark {
@@ -107,25 +109,68 @@ impl Benchmark {
 
     /// Generates the workload at the software-optimal granularity.
     pub fn software_workload(self) -> Workload {
-        match self {
-            Benchmark::Blackscholes => crate::blackscholes::software_optimal(),
-            Benchmark::Cholesky => crate::cholesky::software_optimal(),
-            Benchmark::Dedup => crate::dedup::software_optimal(),
-            Benchmark::Ferret => crate::ferret::software_optimal(),
-            Benchmark::Fluidanimate => crate::fluidanimate::software_optimal(),
-            Benchmark::Histogram => crate::histogram::software_optimal(),
-            Benchmark::Lu => crate::lu::software_optimal(),
-            Benchmark::Qr => crate::qr::software_optimal(),
-            Benchmark::Streamcluster => crate::streamcluster::software_optimal(),
-        }
+        self.software_stream().into_workload()
     }
 
     /// Generates the workload at the TDM-optimal granularity.
     pub fn tdm_workload(self) -> Workload {
+        self.tdm_stream().into_workload()
+    }
+
+    /// The lazy task stream at the software-optimal granularity —
+    /// task-for-task identical to [`Benchmark::software_workload`].
+    pub fn software_stream(self) -> TaskStream {
         match self {
-            Benchmark::Blackscholes => crate::blackscholes::tdm_optimal(),
-            Benchmark::Qr => crate::qr::tdm_optimal(),
-            other => other.software_workload(),
+            Benchmark::Blackscholes => {
+                crate::blackscholes::stream(crate::blackscholes::Params::software())
+            }
+            Benchmark::Cholesky => crate::cholesky::stream(crate::cholesky::Params::default()),
+            Benchmark::Dedup => crate::dedup::stream(),
+            Benchmark::Ferret => crate::ferret::stream(),
+            Benchmark::Fluidanimate => {
+                crate::fluidanimate::stream(crate::fluidanimate::Params::default())
+            }
+            Benchmark::Histogram => crate::histogram::stream(crate::histogram::Params::default()),
+            Benchmark::Lu => crate::lu::stream(crate::lu::Params::default()),
+            Benchmark::Qr => crate::qr::stream(crate::qr::Params::default()),
+            Benchmark::Streamcluster => {
+                crate::streamcluster::stream(crate::streamcluster::Params::default())
+            }
+        }
+    }
+
+    /// The lazy task stream at the TDM-optimal granularity — task-for-task
+    /// identical to [`Benchmark::tdm_workload`].
+    pub fn tdm_stream(self) -> TaskStream {
+        match self {
+            Benchmark::Blackscholes => {
+                crate::blackscholes::stream(crate::blackscholes::Params::tdm())
+            }
+            Benchmark::Qr => crate::qr::stream(crate::qr::Params {
+                blocks: crate::qr::TDM_BLOCKS,
+            }),
+            other => other.software_stream(),
+        }
+    }
+
+    /// A scaled-up lazy stream with **at least** `target_tasks` tasks,
+    /// growing the benchmark's natural scaling axis (bigger matrix, longer
+    /// input stream, more timesteps…) while keeping per-task granularity at
+    /// the Table II optimum. Feed it to
+    /// [`simulate_stream`](tdm_runtime::exec::simulate_stream) with a finite
+    /// [`window`](tdm_runtime::exec::ExecConfig::window) to run
+    /// million-task regions in memory bounded by the window.
+    pub fn scaled_stream(self, target_tasks: usize) -> TaskStream {
+        match self {
+            Benchmark::Blackscholes => crate::blackscholes::stream_scaled(target_tasks),
+            Benchmark::Cholesky => crate::cholesky::stream_scaled(target_tasks),
+            Benchmark::Dedup => crate::dedup::stream_scaled(target_tasks),
+            Benchmark::Ferret => crate::ferret::stream_scaled(target_tasks),
+            Benchmark::Fluidanimate => crate::fluidanimate::stream_scaled(target_tasks),
+            Benchmark::Histogram => crate::histogram::stream_scaled(target_tasks),
+            Benchmark::Lu => crate::lu::stream_scaled(target_tasks),
+            Benchmark::Qr => crate::qr::stream_scaled(target_tasks),
+            Benchmark::Streamcluster => crate::streamcluster::stream_scaled(target_tasks),
         }
     }
 }

@@ -11,6 +11,7 @@
 use tdm_runtime::task::{DependenceSpec, TaskSpec, Workload};
 
 use crate::spec::micros;
+use crate::stream::TaskStream;
 
 /// Parallel batch tasks per phase at the optimal granularity.
 pub const OPTIMAL_BATCHES: usize = 420;
@@ -46,36 +47,52 @@ impl Default for Params {
     }
 }
 
-/// Generates the Streamcluster workload.
-pub fn generate(params: Params) -> Workload {
+/// Lazily generates the Streamcluster workload.
+pub fn stream(params: Params) -> TaskStream {
     assert!(params.batches > 0 && params.phases > 0);
+    let batches = params.batches;
     // Constant total work per phase.
-    let batch_us = BATCH_US * OPTIMAL_BATCHES as f64 / params.batches as f64;
+    let batch_us = BATCH_US * OPTIMAL_BATCHES as f64 / batches as f64;
     let result_bytes = 16 * 1024;
-    let mut tasks = Vec::with_capacity(params.phases * (params.batches + 1));
-    for _phase in 0..params.phases {
-        for b in 0..params.batches {
-            tasks.push(TaskSpec::new(
+    let iter = (0..params.phases).flat_map(move |_phase| {
+        let evaluations = (0..batches).map(move |b| {
+            TaskSpec::new(
                 "evaluate_batch",
                 micros(batch_us),
                 vec![
                     DependenceSpec::input(CENTERS_ADDR, 64 * 1024),
                     DependenceSpec::output(RESULT_BASE + b as u64 * result_bytes, result_bytes),
                 ],
-            ));
-        }
+            )
+        });
         // The reduction gathers the per-batch results and updates the
         // centers. Ordering with the batches comes from the WAR hazard on
         // the centers structure (every batch reads it, the reduction writes
         // it), so the reduction does not need to name each result buffer —
         // mirroring the real code, where the gather walks a per-phase list.
-        tasks.push(TaskSpec::new(
+        let reduce = std::iter::once(TaskSpec::new(
             "reduce_phase",
             micros(REDUCE_US),
             vec![DependenceSpec::inout(CENTERS_ADDR, 64 * 1024)],
         ));
-    }
-    Workload::new("streamcluster", tasks)
+        evaluations.chain(reduce)
+    });
+    TaskStream::new("streamcluster", params.phases * (params.batches + 1), iter)
+}
+
+/// A scaled-up Streamcluster stream with at least `target_tasks` tasks: a
+/// longer point stream (more fork-join phases) at the optimal batching.
+pub fn stream_scaled(target_tasks: usize) -> TaskStream {
+    stream(Params {
+        batches: OPTIMAL_BATCHES,
+        phases: target_tasks.div_ceil(OPTIMAL_BATCHES + 1).max(1),
+    })
+}
+
+/// Generates the Streamcluster workload (the eager `collect()` of
+/// [`stream`]).
+pub fn generate(params: Params) -> Workload {
+    stream(params).into_workload()
 }
 
 /// Optimal granularity (software and TDM coincide): 42,100 tasks of ≈376 µs.

@@ -5,18 +5,18 @@
 //! examples, integration tests and downstream users can depend on a single
 //! crate:
 //!
-//! * [`core`](tdm_core) — the Dependence Management Unit (DMU): alias
+//! * [`core`] — the Dependence Management Unit (DMU): alias
 //!   tables, task/dependence tables, list arrays, ready queue and the four
 //!   TDM ISA operations (the paper's contribution).
-//! * [`sim`](tdm_sim) — the discrete-event multicore timing substrate
+//! * [`sim`] — the discrete-event multicore timing substrate
 //!   (cycle clock, chip configuration, phase accounting, locality and NoC
 //!   models).
-//! * [`runtime`](tdm_runtime) — the task-based data-flow runtime: task
+//! * [`runtime`] — the task-based data-flow runtime: task
 //!   graphs, the five software schedulers, the software / TDM / Carbon /
 //!   Task Superscalar backends, and the execution driver.
-//! * [`workloads`](tdm_workloads) — generators for the nine evaluated
+//! * [`workloads`] — generators for the nine evaluated
 //!   benchmarks, calibrated to Table II.
-//! * [`energy`](tdm_energy) — CACTI/McPAT-style area, power and EDP models.
+//! * [`energy`] — CACTI/McPAT-style area, power and EDP models.
 //!
 //! # Quick start
 //!

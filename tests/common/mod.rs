@@ -5,10 +5,13 @@
 
 #![allow(dead_code)] // each test crate uses a subset of these helpers
 
+use std::collections::VecDeque;
+
 use tdm::prelude::*;
 use tdm::runtime::engine::DependenceEngine;
 use tdm::runtime::task::TaskRef;
 use tdm::sim::rng::SplitMix64;
+use tdm::workloads::stream::TaskStream;
 use tdm::workloads::{cholesky, histogram, qr};
 
 /// Address pool the random workloads draw from: a small set of blocks so
@@ -48,36 +51,55 @@ pub fn random_workload(seed: u64) -> Workload {
 /// pattern, and a reduction tree). Small enough that the full
 /// backend × scheduler conformance matrix runs in seconds in debug builds.
 pub fn small_benchmarks() -> Vec<Workload> {
+    small_benchmark_streams()
+        .into_iter()
+        .map(TaskStream::into_workload)
+        .collect()
+}
+
+/// The lazy-stream counterparts of [`small_benchmarks`], task-for-task
+/// identical; the eager-vs-streaming conformance suite runs both sides.
+pub fn small_benchmark_streams() -> Vec<TaskStream> {
     vec![
-        cholesky::generate(cholesky::Params { blocks: 8 }),
-        qr::generate(qr::Params { blocks: 8 }),
-        histogram::generate(histogram::Params { stripes: 32 }),
+        cholesky::stream(cholesky::Params { blocks: 8 }),
+        qr::stream(qr::Params { blocks: 8 }),
+        histogram::stream(histogram::Params { stripes: 32 }),
     ]
 }
 
-/// Drives an engine to completion, executing ready tasks in FIFO order, and
-/// returns the finish order. Panics if the engine deadlocks (a task neither
-/// completes creation nor becomes ready).
-pub fn drive(engine: &mut dyn DependenceEngine, n: usize) -> Vec<TaskRef> {
+/// Drives an engine over `workload` to completion, executing ready tasks in
+/// FIFO order, and returns the finish order. Panics if the engine deadlocks
+/// (a task neither completes creation nor becomes ready).
+pub fn drive(engine: &mut dyn DependenceEngine, workload: &Workload) -> Vec<TaskRef> {
+    let n = workload.len();
     let mut order = Vec::new();
-    // The FIFO pool doubles as the engines' append-only ready buffer.
-    let mut pool = Vec::new();
+    // Engines append newly ready tasks into `ready`; the `VecDeque` pool
+    // pops the oldest in O(1) (this used to be a `Vec` with an O(n)
+    // `remove(0)` per executed task).
+    let mut ready = Vec::new();
+    let mut pool: VecDeque<tdm::runtime::engine::ReadyInfo> = VecDeque::new();
     let mut next = 0usize;
     while order.len() < n {
         if next < n {
-            let outcome = engine.create_task(Cycle::ZERO, TaskRef(next), &mut pool);
+            ready.clear();
+            let outcome = engine.create_task(
+                Cycle::ZERO,
+                TaskRef(next),
+                workload.spec(TaskRef(next)),
+                &mut ready,
+            );
+            pool.extend(ready.drain(..));
             if outcome.completed {
                 next += 1;
                 continue;
             }
         }
-        assert!(
-            !pool.is_empty(),
-            "engine deadlocked with {} tasks left",
-            n - order.len()
-        );
-        let info = pool.remove(0);
-        engine.finish_task(Cycle::ZERO, info.task, 0, &mut pool);
+        let Some(info) = pool.pop_front() else {
+            panic!("engine deadlocked with {} tasks left", n - order.len());
+        };
+        ready.clear();
+        engine.finish_task(Cycle::ZERO, info.task, 0, &mut ready);
+        pool.extend(ready.drain(..));
         order.push(info.task);
     }
     order

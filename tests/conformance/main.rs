@@ -24,6 +24,7 @@ mod common;
 mod determinism;
 mod schedule;
 mod stats;
+mod streaming;
 
 use tdm::prelude::*;
 

@@ -126,12 +126,11 @@ fn dmu_engine_replay_conforms_for_both_flavors() {
         for flavor in [HardwareFlavor::Tdm, HardwareFlavor::TaskSuperscalar] {
             let mut engine = HardwareEngine::new(
                 flavor,
-                &workload,
                 DmuConfig::default(),
                 CostModel::default(),
                 Cycle::new(16),
             );
-            let order = drive(&mut engine, workload.len());
+            let order = drive(&mut engine, &workload);
             assert_is_permutation(&order, workload.len());
             assert!(
                 graph.check_order(&order).is_ok(),

@@ -41,12 +41,11 @@ fn dmu_execution_order_respects_reference_graph() {
         let graph = TaskGraph::build(&workload);
         let mut engine = HardwareEngine::new(
             HardwareFlavor::Tdm,
-            &workload,
             DmuConfig::default(),
             CostModel::default(),
             Cycle::new(16),
         );
-        let order = drive(&mut engine, workload.len());
+        let order = drive(&mut engine, &workload);
         assert_is_permutation(&order, workload.len());
         assert!(graph.check_order(&order).is_ok(), "seed {seed}");
     }
@@ -61,12 +60,11 @@ fn tiny_dmu_completes_and_respects_graph() {
         let graph = TaskGraph::build(&workload);
         let mut engine = HardwareEngine::new(
             HardwareFlavor::Tdm,
-            &workload,
             tiny_dmu_config(),
             CostModel::default(),
             Cycle::new(16),
         );
-        let order = drive(&mut engine, workload.len());
+        let order = drive(&mut engine, &workload);
         assert!(graph.check_order(&order).is_ok(), "seed {seed}");
     }
 }
@@ -77,16 +75,15 @@ fn tiny_dmu_completes_and_respects_graph() {
 fn software_and_hardware_engines_agree() {
     for seed in 0..CASES {
         let workload = random_workload(seed);
-        let mut sw = SoftwareEngine::new(&workload, CostModel::default());
+        let mut sw = SoftwareEngine::new(CostModel::default());
         let mut hw = HardwareEngine::new(
             HardwareFlavor::Tdm,
-            &workload,
             DmuConfig::default(),
             CostModel::default(),
             Cycle::new(16),
         );
-        let sw_order = drive(&mut sw, workload.len());
-        let hw_order = drive(&mut hw, workload.len());
+        let sw_order = drive(&mut sw, &workload);
+        let hw_order = drive(&mut hw, &workload);
         // Both engines execute with the same FIFO tie-breaking, so the finish
         // orders must be identical.
         assert_eq!(sw_order, hw_order, "seed {seed}");

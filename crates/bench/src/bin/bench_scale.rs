@@ -66,12 +66,22 @@ fn parse_options(args: &[String], tasks: usize, window: usize) -> Result<Options
             "--tasks" => {
                 options.tasks = value("--tasks")?
                     .parse()
-                    .map_err(|e| format!("--tasks: {e}"))?
+                    .map_err(|e| format!("--tasks: {e}"))?;
+                if options.tasks == 0 {
+                    return Err("--tasks must be at least 1".to_string());
+                }
             }
             "--window" => {
                 options.window = value("--window")?
                     .parse()
-                    .map_err(|e| format!("--window: {e}"))?
+                    .map_err(|e| format!("--window: {e}"))?;
+                if options.window == 0 {
+                    return Err(
+                        "--window must be at least 1 (the master needs one in-flight task; \
+                         ExecConfig documents that a window of 0 behaves as 1)"
+                            .to_string(),
+                    );
+                }
             }
             "--bench" => {
                 let name = value("--bench")?;
@@ -119,8 +129,9 @@ fn scaled_run(bench: Benchmark, options: &Options, config: &ExecConfig) -> (u64,
 }
 
 fn run_or_smoke(options: &Options) -> ExitCode {
+    // `parse_options` rejected window 0, so no clamp is needed here.
     let config = ExecConfig {
-        window: options.window.max(1),
+        window: options.window,
         ..standard_config()
     };
     println!(

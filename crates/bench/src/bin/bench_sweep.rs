@@ -1,0 +1,478 @@
+//! Parallel design-space sweep harness: the paper's configuration grids
+//! (Figures 7–13 style) executed across host threads.
+//!
+//! ```text
+//! bench_sweep run    [flags]   # execute a grid, print a table, emit JSON/CSV
+//! bench_sweep verify [flags]   # run the grid N-threaded AND single-threaded,
+//!                              # fail unless results are bit-identical
+//! bench_sweep smoke  [flags]   # CI: small grid, parallel vs 1-thread vs a
+//!                              # serial simulate_stream of every point
+//! ```
+//!
+//! Flags (malformed values are rejected with an error, never a panic;
+//! `smoke` runs a fixed grid and rejects the grid-shaping flags
+//! `--benchmarks`/`--schedulers`/`--windows`/`--scale`):
+//!
+//! ```text
+//! --threads N            worker threads (default: host parallelism, min 4
+//!                        for verify; must be ≥ 1)
+//! --benchmarks a,b,...   benchmark subset by name (default: all nine)
+//! --backends a,b,...     software|tdm|carbon|tss (default: all four)
+//! --schedulers a,b,...   fifo|lifo|locality|successor|age (default: fifo)
+//! --windows w1,w2,...    master windows, each ≥ 1 (default: 4096)
+//! --scale N              scale every benchmark to ≥ N tasks
+//! --seed S               base seed (default: 42)
+//! --fixed-seed           one seed for all points (default: per-point seeds)
+//! --json PATH            write results as JSON
+//! --csv PATH             write results as CSV
+//! ```
+//!
+//! The default `run`/`verify` grid is the full Table II benchmark × backend
+//! matrix (9 × 4 = 36 points) with FIFO scheduling and a 4096-task window —
+//! the acceptance grid for sweep determinism: `verify` executes it on ≥ 4
+//! threads and once single-threaded and demands bit-identical modeled
+//! results for every point.
+
+use std::process::ExitCode;
+
+use tdm_bench::sweep::{
+    results_to_csv, results_to_json, run_point, run_sweep, BackendSpec, SweepGrid, WorkloadSpec,
+};
+use tdm_bench::{default_threads, Benchmark};
+use tdm_runtime::exec::Backend;
+use tdm_runtime::scheduler::SchedulerKind;
+
+const USAGE: &str = "usage: bench_sweep [run|verify|smoke] [--threads N] \
+    [--benchmarks a,b] [--backends software,tdm,carbon,tss] \
+    [--schedulers fifo,lifo,locality,successor,age] [--windows W1,W2] \
+    [--scale N] [--seed S] [--fixed-seed] [--json PATH] [--csv PATH]";
+
+/// Default master window: double the DMU's 2048 in-flight tasks, like
+/// `bench_scale run`, so hardware backends are DMU-limited before
+/// window-limited.
+const DEFAULT_WINDOW: usize = 4096;
+
+struct Options {
+    threads: Option<usize>,
+    /// Grid-shaping flags stay `None` until the user passes them, so modes
+    /// with a fixed grid (`smoke`) can reject them instead of silently
+    /// ignoring them.
+    benchmarks: Option<Vec<Benchmark>>,
+    backends: Vec<BackendSpec>,
+    schedulers: Option<Vec<SchedulerKind>>,
+    windows: Option<Vec<usize>>,
+    scale: Option<usize>,
+    seed: u64,
+    fixed_seed: bool,
+    json: Option<String>,
+    csv: Option<String>,
+}
+
+fn parse_benchmark(name: &str) -> Result<Benchmark, String> {
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let known: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+            format!("unknown benchmark {name:?} (known: {})", known.join(", "))
+        })
+}
+
+fn parse_backend(name: &str) -> Result<BackendSpec, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "software" | "sw" => Ok(BackendSpec::from(Backend::Software)),
+        "tdm" => Ok(BackendSpec::from(Backend::tdm_default())),
+        "carbon" => Ok(BackendSpec::from(Backend::Carbon)),
+        "tss" | "tasksuperscalar" => Ok(BackendSpec::from(Backend::task_superscalar_default())),
+        other => Err(format!(
+            "unknown backend {other:?} (known: software, tdm, carbon, tss)"
+        )),
+    }
+}
+
+fn parse_scheduler(name: &str) -> Result<SchedulerKind, String> {
+    SchedulerKind::all()
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            format!("unknown scheduler {name:?} (known: fifo, lifo, locality, successor, age)")
+        })
+}
+
+fn parse_list<T>(
+    flag: &str,
+    value: &str,
+    parse: impl Fn(&str) -> Result<T, String>,
+) -> Result<Vec<T>, String> {
+    let items: Vec<&str> = value
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if items.is_empty() {
+        return Err(format!("{flag} needs a non-empty comma-separated list"));
+    }
+    items.iter().map(|s| parse(s)).collect()
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        threads: None,
+        benchmarks: None,
+        backends: vec![
+            BackendSpec::from(Backend::Software),
+            BackendSpec::from(Backend::tdm_default()),
+            BackendSpec::from(Backend::Carbon),
+            BackendSpec::from(Backend::task_superscalar_default()),
+        ],
+        schedulers: None,
+        windows: None,
+        scale: None,
+        seed: 42,
+        fixed_seed: false,
+        json: None,
+        csv: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--threads" => {
+                let n: usize = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                options.threads = Some(n);
+            }
+            "--benchmarks" => {
+                options.benchmarks = Some(parse_list(
+                    "--benchmarks",
+                    &value("--benchmarks")?,
+                    parse_benchmark,
+                )?);
+            }
+            "--backends" => {
+                options.backends = parse_list("--backends", &value("--backends")?, parse_backend)?;
+            }
+            "--schedulers" => {
+                options.schedulers = Some(parse_list(
+                    "--schedulers",
+                    &value("--schedulers")?,
+                    parse_scheduler,
+                )?);
+            }
+            "--windows" => {
+                options.windows = Some(parse_list("--windows", &value("--windows")?, |s| {
+                    let w: usize = s.parse().map_err(|e| format!("--windows: {s:?}: {e}"))?;
+                    if w == 0 {
+                        return Err(
+                            "--windows: a window must be at least 1 (the master needs one \
+                             in-flight task)"
+                                .to_string(),
+                        );
+                    }
+                    Ok(w)
+                })?);
+            }
+            "--scale" => {
+                let n: usize = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?;
+                if n == 0 {
+                    return Err("--scale must be at least 1 task".to_string());
+                }
+                options.scale = Some(n);
+            }
+            "--seed" => {
+                options.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--fixed-seed" => options.fixed_seed = true,
+            "--json" => options.json = Some(value("--json")?),
+            "--csv" => options.csv = Some(value("--csv")?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+fn build_grid(options: &Options) -> SweepGrid {
+    let benchmarks = options
+        .benchmarks
+        .clone()
+        .unwrap_or_else(|| Benchmark::ALL.to_vec());
+    let workloads = benchmarks
+        .iter()
+        .map(|&bench| match options.scale {
+            Some(target) => WorkloadSpec::scaled(bench, target),
+            None => WorkloadSpec::tdm_granularity(bench),
+        })
+        .collect();
+    let mut grid = SweepGrid::new()
+        .with_workloads(workloads)
+        .with_backends(options.backends.clone())
+        .with_schedulers(
+            options
+                .schedulers
+                .clone()
+                .unwrap_or_else(|| vec![SchedulerKind::Fifo]),
+        )
+        .with_windows(
+            options
+                .windows
+                .clone()
+                .unwrap_or_else(|| vec![DEFAULT_WINDOW]),
+        )
+        .with_seed(options.seed);
+    if !options.fixed_seed {
+        grid = grid.with_per_point_seeds();
+    }
+    grid
+}
+
+fn print_results(results: &[tdm_bench::sweep::SweepResult]) {
+    println!(
+        "| {:<18} | {:<15} | {:<9} | {:>9} | {:>8} | {:>16} | {:>12} | {:>9} |",
+        "Workload",
+        "Backend",
+        "Scheduler",
+        "Window",
+        "Tasks",
+        "Makespan cycles",
+        "DMU accesses",
+        "Wall ms"
+    );
+    println!("|{}|", "-".repeat(116));
+    for r in results {
+        let window = if r.window == usize::MAX {
+            "unbounded".to_string()
+        } else {
+            r.window.to_string()
+        };
+        println!(
+            "| {:<18} | {:<15} | {:<9} | {:>9} | {:>8} | {:>16} | {:>12} | {:>9.2} |",
+            r.workload,
+            r.backend,
+            r.scheduler,
+            window,
+            r.report.tasks,
+            r.makespan_cycles(),
+            r.dmu_accesses(),
+            r.wall_ms,
+        );
+    }
+}
+
+fn write_outputs(
+    options: &Options,
+    results: &[tdm_bench::sweep::SweepResult],
+) -> Result<(), String> {
+    if let Some(path) = &options.json {
+        std::fs::write(path, results_to_json(results))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("results written to {path} (JSON)");
+    }
+    if let Some(path) = &options.csv {
+        std::fs::write(path, results_to_csv(results))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("results written to {path} (CSV)");
+    }
+    Ok(())
+}
+
+fn run(options: &Options) -> Result<ExitCode, String> {
+    let grid = build_grid(options);
+    if grid.is_empty() {
+        return Err("the grid is empty (an axis has no entries)".to_string());
+    }
+    let threads = options.threads.unwrap_or_else(|| default_threads(1));
+    println!(
+        "sweeping {} points ({} workloads × {} backends × {} schedulers × {} windows) on {threads} threads\n",
+        grid.len(),
+        grid.workloads.len(),
+        grid.backends.len(),
+        grid.schedulers.len(),
+        grid.windows.len(),
+    );
+    let start = std::time::Instant::now();
+    let results = run_sweep(&grid, threads);
+    let wall = start.elapsed().as_secs_f64();
+    print_results(&results);
+    let simulated: u64 = results.iter().map(|r| r.report.tasks).sum();
+    println!(
+        "\n{} points, {simulated} simulated tasks in {wall:.2} s wall ({:.0} tasks/sec aggregate)",
+        results.len(),
+        simulated as f64 / wall.max(1e-9)
+    );
+    write_outputs(options, &results)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Compares two result vectors point-by-point; prints and counts mismatches.
+fn compare_runs(
+    what: &str,
+    reference: &[tdm_bench::sweep::SweepResult],
+    candidate: &[tdm_bench::sweep::SweepResult],
+) -> usize {
+    let mut mismatches = 0;
+    if reference.len() != candidate.len() {
+        eprintln!(
+            "FAIL {what}: {} points vs {} points",
+            reference.len(),
+            candidate.len()
+        );
+        return 1;
+    }
+    for (a, b) in reference.iter().zip(candidate) {
+        if !a.modeled_eq(b) {
+            eprintln!(
+                "FAIL {what}: {} × {} × {} (window {}) diverged: makespan {} vs {}, \
+                 accesses {} vs {}",
+                a.workload,
+                a.backend,
+                a.scheduler,
+                a.window,
+                a.makespan_cycles(),
+                b.makespan_cycles(),
+                a.dmu_accesses(),
+                b.dmu_accesses(),
+            );
+            mismatches += 1;
+        }
+    }
+    mismatches
+}
+
+fn verify(options: &Options) -> Result<ExitCode, String> {
+    let grid = build_grid(options);
+    if grid.is_empty() {
+        return Err("the grid is empty (an axis has no entries)".to_string());
+    }
+    let threads = options.threads.unwrap_or_else(|| default_threads(4));
+    println!(
+        "verifying sweep determinism: {} points, {threads} threads vs single-threaded",
+        grid.len()
+    );
+    let parallel = run_sweep(&grid, threads);
+    let serial = run_sweep(&grid, 1);
+    let mismatches = compare_runs("parallel vs single-threaded", &serial, &parallel);
+    print_results(&parallel);
+    write_outputs(options, &parallel)?;
+    if mismatches > 0 {
+        eprintln!("\n{mismatches} point(s) diverged between thread counts");
+        return Ok(ExitCode::FAILURE);
+    }
+    println!(
+        "\nall {} points bit-identical between {threads} threads and 1 thread",
+        parallel.len()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn smoke(options: &Options) -> Result<ExitCode, String> {
+    // Smoke uses a fixed small grid; accepting grid-shaping flags and then
+    // ignoring them would let an operator believe they reproduced a failure
+    // on a configuration that never actually ran.
+    if options.benchmarks.is_some()
+        || options.schedulers.is_some()
+        || options.windows.is_some()
+        || options.scale.is_some()
+    {
+        return Err(
+            "smoke runs a fixed small grid; --benchmarks/--schedulers/--windows/--scale are not supported here (use `run` or `verify`)"
+                .to_string(),
+        );
+    }
+    // A deliberately small grid — two quick benchmarks, every backend, two
+    // schedulers, a tight window and the default one — still covering the
+    // properties CI must keep exercised: parallel execution, windowed
+    // streaming, per-point seeding.
+    let mut options = Options {
+        benchmarks: Some(vec![Benchmark::Histogram, Benchmark::Lu]),
+        windows: Some(vec![256, DEFAULT_WINDOW]),
+        schedulers: Some(vec![SchedulerKind::Fifo, SchedulerKind::Lifo]),
+        threads: options.threads,
+        backends: options.backends.clone(),
+        scale: None,
+        seed: options.seed,
+        fixed_seed: options.fixed_seed,
+        json: options.json.clone(),
+        csv: options.csv.clone(),
+    };
+    options.threads = Some(options.threads.unwrap_or_else(|| default_threads(2)).max(2));
+    let grid = build_grid(&options);
+    let threads = options.threads.expect("set above");
+    println!(
+        "sweep smoke: {} points on {threads} threads (≥2), checked against a 1-thread run \
+         and a serial replay of every point\n",
+        grid.len()
+    );
+    let parallel = run_sweep(&grid, threads);
+    let serial_sweep = run_sweep(&grid, 1);
+    let mut failures = compare_runs("parallel vs single-threaded", &serial_sweep, &parallel);
+
+    // Serial replay: every point re-simulated outside the sweep runner must
+    // reproduce the parallel result bit-for-bit.
+    for (point, result) in grid.points().iter().zip(&parallel) {
+        let replay = run_point(&grid, point);
+        if !replay.modeled_eq(result) {
+            eprintln!(
+                "FAIL serial replay: point {} ({} × {} × {}) diverged",
+                point.index, result.workload, result.backend, result.scheduler
+            );
+            failures += 1;
+        }
+        if result.window != usize::MAX && result.report.peak_resident_tasks > result.window + 1 {
+            eprintln!(
+                "FAIL {} × {}: {} resident specs exceed window bound {}",
+                result.workload,
+                result.backend,
+                result.report.peak_resident_tasks,
+                result.window + 1
+            );
+            failures += 1;
+        }
+    }
+    print_results(&parallel);
+    write_outputs(&options, &parallel)?;
+    if failures > 0 {
+        eprintln!("\n{failures} failure(s)");
+        return Ok(ExitCode::FAILURE);
+    }
+    println!(
+        "\nall {} points bit-identical across thread counts and serial replay",
+        parallel.len()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str).unwrap_or("run");
+    let rest = args.get(1..).unwrap_or(&[]);
+    let outcome = match mode {
+        "run" => parse_options(rest).and_then(|o| run(&o)),
+        "verify" => parse_options(rest).and_then(|o| verify(&o)),
+        "smoke" => parse_options(rest).and_then(|o| smoke(&o)),
+        other => {
+            eprintln!("{USAGE}");
+            eprintln!("error: unknown mode {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match outcome {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("{USAGE}");
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

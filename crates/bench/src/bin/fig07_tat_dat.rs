@@ -1,10 +1,16 @@
 //! Figure 7: performance with different TAT and DAT sizes, normalized to an
 //! ideal DMU with unlimited entries and the same latency.
+//!
+//! The 9 benchmarks × (16 TAT/DAT combinations + the ideal baseline) grid is
+//! declared as a [`SweepGrid`] and executed in parallel across host threads;
+//! every point streams its generator through `simulate_stream` with the
+//! standard fixed seed, which is bit-identical to the old serial eager
+//! harness (pinned by the conformance suite).
 
-use tdm_bench::{geometric_mean, print_table, ratio, run, Benchmark};
+use tdm_bench::sweep::{run_sweep, BackendSpec, SweepGrid, WorkloadSpec};
+use tdm_bench::{default_threads, geometric_mean, print_table, ratio, Benchmark};
 use tdm_core::config::DmuConfig;
 use tdm_runtime::exec::Backend;
-use tdm_runtime::scheduler::SchedulerKind;
 
 /// The five benchmarks the paper plots individually (the rest reach maximum
 /// performance with 512 entries already); the geometric mean covers all nine.
@@ -18,42 +24,58 @@ const PLOTTED: [Benchmark; 5] = [
 
 fn main() {
     let sizes = [512usize, 1024, 2048, 4096];
-    let mut rows = Vec::new();
 
-    // Ideal baseline per benchmark.
-    let ideal: Vec<(Benchmark, f64)> = Benchmark::ALL
-        .iter()
-        .map(|&b| {
-            let report = run(
-                &b.tdm_workload(),
-                &Backend::Tdm(DmuConfig::ideal()),
-                SchedulerKind::Fifo,
-            );
-            (b, report.makespan().as_f64())
-        })
-        .collect();
-    let ideal_of = |b: Benchmark| ideal.iter().find(|(x, _)| *x == b).unwrap().1;
-
+    // Backend axis: the ideal DMU first, then every DAT × TAT combination in
+    // row order (DAT outer, TAT inner — the order the figure's rows use).
+    let mut backends = vec![BackendSpec::labelled(
+        "ideal",
+        Backend::Tdm(DmuConfig::ideal()),
+    )];
     for &dat in &sizes {
         for &tat in &sizes {
-            let config = DmuConfig::default().with_alias_sizes(tat, dat);
-            let mut all_perf = Vec::new();
-            let mut row = vec![format!("{tat} TAT"), format!("{dat} DAT")];
-            for &bench in &Benchmark::ALL {
-                let report = run(
-                    &bench.tdm_workload(),
-                    &Backend::Tdm(config.clone()),
-                    SchedulerKind::Fifo,
-                );
-                let perf = ideal_of(bench) / report.makespan().as_f64();
-                all_perf.push(perf);
-                if PLOTTED.contains(&bench) {
-                    row.push(ratio(perf));
-                }
-            }
-            row.push(ratio(geometric_mean(&all_perf)));
-            rows.push(row);
+            backends.push(BackendSpec::labelled(
+                format!("{tat}T/{dat}D"),
+                Backend::Tdm(DmuConfig::default().with_alias_sizes(tat, dat)),
+            ));
         }
+    }
+    let configs_per_bench = backends.len();
+
+    let grid = SweepGrid::new()
+        .with_workloads(
+            Benchmark::ALL
+                .iter()
+                .map(|&b| WorkloadSpec::tdm_granularity(b))
+                .collect(),
+        )
+        .with_backends(backends);
+    let threads = default_threads(1);
+    let results = run_sweep(&grid, threads);
+
+    // Grid order: workloads outermost, backends inner — so benchmark `b`'s
+    // results occupy one contiguous chunk, ideal first.
+    let chunk = |b: usize| &results[b * configs_per_bench..(b + 1) * configs_per_bench];
+
+    let mut rows = Vec::new();
+    for combo in 0..sizes.len() * sizes.len() {
+        let mut all_perf = Vec::new();
+        let mut row = Vec::new();
+        for (b, &bench) in Benchmark::ALL.iter().enumerate() {
+            let per_bench = chunk(b);
+            let ideal = per_bench[0].makespan_cycles() as f64;
+            let perf = ideal / per_bench[1 + combo].makespan_cycles() as f64;
+            all_perf.push(perf);
+            if PLOTTED.contains(&bench) {
+                row.push(ratio(perf));
+            }
+        }
+        // Label columns from the combo's TAT/DAT, matching the old output.
+        let tat = sizes[combo % sizes.len()];
+        let dat = sizes[combo / sizes.len()];
+        let mut labelled = vec![format!("{tat} TAT"), format!("{dat} DAT")];
+        labelled.extend(row);
+        labelled.push(ratio(geometric_mean(&all_perf)));
+        rows.push(labelled);
     }
 
     print_table(

@@ -1,11 +1,15 @@
 //! Figure 11: average number of occupied DAT sets with static index-bit
 //! selection (starting at bits 0, 4, 8, 12, 16) versus the proposed dynamic
 //! selection based on the dependence size.
+//!
+//! The 5 benchmarks × 6 index policies are one [`SweepGrid`] executed in
+//! parallel across host threads, streaming each generator through
+//! `simulate_stream` — bit-identical to the old serial eager harness.
 
-use tdm_bench::{print_table, run, Benchmark};
+use tdm_bench::sweep::{run_sweep, BackendSpec, SweepGrid, WorkloadSpec};
+use tdm_bench::{default_threads, print_table, Benchmark};
 use tdm_core::config::{DmuConfig, IndexPolicy};
 use tdm_runtime::exec::Backend;
-use tdm_runtime::scheduler::SchedulerKind;
 
 /// Benchmarks the paper plots (the ones sensitive to index-bit selection).
 const PLOTTED: [Benchmark; 5] = [
@@ -18,30 +22,47 @@ const PLOTTED: [Benchmark; 5] = [
 
 fn main() {
     let static_bits = [0u32, 4, 8, 12, 16];
+
+    let mut backends: Vec<BackendSpec> = static_bits
+        .iter()
+        .map(|&bit| {
+            BackendSpec::labelled(
+                format!("bit {bit}"),
+                Backend::Tdm(
+                    DmuConfig::default().with_index_policy(IndexPolicy::Static { low_bit: bit }),
+                ),
+            )
+        })
+        .collect();
+    backends.push(BackendSpec::labelled(
+        "DYN",
+        Backend::Tdm(DmuConfig::default().with_index_policy(IndexPolicy::Dynamic)),
+    ));
+    let per_bench = backends.len();
+
+    let grid = SweepGrid::new()
+        .with_workloads(
+            PLOTTED
+                .iter()
+                .map(|&b| WorkloadSpec::tdm_granularity(b))
+                .collect(),
+        )
+        .with_backends(backends);
+    let threads = default_threads(1);
+    let results = run_sweep(&grid, threads);
+
     let mut rows = Vec::new();
-    for bench in PLOTTED {
-        let workload = bench.tdm_workload();
+    for (b, bench) in PLOTTED.iter().enumerate() {
         let mut row = vec![bench.abbrev().to_string()];
-        for &bit in &static_bits {
-            let config =
-                DmuConfig::default().with_index_policy(IndexPolicy::Static { low_bit: bit });
-            let report = run(&workload, &Backend::Tdm(config), SchedulerKind::Fifo);
-            let occupancy = report
+        for result in &results[b * per_bench..(b + 1) * per_bench] {
+            let occupancy = result
+                .report
                 .hardware
                 .as_ref()
                 .expect("TDM runs have hardware reports")
                 .dat_average_occupied_sets;
             row.push(format!("{occupancy:.0}"));
         }
-        let dynamic = run(
-            &workload,
-            &Backend::Tdm(DmuConfig::default().with_index_policy(IndexPolicy::Dynamic)),
-            SchedulerKind::Fifo,
-        );
-        row.push(format!(
-            "{:.0}",
-            dynamic.hardware.as_ref().unwrap().dat_average_occupied_sets
-        ));
         rows.push(row);
     }
     print_table(

@@ -2,45 +2,107 @@
 //! schedulers combined with TDM, plus the best software configuration
 //! (OptSW) and the best TDM configuration (OptTDM), all normalized to the
 //! software runtime with a FIFO scheduler.
+//!
+//! The two scheduler sweeps — 9 benchmarks × 5 schedulers on the software
+//! runtime (its own granularity) and the same on TDM (TDM granularity) —
+//! are [`SweepGrid`]s executed in parallel across host threads; energy is
+//! evaluated from each point's `RunReport` afterwards. Results are
+//! bit-identical to the old serial eager harness.
 
-use tdm_bench::{best_scheduler, geometric_mean, print_table, ratio, run_with_energy, Benchmark};
+use tdm_bench::sweep::{run_sweep, BackendSpec, SweepGrid, SweepResult, WorkloadSpec};
+use tdm_bench::{
+    default_threads, dmu_of, frequency, geometric_mean, power_model, print_table, ratio, Benchmark,
+};
+use tdm_energy::edp::{evaluate, EnergyReport};
 use tdm_runtime::exec::Backend;
 use tdm_runtime::scheduler::SchedulerKind;
 
+/// Evaluates the energy of a sweep point's run (the DMU geometry comes from
+/// the point's backend via [`dmu_of`], exactly like `run_with_energy`).
+fn energy_of(result: &SweepResult, backend: &Backend) -> EnergyReport {
+    evaluate(
+        &result.report,
+        &power_model(),
+        &dmu_of(backend),
+        frequency(),
+    )
+}
+
+/// The best scheduler of one benchmark's chunk: first strict minimum of the
+/// makespan in `SchedulerKind::all()` order (the OptSW / OptTDM selection of
+/// Section VI-A, reproduced from the sweep results).
+fn best(chunk: &[SweepResult]) -> &SweepResult {
+    let mut best = &chunk[0];
+    for candidate in &chunk[1..] {
+        if candidate.report.makespan() < best.report.makespan() {
+            best = candidate;
+        }
+    }
+    best
+}
+
 fn main() {
-    let tdm_schedulers = SchedulerKind::all();
+    let schedulers = SchedulerKind::all();
+    let per_bench = schedulers.len();
+    let threads = default_threads(1);
+
+    // Sweep 1: every scheduler on the software runtime at its granularity.
+    let sw_backend = Backend::Software;
+    let sw_grid = SweepGrid::new()
+        .with_workloads(
+            Benchmark::ALL
+                .iter()
+                .map(|&b| WorkloadSpec::software_granularity(b))
+                .collect(),
+        )
+        .with_backends(vec![BackendSpec::from(sw_backend.clone())])
+        .with_schedulers(schedulers.clone());
+    let sw_results = run_sweep(&sw_grid, threads);
+
+    // Sweep 2: every scheduler on TDM at the TDM granularity.
+    let tdm_backend = Backend::tdm_default();
+    let tdm_grid = SweepGrid::new()
+        .with_workloads(
+            Benchmark::ALL
+                .iter()
+                .map(|&b| WorkloadSpec::tdm_granularity(b))
+                .collect(),
+        )
+        .with_backends(vec![BackendSpec::from(tdm_backend.clone())])
+        .with_schedulers(schedulers.clone());
+    let tdm_results = run_sweep(&tdm_grid, threads);
+
     let mut speedup_rows = Vec::new();
     let mut edp_rows = Vec::new();
     // Columns: OptSW, FIFO+TDM, LIFO+TDM, Local+TDM, Succ+TDM, Age+TDM, OptTDM.
     let mut speedup_cols: Vec<Vec<f64>> = vec![Vec::new(); 7];
     let mut edp_cols: Vec<Vec<f64>> = vec![Vec::new(); 7];
 
-    for bench in Benchmark::ALL {
-        let sw_workload = bench.software_workload();
-        let tdm_workload = bench.tdm_workload();
-
-        let (base_run, base_energy) =
-            run_with_energy(&sw_workload, &Backend::Software, SchedulerKind::Fifo);
+    for (b, bench) in Benchmark::ALL.iter().enumerate() {
+        let sw_chunk = &sw_results[b * per_bench..(b + 1) * per_bench];
+        let tdm_chunk = &tdm_results[b * per_bench..(b + 1) * per_bench];
+        // Grid order puts FIFO first in each chunk: the normalization base.
+        let base_run = &sw_chunk[0];
+        let base_energy = energy_of(base_run, &sw_backend);
 
         let mut speedups = Vec::new();
         let mut edps = Vec::new();
 
         // OptSW: best scheduler on the software runtime.
-        let opt_sw = best_scheduler(&sw_workload, &Backend::Software);
-        speedups.push(opt_sw.report.speedup_over(&base_run));
-        edps.push(opt_sw.energy.normalized_edp(&base_energy));
+        let opt_sw = best(sw_chunk);
+        speedups.push(opt_sw.report.speedup_over(&base_run.report));
+        edps.push(energy_of(opt_sw, &sw_backend).normalized_edp(&base_energy));
 
         // Each scheduler with TDM.
-        for kind in &tdm_schedulers {
-            let (report, energy) = run_with_energy(&tdm_workload, &Backend::tdm_default(), *kind);
-            speedups.push(report.speedup_over(&base_run));
-            edps.push(energy.normalized_edp(&base_energy));
+        for result in tdm_chunk {
+            speedups.push(result.report.speedup_over(&base_run.report));
+            edps.push(energy_of(result, &tdm_backend).normalized_edp(&base_energy));
         }
 
         // OptTDM: best scheduler with TDM.
-        let opt_tdm = best_scheduler(&tdm_workload, &Backend::tdm_default());
-        speedups.push(opt_tdm.report.speedup_over(&base_run));
-        edps.push(opt_tdm.energy.normalized_edp(&base_energy));
+        let opt_tdm = best(tdm_chunk);
+        speedups.push(opt_tdm.report.speedup_over(&base_run.report));
+        edps.push(energy_of(opt_tdm, &tdm_backend).normalized_edp(&base_energy));
 
         for (col, &v) in speedups.iter().enumerate() {
             speedup_cols[col].push(v);

@@ -102,7 +102,12 @@ pub struct HardwareReport {
 /// to a caller-owned `ready` buffer instead of returning a fresh vector;
 /// callers clear (or drain) the buffer between calls. This keeps the
 /// simulate loop allocation-free per event on its hottest path.
-pub trait DependenceEngine {
+///
+/// Engines are `Send`: the parallel design-space sweep runner
+/// (`tdm_bench::sweep`) executes independent simulation points on worker
+/// threads, each owning its own engine. Engines are never shared between
+/// threads, so `Sync` is not required.
+pub trait DependenceEngine: Send {
     /// Engine name for reports.
     fn name(&self) -> &'static str;
 
@@ -159,6 +164,72 @@ struct LiveTask {
     successors: Vec<TaskRef>,
 }
 
+/// Dense storage for created-but-unfinished tasks, keyed by the in-flight
+/// index span.
+///
+/// Tasks are created in program order and looked up heavily during
+/// dependence matching — once per last-writer hit and once per element of a
+/// reader list. On heavy fan-out workloads (streamcluster's fork-join
+/// phases) those reader-list probes dominated the software engine's host
+/// time when they went through a hash map. Live tasks always occupy the
+/// contiguous index range `[oldest unfinished, next created)`, so a deque of
+/// slots indexed by `task_index - base` turns every probe into an array
+/// access; the span is trimmed from the front as the oldest tasks finish.
+///
+/// The span can exceed the in-flight *count* when an old task lingers
+/// unfinished while later tasks stream past it (a finished task inside the
+/// span costs one empty slot until the span front catches up); every
+/// Table II policy drains oldest-first in practice, keeping the two within
+/// the same order of magnitude.
+#[derive(Debug, Clone, Default)]
+struct LiveSlab {
+    /// Task index of `slots[0]`.
+    base: usize,
+    /// One slot per task in `base..base + slots.len()`; `None` = finished.
+    slots: std::collections::VecDeque<Option<LiveTask>>,
+    /// Number of occupied slots.
+    occupied: usize,
+}
+
+impl LiveSlab {
+    fn get_mut(&mut self, index: usize) -> Option<&mut LiveTask> {
+        self.slots.get_mut(index.checked_sub(self.base)?)?.as_mut()
+    }
+
+    /// Appends the state of a newly created task. Creation happens in
+    /// program order, so the new index always extends the span at the back.
+    fn push(&mut self, index: usize, live: LiveTask) {
+        assert_eq!(
+            index,
+            self.base + self.slots.len(),
+            "task {index} created out of program order"
+        );
+        self.slots.push_back(Some(live));
+        self.occupied += 1;
+    }
+
+    /// Removes and returns `index`'s state, trimming finished slots from the
+    /// front of the span.
+    fn remove(&mut self, index: usize) -> Option<LiveTask> {
+        let slot = index.checked_sub(self.base)?;
+        let live = self.slots.get_mut(slot)?.take();
+        if live.is_some() {
+            self.occupied -= 1;
+            while matches!(self.slots.front(), Some(None)) {
+                self.slots.pop_front();
+                self.base += 1;
+            }
+        }
+        live
+    }
+
+    /// Number of created-but-unfinished tasks (leak accounting in tests).
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.occupied
+    }
+}
+
 /// Software dependence tracking: the runtime system matches dependences and
 /// maintains the TDG in memory, paying the software costs of
 /// [`CostModel::sw_creation_cost`] / [`CostModel::sw_finish_cost`].
@@ -170,13 +241,15 @@ struct LiveTask {
 /// satisfied immediately (they cost the same matching work but add no
 /// pending count), and per-task state is dropped at finish, so memory scales
 /// with in-flight tasks plus distinct addresses — like the hash-map-based
-/// tracker of a real runtime.
+/// tracker of a real runtime. Per-task state lives in a dense slab keyed by
+/// the in-flight index span (`LiveSlab`), so the reader-list probes of
+/// fan-out workloads are array accesses rather than hash lookups.
 #[derive(Debug, Clone)]
 pub struct SoftwareEngine {
     name: &'static str,
     cost: CostModel,
     addr_state: FastMap<u64, AddrState>,
-    live: FastMap<usize, LiveTask>,
+    live: LiveSlab,
     next_create: usize,
 }
 
@@ -193,7 +266,7 @@ impl SoftwareEngine {
             name,
             cost,
             addr_state: FastMap::default(),
-            live: FastMap::default(),
+            live: LiveSlab::default(),
             next_create: 0,
         }
     }
@@ -229,7 +302,7 @@ impl DependenceEngine for SoftwareEngine {
             if let Some(writer) = state.last_writer {
                 if writer != task {
                     edge_work += 1;
-                    if let Some(w) = self.live.get_mut(&writer.index()) {
+                    if let Some(w) = self.live.get_mut(writer.index()) {
                         w.successors.push(task);
                         pending += 1;
                     }
@@ -240,7 +313,7 @@ impl DependenceEngine for SoftwareEngine {
                 edge_work += state.readers.len() as u32;
                 for &reader in &state.readers {
                     if reader != task {
-                        if let Some(r) = self.live.get_mut(&reader.index()) {
+                        if let Some(r) = self.live.get_mut(reader.index()) {
                             r.successors.push(task);
                             pending += 1;
                         }
@@ -254,14 +327,13 @@ impl DependenceEngine for SoftwareEngine {
             }
         }
 
-        let previous = self.live.insert(
+        self.live.push(
             i,
             LiveTask {
                 pending_predecessors: pending,
                 successors: Vec::new(),
             },
         );
-        assert!(previous.is_none(), "{task} created twice");
         if pending == 0 {
             // No successor can be registered before the task exists, so a
             // task that is ready at creation always reports zero successors
@@ -287,12 +359,12 @@ impl DependenceEngine for SoftwareEngine {
         let i = task.index();
         let live = self
             .live
-            .remove(&i)
+            .remove(i)
             .unwrap_or_else(|| panic!("{task} finished before being created, or twice"));
         for &succ in &live.successors {
             let s = self
                 .live
-                .get_mut(&succ.index())
+                .get_mut(succ.index())
                 .expect("successors of an in-flight task are in flight");
             debug_assert!(s.pending_predecessors > 0, "predecessor underflow");
             s.pending_predecessors -= 1;

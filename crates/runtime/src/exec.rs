@@ -164,6 +164,11 @@ pub struct ExecConfig {
     /// after finishes). This models the paper's master/DMU backpressure and
     /// bounds the specs a streaming run keeps resident. The default
     /// (`usize::MAX`) never throttles, matching the classic eager driver.
+    ///
+    /// A window of 0 would deadlock the master before it created anything,
+    /// so **0 is documented to behave exactly like 1** (one task in flight
+    /// at a time): [`with_window`](ExecConfig::with_window) clamps eagerly,
+    /// and the driver applies the same clamp to a directly assigned field.
     pub window: usize,
 }
 
@@ -197,7 +202,12 @@ impl ExecConfig {
     }
 
     /// Same configuration with the master creation window set to `window`
-    /// in-flight tasks (clamped to at least 1).
+    /// in-flight tasks.
+    ///
+    /// A window of 0 is clamped to 1 — the master must be allowed at least
+    /// one in-flight task or it could never create anything. The driver
+    /// applies the same clamp at run time, so assigning
+    /// [`window`](ExecConfig::window) directly behaves identically.
     pub fn with_window(mut self, window: usize) -> Self {
         self.window = window.max(1);
         self
@@ -259,7 +269,12 @@ pub struct ScheduledTask {
 }
 
 /// The outcome of one simulated execution.
-#[derive(Debug, Clone, Serialize)]
+///
+/// Two reports compare equal only if every modeled quantity — stats, phase
+/// breakdowns, hardware counters, task counts, residency peak and (when
+/// traced) the executed schedule — is bit-identical; the sweep determinism
+/// suite relies on this.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RunReport {
     /// Workload name.
     pub workload: String,
@@ -771,6 +786,22 @@ fn push_ready(
     }
 }
 
+// Compile-time Send contract: the parallel design-space sweep runner
+// (`tdm_bench::sweep`) moves whole simulation points — configs, engines,
+// schedulers, sources and reports — onto worker threads. Regressions (e.g. an
+// `Rc` slipping into an engine) fail here, at the definition site, instead of
+// in a downstream crate.
+const _: () = {
+    const fn assert_send<T: Send + ?Sized>() {}
+    assert_send::<dyn crate::engine::DependenceEngine>();
+    assert_send::<dyn crate::scheduler::Scheduler>();
+    assert_send::<dyn TaskSource>();
+    assert_send::<crate::stream::WorkloadSource<'static>>();
+    assert_send::<Backend>();
+    assert_send::<ExecConfig>();
+    assert_send::<RunReport>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1138,5 +1169,40 @@ mod tests {
         assert_eq!(ExecConfig::default().with_window(0).window, 1);
         assert_eq!(ExecConfig::default().with_window(9).window, 9);
         assert_eq!(ExecConfig::default().window, usize::MAX);
+    }
+
+    #[test]
+    fn window_zero_behaves_exactly_like_window_one() {
+        // The clamp is documented behaviour, not an accident: a directly
+        // assigned `window = 0` (bypassing `with_window`) must produce the
+        // same run as window 1, on both the eager and the streaming path.
+        let w = chains_workload(3, 8, 20.0);
+        let mut zero = small_chip(4).with_trace_schedule();
+        zero.window = 0;
+        let one = small_chip(4).with_trace_schedule().with_window(1);
+        assert_eq!(one.window, 1);
+
+        let eager_zero = simulate(&w, &Backend::tdm_default(), SchedulerKind::Fifo, &zero);
+        let eager_one = simulate(&w, &Backend::tdm_default(), SchedulerKind::Fifo, &one);
+        assert_eq!(eager_zero, eager_one);
+        assert_eq!(eager_zero.stats.tasks_executed, 24);
+
+        let mut source = WorkloadSource::new(&w);
+        let stream_zero = simulate_stream(
+            &mut source,
+            &Backend::tdm_default(),
+            SchedulerKind::Fifo,
+            &zero,
+        );
+        let mut source = WorkloadSource::new(&w);
+        let stream_one = simulate_stream(
+            &mut source,
+            &Backend::tdm_default(),
+            SchedulerKind::Fifo,
+            &one,
+        );
+        assert_eq!(stream_zero, stream_one);
+        // And the residency bound is the clamped window's, not 0+1 = 1.
+        assert!(stream_zero.peak_resident_tasks <= 2);
     }
 }

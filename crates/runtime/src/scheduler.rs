@@ -47,7 +47,10 @@ pub struct ReadyEntry {
 ///
 /// `pop` receives the requesting core so locality-aware policies can take
 /// placement into account.
-pub trait Scheduler {
+///
+/// Schedulers are `Send` so a whole simulation point (driver, engine, pool)
+/// can run on a sweep worker thread; each run owns its pool exclusively.
+pub trait Scheduler: Send {
     /// Human-readable policy name (matches the labels used in Figure 12).
     fn name(&self) -> &'static str;
 

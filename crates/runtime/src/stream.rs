@@ -68,7 +68,11 @@ use crate::task::{TaskSpec, Workload};
 /// passes over a freshly built source yield the same task sequence
 /// bit-for-bit (generators with random content carry their own seeded RNG
 /// state).
-pub trait TaskSource {
+///
+/// Sources are `Send`: the parallel design-space sweep runner executes each
+/// point (source + driver + engine) on a worker thread. A source is owned by
+/// exactly one run at a time, so `Sync` is not required.
+pub trait TaskSource: Send {
     /// Workload name used in reports (e.g. `"cholesky"`).
     fn name(&self) -> &str;
 

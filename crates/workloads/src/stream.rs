@@ -41,13 +41,26 @@ use tdm_runtime::task::{TaskSpec, Workload};
 
 /// A lazily generated workload: name, exact task count, modelling knobs and
 /// the boxed generator iterator.
+///
+/// The iterator is boxed with a `Send` bound, making the whole stream `Send`
+/// (checked at compile time below): the parallel sweep runner builds streams
+/// on — or hands them to — worker threads. Generators are closed-form loop
+/// nests over plain data, so the bound costs them nothing.
 pub struct TaskStream {
     name: String,
     remaining: usize,
     locality_benefit: f64,
     duration_jitter: f64,
-    iter: Box<dyn Iterator<Item = TaskSpec>>,
+    iter: Box<dyn Iterator<Item = TaskSpec> + Send>,
 }
+
+// Compile-time half of the `TaskSource: Send` contract: if a generator ever
+// captures a non-`Send` handle, the error points here instead of at a
+// `thread::scope` call three crates up.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<TaskStream>();
+};
 
 impl std::fmt::Debug for TaskStream {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -69,7 +82,7 @@ impl TaskStream {
     pub fn new(
         name: impl Into<String>,
         len: usize,
-        iter: impl Iterator<Item = TaskSpec> + 'static,
+        iter: impl Iterator<Item = TaskSpec> + Send + 'static,
     ) -> Self {
         TaskStream {
             name: name.into(),

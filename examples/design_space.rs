@@ -2,49 +2,83 @@
 //! be for a Cholesky factorization, and what does the dynamic index-bit
 //! selection buy? (A reduced version of Figures 7 and 11.)
 //!
+//! All nine DMU configurations are declared as one [`SweepGrid`] and executed
+//! in parallel across host threads by [`run_sweep`]; each point streams the
+//! Cholesky generator through the windowed master (`simulate_stream`) instead
+//! of materialising the task list. Sweep results are bit-identical to the
+//! old serial, eagerly-collected harness — same printed numbers — because
+//! streaming-vs-eager equivalence and sweep thread-count invariance are both
+//! pinned by the conformance suite.
+//!
 //! Run with: `cargo run --release --example design_space`
 
 use tdm::prelude::*;
 use tdm::workloads::cholesky;
+use tdm_bench::default_threads;
+use tdm_bench::sweep::{run_sweep, BackendSpec, SweepGrid, WorkloadSpec};
 
 fn main() {
-    let workload = cholesky::generate(cholesky::Params { blocks: 16 });
-    let config = ExecConfig::default();
+    let params = cholesky::Params { blocks: 16 };
+    let tasks = cholesky::stream(params).len();
 
-    println!("Cholesky 16x16 blocks: {} tasks\n", workload.len());
-
-    // Sweep the TAT/DAT size.
-    println!("alias-table size sweep (FIFO scheduler):");
-    let ideal = simulate(
-        &workload,
-        &Backend::Tdm(DmuConfig::ideal()),
-        SchedulerKind::Fifo,
-        &config,
-    );
-    for entries in [128usize, 256, 512, 1024, 2048] {
-        let dmu = DmuConfig::default().with_alias_sizes(entries, entries);
-        let report = simulate(&workload, &Backend::Tdm(dmu), SchedulerKind::Fifo, &config);
-        let stalls = report
-            .hardware
-            .as_ref()
-            .map(|h| h.stats.stalls)
-            .unwrap_or(0);
-        println!(
-            "  {entries:>5} entries: perf vs ideal = {:.3}, DMU stalls = {stalls}",
-            ideal.makespan().as_f64() / report.makespan().as_f64()
-        );
+    // One backend-axis entry per DMU configuration under study.
+    let mut backends = vec![BackendSpec::labelled(
+        "ideal",
+        Backend::Tdm(DmuConfig::ideal()),
+    )];
+    let sizes = [128usize, 256, 512, 1024, 2048];
+    for entries in sizes {
+        backends.push(BackendSpec::labelled(
+            format!("alias-{entries}"),
+            Backend::Tdm(DmuConfig::default().with_alias_sizes(entries, entries)),
+        ));
     }
-
-    // Compare static and dynamic DAT index-bit selection.
-    println!("\nDAT index-bit selection (occupied sets out of 256):");
-    for (label, policy) in [
+    let policies = [
         ("static bit 0", IndexPolicy::Static { low_bit: 0 }),
         ("static bit 12", IndexPolicy::Static { low_bit: 12 }),
         ("dynamic", IndexPolicy::Dynamic),
-    ] {
-        let dmu = DmuConfig::default().with_index_policy(policy);
-        let report = simulate(&workload, &Backend::Tdm(dmu), SchedulerKind::Fifo, &config);
-        let hw = report.hardware.as_ref().unwrap();
+    ];
+    for (label, policy) in policies {
+        backends.push(BackendSpec::labelled(
+            label,
+            Backend::Tdm(DmuConfig::default().with_index_policy(policy)),
+        ));
+    }
+
+    let grid = SweepGrid::new()
+        .with_workloads(vec![WorkloadSpec::new("cholesky-16", move || {
+            cholesky::stream(params)
+        })])
+        .with_backends(backends);
+
+    let threads = default_threads(1);
+    let results = run_sweep(&grid, threads);
+
+    println!(
+        "Cholesky 16x16 blocks: {tasks} tasks ({} sweep points across {threads} host thread(s))\n",
+        grid.len()
+    );
+
+    // Results arrive in backend-axis order: ideal, the 5 sizes, the 3 policies.
+    let ideal = &results[0];
+    println!("alias-table size sweep (FIFO scheduler):");
+    for (i, &entries) in sizes.iter().enumerate() {
+        let report = &results[1 + i];
+        println!(
+            "  {entries:>5} entries: perf vs ideal = {:.3}, DMU stalls = {}",
+            ideal.makespan_cycles() as f64 / report.makespan_cycles() as f64,
+            report.dmu_stalls()
+        );
+    }
+
+    println!("\nDAT index-bit selection (occupied sets out of 256):");
+    for (i, (label, _)) in policies.iter().enumerate() {
+        let result = &results[1 + sizes.len() + i];
+        let hw = result
+            .report
+            .hardware
+            .as_ref()
+            .expect("TDM points have hardware reports");
         println!(
             "  {label:<14} avg occupied sets = {:>6.1}, stalls = {}",
             hw.dat_average_occupied_sets, hw.stats.stalls

@@ -25,6 +25,7 @@ mod determinism;
 mod schedule;
 mod stats;
 mod streaming;
+mod sweep;
 
 use tdm::prelude::*;
 

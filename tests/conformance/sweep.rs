@@ -1,0 +1,112 @@
+//! Parallel-sweep determinism: thread count must be unobservable.
+//!
+//! The sweep runner (`tdm_bench::sweep`) executes independent simulation
+//! points on host worker threads. Parallelism is a pure throughput device —
+//! every point is a deterministic function of its grid coordinates and
+//! derived seed — so the conformance contract is:
+//!
+//! * **thread-count invariance** — the assembled result vector is
+//!   bit-identical between a single-threaded and a multi-threaded execution
+//!   of the same grid;
+//! * **serial equivalence** — every point's [`RunReport`] equals a plain
+//!   `simulate_stream` run of that point's stream and `ExecConfig`, outside
+//!   the sweep runner entirely;
+//! * **seed purity** — per-point seeds are a pure function of (base seed,
+//!   point index), so re-expanding the grid or replaying one point in
+//!   isolation reproduces the sweep exactly.
+//!
+//! (`bench_sweep verify` re-checks thread-count invariance on the full
+//! 36-point Table II grid in release mode in CI; this suite keeps the
+//! debug-build grid small.)
+
+use crate::common::small_benchmark_streams;
+use tdm::prelude::*;
+use tdm::runtime::exec::simulate_stream;
+use tdm_bench::sweep::{point_seed, run_sweep, BackendSpec, SweepGrid, WorkloadSpec};
+
+/// A scaled-down grid: two benchmark generators × all four backends × two
+/// schedulers × an unbounded and a tight window, with per-point seeds.
+fn small_grid() -> SweepGrid {
+    // Indices into `small_benchmark_streams()`: 0 = cholesky 8×8 blocks,
+    // 2 = histogram 32 stripes. Each `WorkloadSpec` builds a fresh stream
+    // per point (streams are consumed by a run).
+    let workloads = vec![
+        WorkloadSpec::new("cholesky-8", || small_benchmark_streams().swap_remove(0)),
+        WorkloadSpec::new("histogram-32", || small_benchmark_streams().swap_remove(2)),
+    ];
+    SweepGrid::new()
+        .with_workloads(workloads)
+        .with_backends(vec![
+            BackendSpec::from(Backend::Software),
+            BackendSpec::from(Backend::tdm_default()),
+            BackendSpec::from(Backend::Carbon),
+            BackendSpec::from(Backend::task_superscalar_default()),
+        ])
+        .with_schedulers(vec![SchedulerKind::Fifo, SchedulerKind::Lifo])
+        .with_windows(vec![usize::MAX, 8])
+        .with_per_point_seeds()
+}
+
+#[test]
+fn sweep_results_are_bit_identical_across_thread_counts() {
+    let grid = small_grid();
+    let serial = run_sweep(&grid, 1);
+    let parallel = run_sweep(&grid, 4);
+    assert_eq!(serial.len(), grid.len());
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(&parallel) {
+        let context = format!(
+            "{} × {} × {} (window {})",
+            a.workload, a.backend, a.scheduler, a.window
+        );
+        assert!(a.modeled_eq(b), "{context}: diverged across thread counts");
+        // `modeled_eq` covers the full report; spot-check the headline
+        // fields so a comparison bug cannot silently pass everything.
+        assert_eq!(a.makespan_cycles(), b.makespan_cycles(), "{context}");
+        assert_eq!(a.dmu_accesses(), b.dmu_accesses(), "{context}");
+        assert_eq!(a.report.stats, b.report.stats, "{context}");
+        if a.window != usize::MAX {
+            assert!(
+                a.report.peak_resident_tasks <= a.window + 1,
+                "{context}: residency bound violated"
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_points_equal_a_serial_simulate_stream_run() {
+    let grid = small_grid();
+    let results = run_sweep(&grid, 3);
+    for (point, result) in grid.points().iter().zip(&results) {
+        let mut stream = grid.workloads[point.workload].stream();
+        let report = simulate_stream(
+            &mut stream,
+            &point.backend,
+            point.scheduler,
+            &point.exec_config(),
+        );
+        assert_eq!(
+            report, result.report,
+            "point {} ({} × {} × {}): sweep runner and serial driver disagree",
+            point.index, result.workload, result.backend, result.scheduler
+        );
+    }
+}
+
+#[test]
+fn per_point_seeds_are_a_pure_function_of_the_grid() {
+    let grid = small_grid();
+    let points = grid.points();
+    for point in &points {
+        assert_eq!(point.seed, point_seed(grid.seed, point.index as u64));
+    }
+    // Re-expansion is bit-identical, and seeds do not collide on this grid.
+    let again = grid.points();
+    assert_eq!(
+        points.iter().map(|p| p.seed).collect::<Vec<_>>(),
+        again.iter().map(|p| p.seed).collect::<Vec<_>>()
+    );
+    let distinct: std::collections::HashSet<u64> = points.iter().map(|p| p.seed).collect();
+    assert_eq!(distinct.len(), points.len());
+}

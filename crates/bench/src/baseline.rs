@@ -30,6 +30,12 @@ use crate::standard_config;
 
 /// Version of the `BENCH_baseline.json` schema; bump when fields change so a
 /// stale committed baseline fails loudly instead of comparing garbage.
+///
+/// The emitted file additionally records `geomean_tasks_per_sec` — the
+/// matrix-wide geometric-mean throughput — so the perf trajectory across
+/// PRs is machine-readable straight from the committed `BENCH_*.json`
+/// history. The field is *derived* from the entries (recomputed on write,
+/// ignored on read), so recording it is not a schema change.
 pub const SCHEMA_VERSION: u64 = 1;
 
 /// Default relative wall-clock regression tolerance of the CI gate: a fresh
@@ -300,29 +306,37 @@ pub fn geomean_tasks_per_sec(baseline: &Baseline) -> f64 {
 impl Baseline {
     /// Serialises to the committed `BENCH_baseline.json` format.
     pub fn to_json(&self) -> String {
-        let mut out = String::new();
-        out.push_str("{\n");
-        out.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
-        out.push_str(&format!("  \"cores\": {},\n", self.cores));
-        out.push_str(&format!("  \"seed\": {},\n", self.seed));
-        out.push_str("  \"entries\": [\n");
-        for (i, e) in self.entries.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"benchmark\": {}, \"backend\": {}, \"tasks\": {}, \
-                 \"makespan_cycles\": {}, \"dmu_accesses\": {}, \"wall_ms\": {:.3}, \
-                 \"tasks_per_sec\": {:.1}}}{}\n",
-                json::escape(&e.benchmark),
-                json::escape(&e.backend),
-                e.tasks,
-                e.makespan_cycles,
-                e.dmu_accesses,
-                e.wall_ms,
-                e.tasks_per_sec,
-                if i + 1 == self.entries.len() { "" } else { "," }
-            ));
-        }
-        out.push_str("  ]\n}\n");
-        out
+        let rows: Vec<String> = self
+            .entries
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"benchmark\": {}, \"backend\": {}, \"tasks\": {}, \
+                     \"makespan_cycles\": {}, \"dmu_accesses\": {}, \"wall_ms\": {:.3}, \
+                     \"tasks_per_sec\": {:.1}}}",
+                    json::escape(&e.benchmark),
+                    json::escape(&e.backend),
+                    e.tasks,
+                    e.makespan_cycles,
+                    e.dmu_accesses,
+                    e.wall_ms,
+                    e.tasks_per_sec,
+                )
+            })
+            .collect();
+        json::document(
+            &[
+                ("schema_version", self.schema_version.to_string()),
+                ("cores", self.cores.to_string()),
+                ("seed", self.seed.to_string()),
+                (
+                    "geomean_tasks_per_sec",
+                    format!("{:.1}", geomean_tasks_per_sec(self)),
+                ),
+            ],
+            "entries",
+            &rows,
+        )
     }
 
     /// Parses a baseline back from JSON text.
@@ -430,6 +444,39 @@ pub mod json {
             }
             Ok(n as u64)
         }
+    }
+
+    /// Assembles the JSON document shape every bench emitter uses — a flat
+    /// header of scalar fields followed by one array of pre-rendered row
+    /// objects:
+    ///
+    /// ```text
+    /// {
+    ///   "field": value,
+    ///   ...
+    ///   "list_key": [
+    ///     {row},
+    ///     ...
+    ///   ]
+    /// }
+    /// ```
+    ///
+    /// Header values and rows are already-serialised JSON fragments (use
+    /// [`escape`] for strings); sharing the assembly here keeps the
+    /// baseline, sweep and event-microbench writers from each hand-rolling
+    /// the brace/comma layout.
+    pub fn document(header: &[(&str, String)], list_key: &str, rows: &[String]) -> String {
+        let mut out = String::from("{\n");
+        for (name, value) in header {
+            out.push_str(&format!("  \"{name}\": {value},\n"));
+        }
+        out.push_str(&format!("  \"{list_key}\": [\n"));
+        for (i, row) in rows.iter().enumerate() {
+            let comma = if i + 1 == rows.len() { "" } else { "," };
+            out.push_str(&format!("    {row}{comma}\n"));
+        }
+        out.push_str("  ]\n}\n");
+        out
     }
 
     /// Looks up a field of an object.

@@ -25,6 +25,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use tdm_bench::cli::{self, Args};
 use tdm_bench::standard_config;
 use tdm_runtime::exec::{simulate, simulate_stream, Backend, ExecConfig};
 use tdm_runtime::scheduler::SchedulerKind;
@@ -55,51 +56,25 @@ fn parse_options(args: &[String], tasks: usize, window: usize) -> Result<Options
         bench: None,
         backend: Backend::tdm_default(),
     };
-    let mut it = args.iter();
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("{name} needs a value"))
-        };
+    let mut args = Args::new(args);
+    while let Some(flag) = args.next_flag() {
         match flag.as_str() {
             "--tasks" => {
-                options.tasks = value("--tasks")?
-                    .parse()
-                    .map_err(|e| format!("--tasks: {e}"))?;
-                if options.tasks == 0 {
-                    return Err("--tasks must be at least 1".to_string());
-                }
+                options.tasks = cli::parse_count("--tasks", &args.value("--tasks")?, "")?;
             }
             "--window" => {
-                options.window = value("--window")?
-                    .parse()
-                    .map_err(|e| format!("--window: {e}"))?;
-                if options.window == 0 {
-                    return Err(
-                        "--window must be at least 1 (the master needs one in-flight task; \
-                         ExecConfig documents that a window of 0 behaves as 1)"
-                            .to_string(),
-                    );
-                }
+                options.window = cli::parse_count(
+                    "--window",
+                    &args.value("--window")?,
+                    " (the master needs one in-flight task; ExecConfig documents that a \
+                     window of 0 behaves as 1)",
+                )?;
             }
             "--bench" => {
-                let name = value("--bench")?;
-                options.bench = Some(
-                    Benchmark::ALL
-                        .into_iter()
-                        .find(|b| b.name().eq_ignore_ascii_case(&name))
-                        .ok_or_else(|| format!("unknown benchmark {name:?}"))?,
-                );
+                options.bench = Some(cli::parse_benchmark(&args.value("--bench")?)?);
             }
             "--backend" => {
-                options.backend = match value("--backend")?.to_ascii_lowercase().as_str() {
-                    "software" => Backend::Software,
-                    "tdm" => Backend::tdm_default(),
-                    "carbon" => Backend::Carbon,
-                    "tss" | "tasksuperscalar" => Backend::task_superscalar_default(),
-                    other => return Err(format!("unknown backend {other:?}")),
-                };
+                options.backend = cli::parse_backend(&args.value("--backend")?)?;
             }
             other => return Err(format!("unknown flag {other:?}")),
         }

@@ -35,6 +35,7 @@
 
 use std::process::ExitCode;
 
+use tdm_bench::cli::{self, Args};
 use tdm_bench::sweep::{
     results_to_csv, results_to_json, run_point, run_sweep, BackendSpec, SweepGrid, WorkloadSpec,
 };
@@ -68,53 +69,6 @@ struct Options {
     csv: Option<String>,
 }
 
-fn parse_benchmark(name: &str) -> Result<Benchmark, String> {
-    Benchmark::ALL
-        .into_iter()
-        .find(|b| b.name().eq_ignore_ascii_case(name))
-        .ok_or_else(|| {
-            let known: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
-            format!("unknown benchmark {name:?} (known: {})", known.join(", "))
-        })
-}
-
-fn parse_backend(name: &str) -> Result<BackendSpec, String> {
-    match name.to_ascii_lowercase().as_str() {
-        "software" | "sw" => Ok(BackendSpec::from(Backend::Software)),
-        "tdm" => Ok(BackendSpec::from(Backend::tdm_default())),
-        "carbon" => Ok(BackendSpec::from(Backend::Carbon)),
-        "tss" | "tasksuperscalar" => Ok(BackendSpec::from(Backend::task_superscalar_default())),
-        other => Err(format!(
-            "unknown backend {other:?} (known: software, tdm, carbon, tss)"
-        )),
-    }
-}
-
-fn parse_scheduler(name: &str) -> Result<SchedulerKind, String> {
-    SchedulerKind::all()
-        .into_iter()
-        .find(|k| k.name().eq_ignore_ascii_case(name))
-        .ok_or_else(|| {
-            format!("unknown scheduler {name:?} (known: fifo, lifo, locality, successor, age)")
-        })
-}
-
-fn parse_list<T>(
-    flag: &str,
-    value: &str,
-    parse: impl Fn(&str) -> Result<T, String>,
-) -> Result<Vec<T>, String> {
-    let items: Vec<&str> = value
-        .split(',')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .collect();
-    if items.is_empty() {
-        return Err(format!("{flag} needs a non-empty comma-separated list"));
-    }
-    items.iter().map(|s| parse(s)).collect()
-}
-
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut options = Options {
         threads: None,
@@ -133,70 +87,54 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         json: None,
         csv: None,
     };
-    let mut it = args.iter();
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("{name} needs a value"))
-        };
+    let mut args = Args::new(args);
+    while let Some(flag) = args.next_flag() {
         match flag.as_str() {
             "--threads" => {
-                let n: usize = value("--threads")?
-                    .parse()
-                    .map_err(|e| format!("--threads: {e}"))?;
-                if n == 0 {
-                    return Err("--threads must be at least 1".to_string());
-                }
-                options.threads = Some(n);
+                options.threads = Some(cli::parse_count(
+                    "--threads",
+                    &args.value("--threads")?,
+                    "",
+                )?);
             }
             "--benchmarks" => {
-                options.benchmarks = Some(parse_list(
+                options.benchmarks = Some(cli::parse_list(
                     "--benchmarks",
-                    &value("--benchmarks")?,
-                    parse_benchmark,
+                    &args.value("--benchmarks")?,
+                    cli::parse_benchmark,
                 )?);
             }
             "--backends" => {
-                options.backends = parse_list("--backends", &value("--backends")?, parse_backend)?;
+                options.backends =
+                    cli::parse_list("--backends", &args.value("--backends")?, |name| {
+                        cli::parse_backend(name).map(BackendSpec::from)
+                    })?;
             }
             "--schedulers" => {
-                options.schedulers = Some(parse_list(
+                options.schedulers = Some(cli::parse_list(
                     "--schedulers",
-                    &value("--schedulers")?,
-                    parse_scheduler,
+                    &args.value("--schedulers")?,
+                    cli::parse_scheduler,
                 )?);
             }
             "--windows" => {
-                options.windows = Some(parse_list("--windows", &value("--windows")?, |s| {
-                    let w: usize = s.parse().map_err(|e| format!("--windows: {s:?}: {e}"))?;
-                    if w == 0 {
-                        return Err(
-                            "--windows: a window must be at least 1 (the master needs one \
-                             in-flight task)"
-                                .to_string(),
-                        );
-                    }
-                    Ok(w)
-                })?);
+                options.windows = Some(cli::parse_list(
+                    "--windows",
+                    &args.value("--windows")?,
+                    |s| cli::parse_count("--windows", s, " (the master needs one in-flight task)"),
+                )?);
             }
             "--scale" => {
-                let n: usize = value("--scale")?
-                    .parse()
-                    .map_err(|e| format!("--scale: {e}"))?;
-                if n == 0 {
-                    return Err("--scale must be at least 1 task".to_string());
-                }
-                options.scale = Some(n);
+                options.scale = Some(cli::parse_count(
+                    "--scale",
+                    &args.value("--scale")?,
+                    " task",
+                )?);
             }
-            "--seed" => {
-                options.seed = value("--seed")?
-                    .parse()
-                    .map_err(|e| format!("--seed: {e}"))?;
-            }
+            "--seed" => options.seed = cli::parse_u64("--seed", &args.value("--seed")?)?,
             "--fixed-seed" => options.fixed_seed = true,
-            "--json" => options.json = Some(value("--json")?),
-            "--csv" => options.csv = Some(value("--csv")?),
+            "--json" => options.json = Some(args.value("--json")?),
+            "--csv" => options.csv = Some(args.value("--csv")?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -275,13 +213,11 @@ fn write_outputs(
     results: &[tdm_bench::sweep::SweepResult],
 ) -> Result<(), String> {
     if let Some(path) = &options.json {
-        std::fs::write(path, results_to_json(results))
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        cli::write_output(path, &results_to_json(results))?;
         println!("results written to {path} (JSON)");
     }
     if let Some(path) = &options.csv {
-        std::fs::write(path, results_to_csv(results))
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        cli::write_output(path, &results_to_csv(results))?;
         println!("results written to {path} (CSV)");
     }
     Ok(())

@@ -1,133 +1,159 @@
 //! Figure 6: execution time as a function of task granularity, with the
 //! software runtime, normalized to the best granularity of each benchmark.
+//!
+//! The 30 granularity points are declared as one [`SweepGrid`] (each
+//! benchmark × granularity is a workload-axis entry backed by its lazy
+//! stream generator) and executed in parallel across host threads. The grid
+//! keeps the standard fixed seed and unbounded window, so every point is
+//! bit-identical to the serial eager harness this replaces — same numbers,
+//! same printed table, byte for byte.
 
-use tdm_bench::{print_table, ratio, run};
+use tdm_bench::sweep::{run_sweep, BackendSpec, SweepGrid, WorkloadSpec};
+use tdm_bench::{default_threads, print_table, ratio};
 use tdm_runtime::exec::Backend;
-use tdm_runtime::scheduler::SchedulerKind;
-use tdm_runtime::task::Workload;
 use tdm_workloads::{blackscholes, cholesky, fluidanimate, histogram, lu, qr, streamcluster};
 
-fn sweep(name: &str, points: Vec<(String, Workload)>, rows: &mut Vec<Vec<String>>) {
-    let reports: Vec<(String, f64)> = points
-        .into_iter()
-        .map(|(label, workload)| {
-            let report = run(&workload, &Backend::Software, SchedulerKind::Fifo);
-            (label, report.makespan().as_f64())
-        })
-        .collect();
-    let best = reports
-        .iter()
-        .map(|(_, t)| *t)
-        .fold(f64::INFINITY, f64::min);
-    for (label, time) in reports {
-        rows.push(vec![name.to_string(), label, ratio(time / best)]);
-    }
+/// One benchmark's granularity sweep: the group label and its labelled
+/// workload points, in figure order.
+struct Group {
+    name: &'static str,
+    points: Vec<WorkloadSpec>,
 }
 
-fn main() {
-    let mut rows = Vec::new();
+fn groups() -> Vec<Group> {
+    let mut groups = Vec::new();
 
-    sweep(
-        "blackscholes",
-        [1024u64, 2048, 4096, 8192]
+    groups.push(Group {
+        name: "blackscholes",
+        points: [1024u64, 2048, 4096, 8192]
             .iter()
             .map(|&kb| {
-                (
-                    format!("{}KB", kb / 1024),
-                    blackscholes::generate(blackscholes::Params::with_block_bytes(kb)),
-                )
+                WorkloadSpec::new(format!("{}KB", kb / 1024), move || {
+                    blackscholes::stream(blackscholes::Params::with_block_bytes(kb))
+                })
             })
             .collect(),
-        &mut rows,
-    );
+    });
 
-    sweep(
-        "cholesky",
-        [64usize, 32, 16, 8]
+    groups.push(Group {
+        name: "cholesky",
+        points: [64usize, 32, 16, 8]
             .iter()
             .map(|&blocks| {
                 let tile_kb = (2048 / blocks) * (2048 / blocks) * 4 / 1024;
-                (
-                    format!("{tile_kb}KB"),
-                    cholesky::generate(cholesky::Params { blocks }),
-                )
+                WorkloadSpec::new(format!("{tile_kb}KB"), move || {
+                    cholesky::stream(cholesky::Params { blocks })
+                })
             })
             .collect(),
-        &mut rows,
-    );
+    });
 
-    sweep(
-        "fluidanimate",
-        [256usize, 128, 64, 32]
+    groups.push(Group {
+        name: "fluidanimate",
+        points: [256usize, 128, 64, 32]
             .iter()
             .map(|&partitions| {
-                (
-                    format!("{partitions}"),
-                    fluidanimate::generate(fluidanimate::Params {
+                WorkloadSpec::new(format!("{partitions}"), move || {
+                    fluidanimate::stream(fluidanimate::Params {
                         partitions,
                         timesteps: fluidanimate::TIMESTEPS,
-                    }),
-                )
+                    })
+                })
             })
             .collect(),
-        &mut rows,
-    );
+    });
 
-    sweep(
-        "histogram",
-        [1024usize, 512, 256, 128, 64]
+    groups.push(Group {
+        name: "histogram",
+        points: [1024usize, 512, 256, 128, 64]
             .iter()
             .map(|&stripes| {
                 let stripe_kb = 4096u64 * 4096 * 4 / stripes as u64 / 1024;
-                (
-                    format!("{stripe_kb}KB"),
-                    histogram::generate(histogram::Params { stripes }),
-                )
+                WorkloadSpec::new(format!("{stripe_kb}KB"), move || {
+                    histogram::stream(histogram::Params { stripes })
+                })
             })
             .collect(),
-        &mut rows,
-    );
+    });
 
-    sweep(
-        "LU",
-        [64usize, 32, 16, 8]
+    groups.push(Group {
+        name: "LU",
+        points: [64usize, 32, 16, 8]
             .iter()
             .map(|&blocks| {
                 let tile_kb = (2048 / blocks) * (2048 / blocks) * 4 / 1024;
-                (format!("{tile_kb}KB"), lu::generate(lu::Params { blocks }))
+                WorkloadSpec::new(format!("{tile_kb}KB"), move || {
+                    lu::stream(lu::Params { blocks })
+                })
             })
             .collect(),
-        &mut rows,
-    );
+    });
 
-    sweep(
-        "QR",
-        [32usize, 16, 8, 4]
+    groups.push(Group {
+        name: "QR",
+        points: [32usize, 16, 8, 4]
             .iter()
             .map(|&blocks| {
                 let tile_kb = (1024 / blocks) * (1024 / blocks) * 4 / 1024;
-                (format!("{tile_kb}KB"), qr::generate(qr::Params { blocks }))
+                WorkloadSpec::new(format!("{tile_kb}KB"), move || {
+                    qr::stream(qr::Params { blocks })
+                })
             })
             .collect(),
-        &mut rows,
-    );
+    });
 
-    sweep(
-        "streamcluster",
-        [1680usize, 840, 420, 210, 105]
+    groups.push(Group {
+        name: "streamcluster",
+        points: [1680usize, 840, 420, 210, 105]
             .iter()
             .map(|&batches| {
-                (
-                    format!("{batches} batches"),
-                    streamcluster::generate(streamcluster::Params {
+                WorkloadSpec::new(format!("{batches} batches"), move || {
+                    streamcluster::stream(streamcluster::Params {
                         batches,
                         phases: streamcluster::PHASES,
-                    }),
-                )
+                    })
+                })
             })
             .collect(),
-        &mut rows,
-    );
+    });
+
+    groups
+}
+
+fn main() {
+    // Flatten the groups into the workload axis, keeping only each group's
+    // (name, point count); point labels come back in the results (a
+    // `SweepResult`'s workload field is its `WorkloadSpec` label).
+    let mut shapes: Vec<(&'static str, usize)> = Vec::new();
+    let mut workloads: Vec<WorkloadSpec> = Vec::new();
+    for group in groups() {
+        shapes.push((group.name, group.points.len()));
+        workloads.extend(group.points);
+    }
+    let grid = SweepGrid::new()
+        .with_workloads(workloads)
+        .with_backends(vec![BackendSpec::from(Backend::Software)]);
+    let results = run_sweep(&grid, default_threads(1));
+
+    // Workloads are the only populated axis, so each group's points occupy
+    // one consecutive chunk of the results, in declaration order.
+    let mut rows = Vec::new();
+    let mut offset = 0;
+    for (name, len) in shapes {
+        let chunk = &results[offset..offset + len];
+        offset += len;
+        let best = chunk
+            .iter()
+            .map(|r| r.report.makespan().as_f64())
+            .fold(f64::INFINITY, f64::min);
+        for r in chunk {
+            rows.push(vec![
+                name.to_string(),
+                r.workload.clone(),
+                ratio(r.report.makespan().as_f64() / best),
+            ]);
+        }
+    }
 
     print_table(
         "Figure 6: execution time vs task granularity (software runtime, normalized to each benchmark's best point)",

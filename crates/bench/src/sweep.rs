@@ -492,33 +492,34 @@ pub fn run_sweep(grid: &SweepGrid, threads: usize) -> Vec<SweepResult> {
 /// seeds as strings — both exceed the exact-integer range of JSON
 /// numbers-as-f64, which the parser side stores.
 pub fn results_to_json(results: &[SweepResult]) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
-    out.push_str("  \"results\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"workload\": {}, \"backend\": {}, \"scheduler\": {}, \
-             \"window\": {}, \"cores\": {}, \"seed\": {}, \"tasks\": {}, \
-             \"makespan_cycles\": {}, \"dmu_accesses\": {}, \"dmu_stalls\": {}, \
-             \"peak_resident_tasks\": {}, \"wall_ms\": {:.3}}}{}\n",
-            json::escape(&r.workload),
-            json::escape(&r.backend),
-            json::escape(&r.scheduler),
-            window_json(r.window),
-            r.cores,
-            json::escape(&r.seed.to_string()),
-            r.report.tasks,
-            r.makespan_cycles(),
-            r.dmu_accesses(),
-            r.dmu_stalls(),
-            r.report.peak_resident_tasks,
-            r.wall_ms,
-            if i + 1 == results.len() { "" } else { "," }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"workload\": {}, \"backend\": {}, \"scheduler\": {}, \
+                 \"window\": {}, \"cores\": {}, \"seed\": {}, \"tasks\": {}, \
+                 \"makespan_cycles\": {}, \"dmu_accesses\": {}, \"dmu_stalls\": {}, \
+                 \"peak_resident_tasks\": {}, \"wall_ms\": {:.3}}}",
+                json::escape(&r.workload),
+                json::escape(&r.backend),
+                json::escape(&r.scheduler),
+                window_json(r.window),
+                r.cores,
+                json::escape(&r.seed.to_string()),
+                r.report.tasks,
+                r.makespan_cycles(),
+                r.dmu_accesses(),
+                r.dmu_stalls(),
+                r.report.peak_resident_tasks,
+                r.wall_ms,
+            )
+        })
+        .collect();
+    json::document(
+        &[("schema_version", SCHEMA_VERSION.to_string())],
+        "results",
+        &rows,
+    )
 }
 
 fn window_json(window: usize) -> String {

@@ -17,8 +17,7 @@
 //! The same implementations are used by every backend; Carbon and Task
 //! Superscalar hard-wire FIFO because their queue lives in hardware.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 use tdm_sim::clock::Cycle;
@@ -283,28 +282,16 @@ impl Scheduler for SuccessorScheduler {
 /// Age scheduler (Section VI): the ready pool is ordered by task creation
 /// time, so older tasks run before younger ones regardless of when they
 /// became ready.
+///
+/// The pool exploits that `creation_seq` is the task's program-order index,
+/// assigned in nondecreasing order by the driver: instead of a
+/// comparison-based `BinaryHeap`, entries live in a monotonic ring buffer
+/// (`SeqRing` below) indexed by sequence number, with an occupancy bitmap and a
+/// lower-bound cursor that only moves forward as minima are popped —
+/// O(1) amortized push/pop with no per-entry comparisons on the hot path.
 #[derive(Debug, Clone, Default)]
 pub struct AgeScheduler {
-    // Min-heap on creation sequence number.
-    heap: BinaryHeap<Reverse<(usize, OrderedEntry)>>,
-}
-
-/// Wrapper giving [`ReadyEntry`] a total order for use inside the heap
-/// (ordered by creation sequence, then task index).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct OrderedEntry(ReadyEntry);
-
-impl PartialOrd for OrderedEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for OrderedEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.0.creation_seq, self.0.task.index())
-            .cmp(&(other.0.creation_seq, other.0.task.index()))
-    }
+    ring: SeqRing,
 }
 
 impl AgeScheduler {
@@ -320,16 +307,186 @@ impl Scheduler for AgeScheduler {
     }
 
     fn push(&mut self, entry: ReadyEntry) {
-        self.heap
-            .push(Reverse((entry.creation_seq, OrderedEntry(entry))));
+        self.ring.push(entry);
     }
 
     fn pop(&mut self, _core: usize) -> Option<ReadyEntry> {
-        self.heap.pop().map(|Reverse((_, OrderedEntry(e)))| e)
+        self.ring.pop_min()
     }
 
     fn len(&self) -> usize {
-        self.heap.len()
+        self.ring.len()
+    }
+}
+
+/// A sliding-window priority pool over the dense `creation_seq` space.
+///
+/// Live entries occupy a power-of-two ring of slots addressed by
+/// `seq & (capacity - 1)` plus one occupancy bit each; the structural
+/// invariant is that every live sequence lies in `[lo, lo + capacity)`
+/// (the ring grows before it is violated), so a set bit maps back to its
+/// absolute sequence unambiguously. `pop_min` finds the first set bit at or
+/// after `lo` with masked `trailing_zeros` scans and advances `lo` past it;
+/// a push below `lo` (a task readied out of order) simply lowers `lo`.
+///
+/// The driver's `creation_seq` is the unique task index, but the structure
+/// stays total for arbitrary callers: duplicate sequences overflow into a
+/// side list consulted on pop (ordered like the retired heap, by
+/// `(creation_seq, task index)`).
+#[derive(Debug, Clone, Default)]
+struct SeqRing {
+    /// `capacity` slots; `None` = free. Kept in lockstep with `bits`.
+    slots: Vec<Option<ReadyEntry>>,
+    /// One bit per slot, 64 slots per word.
+    bits: Vec<u64>,
+    /// Lower bound: no live sequence is below `lo`, and all are below
+    /// `lo + capacity`.
+    lo: usize,
+    /// Highest live sequence seen since the pool was last empty (upper
+    /// bound; used only to size growth).
+    hi: usize,
+    /// Total live entries, duplicates included.
+    len: usize,
+    /// Entries whose sequence collided with a live slot (never produced by
+    /// the execution driver; kept so the pool stays total).
+    dups: Vec<ReadyEntry>,
+}
+
+/// The retired heap's ordering key.
+fn age_key(e: &ReadyEntry) -> (usize, usize) {
+    (e.creation_seq, e.task.index())
+}
+
+impl SeqRing {
+    const MIN_CAPACITY: usize = 64;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn push(&mut self, entry: ReadyEntry) {
+        let seq = entry.creation_seq;
+        if self.len == 0 {
+            // Empty pool: reposition the window freely.
+            self.lo = seq;
+            self.hi = seq;
+        } else {
+            self.lo = self.lo.min(seq);
+            self.hi = self.hi.max(seq);
+        }
+        let span = self.hi - self.lo + 1;
+        if span > self.slots.len() {
+            self.grow(span);
+        }
+        let mask = self.slots.len() - 1;
+        let slot = &mut self.slots[seq & mask];
+        if let Some(existing) = slot {
+            debug_assert_eq!(
+                existing.creation_seq, seq,
+                "ring invariant broken: distinct live sequences alias one slot"
+            );
+            self.dups.push(entry);
+        } else {
+            *slot = Some(entry);
+            let words = self.bits.len();
+            self.bits[(seq >> 6) & (words - 1)] |= 1u64 << (seq & 63);
+        }
+        self.len += 1;
+    }
+
+    fn pop_min(&mut self) -> Option<ReadyEntry> {
+        if self.len == 0 {
+            return None;
+        }
+        let ring_min = self.ring_min_seq();
+        // Fast path: no duplicates pending (always, for the driver).
+        if self.dups.is_empty() {
+            return Some(self.take(ring_min.expect("non-empty ring without duplicates")));
+        }
+        let best_dup = (0..self.dups.len())
+            .min_by_key(|&i| age_key(&self.dups[i]))
+            .expect("dups checked non-empty");
+        match ring_min {
+            Some(seq)
+                if age_key(
+                    self.slots[seq & (self.slots.len() - 1)]
+                        .as_ref()
+                        .expect("occupancy bit set on an empty slot"),
+                ) <= age_key(&self.dups[best_dup]) =>
+            {
+                Some(self.take(seq))
+            }
+            _ => {
+                self.len -= 1;
+                Some(self.dups.swap_remove(best_dup))
+            }
+        }
+    }
+
+    /// Absolute sequence of the smallest live *slot* entry, `None` when
+    /// every live entry is a duplicate.
+    fn ring_min_seq(&self) -> Option<usize> {
+        if self.len == self.dups.len() {
+            return None;
+        }
+        let capacity = self.slots.len();
+        let words = self.bits.len();
+        let lo_word = self.lo >> 6;
+        let lo_bit = self.lo & 63;
+        // Scan at most one full wrap: the first word masked below `lo`, and
+        // after `words` steps the first word again for the wrapped residues.
+        for step in 0..=words {
+            let word_index = (lo_word + step) & (words - 1);
+            let mut word = self.bits[word_index];
+            if step == 0 {
+                word &= !0u64 << lo_bit;
+            } else if step == words {
+                word &= !(!0u64 << lo_bit);
+            }
+            if word == 0 {
+                continue;
+            }
+            let residue = (word_index << 6) | word.trailing_zeros() as usize;
+            let lo_residue = self.lo & (capacity - 1);
+            let offset = if residue >= lo_residue {
+                residue - lo_residue
+            } else {
+                residue + capacity - lo_residue
+            };
+            return Some(self.lo + offset);
+        }
+        None
+    }
+
+    /// Removes and returns the slot entry at absolute sequence `seq`,
+    /// advancing the window's lower bound past it.
+    fn take(&mut self, seq: usize) -> ReadyEntry {
+        let mask = self.slots.len() - 1;
+        let entry = self.slots[seq & mask]
+            .take()
+            .expect("occupancy bit set on an empty slot");
+        let words = self.bits.len();
+        self.bits[(seq >> 6) & (words - 1)] &= !(1u64 << (seq & 63));
+        self.len -= 1;
+        self.lo = seq + 1;
+        entry
+    }
+
+    /// Reallocates to cover at least `span` sequences, re-filing live slot
+    /// entries under the new mask (collision-free by construction).
+    fn grow(&mut self, span: usize) {
+        let capacity = span.next_power_of_two().max(Self::MIN_CAPACITY);
+        let mut live: Vec<ReadyEntry> = Vec::with_capacity(self.len - self.dups.len());
+        live.extend(self.slots.drain(..).flatten());
+        self.slots = vec![None; capacity];
+        self.bits = vec![0; capacity / 64];
+        let mask = capacity - 1;
+        let words = self.bits.len();
+        for entry in live {
+            let seq = entry.creation_seq;
+            self.slots[seq & mask] = Some(entry);
+            self.bits[(seq >> 6) & (words - 1)] |= 1u64 << (seq & 63);
+        }
     }
 }
 
@@ -406,6 +563,119 @@ mod tests {
             .collect();
         assert_eq!(order, vec![1, 3, 0, 2]);
         assert_eq!(s.threshold(), 2);
+    }
+
+    /// The retired comparison-based Age pool, kept as the lockstep
+    /// reference for [`SeqRing`] (the same pattern as
+    /// `NaiveEventQueue` / `NaiveListArray`).
+    #[derive(Default)]
+    struct NaiveAgeScheduler {
+        heap: std::collections::BinaryHeap<std::cmp::Reverse<(usize, usize, OrderedEntry)>>,
+    }
+
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    struct OrderedEntry(ReadyEntry);
+
+    impl PartialOrd for OrderedEntry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    impl Ord for OrderedEntry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            (self.0.creation_seq, self.0.task.index())
+                .cmp(&(other.0.creation_seq, other.0.task.index()))
+        }
+    }
+
+    impl NaiveAgeScheduler {
+        fn push(&mut self, entry: ReadyEntry) {
+            self.heap.push(std::cmp::Reverse((
+                entry.creation_seq,
+                entry.task.index(),
+                OrderedEntry(entry),
+            )));
+        }
+
+        fn pop(&mut self) -> Option<ReadyEntry> {
+            self.heap.pop().map(|std::cmp::Reverse((_, _, e))| e.0)
+        }
+    }
+
+    /// Lockstep-randomized equivalence: the ring-buffer Age pool against
+    /// the retired heap, under out-of-order readiness (pushes with
+    /// sequences far below the window after pops), duplicate sequences,
+    /// empty/refill transitions and forced ring growth.
+    #[test]
+    fn age_ring_matches_naive_heap_in_lockstep() {
+        use tdm_sim::rng::SplitMix64;
+
+        for seed in 0..12u64 {
+            let mut rng = SplitMix64::new(seed ^ 0xA6E);
+            let mut ring = AgeScheduler::new();
+            let mut naive = NaiveAgeScheduler::default();
+            let mut next_seq = 0usize;
+            let mut backlog: Vec<usize> = Vec::new();
+            for step in 0..3000 {
+                match rng.next_below(5) {
+                    // Push the next fresh sequence (program order).
+                    0 | 1 => {
+                        let seq = next_seq;
+                        next_seq += 1 + rng.next_below(100) as usize; // sparse gaps
+                        if rng.next_below(4) == 0 {
+                            backlog.push(seq); // becomes ready much later
+                        } else {
+                            let e = entry(seq, seq, 0, None);
+                            ring.push(e);
+                            naive.push(e);
+                        }
+                    }
+                    // A long-delayed task becomes ready: a push far below
+                    // the current window.
+                    2 => {
+                        if let Some(seq) = backlog.pop() {
+                            let e = entry(seq, seq, 0, None);
+                            ring.push(e);
+                            naive.push(e);
+                        }
+                    }
+                    // Rare duplicate creation_seq (not driver behaviour,
+                    // but the pool must stay total): same seq, distinct
+                    // task index.
+                    3 if ring.len() > 0 && rng.next_below(8) == 0 => {
+                        let seq = next_seq.saturating_sub(1);
+                        let e = entry(seq + 1_000_000, seq, 0, None);
+                        ring.push(e);
+                        naive.push(e);
+                    }
+                    _ => {
+                        assert_eq!(ring.pop(0), naive.pop(), "seed {seed} step {step}");
+                    }
+                }
+                assert_eq!(ring.len(), naive.heap.len(), "seed {seed} step {step}");
+            }
+            loop {
+                let (a, b) = (ring.pop(0), naive.pop());
+                assert_eq!(a, b, "seed {seed} drain");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn age_ring_handles_empty_reposition_without_growth() {
+        // Pop to empty, then push a sequence far beyond the old window: the
+        // ring repositions instead of growing to cover the gap.
+        let mut s = AgeScheduler::new();
+        s.push(entry(0, 0, 0, None));
+        assert_eq!(s.pop(0).unwrap().task, TaskRef(0));
+        s.push(entry(9, 1_000_000_000, 0, None));
+        assert_eq!(s.ring.slots.len(), SeqRing::MIN_CAPACITY);
+        assert_eq!(s.pop(0).unwrap().creation_seq, 1_000_000_000);
+        assert_eq!(s.pop(0), None);
     }
 
     #[test]

@@ -8,11 +8,36 @@
 //! seeding contract in [`crate::rng`] for how this queue and the seeded
 //! [`SplitMix64`](crate::rng::SplitMix64) together guarantee reproducible
 //! cycle counts.
+//!
+//! Two implementations share that contract:
+//!
+//! * [`wheel::TimingWheel`] — a hierarchical timing wheel with O(1)
+//!   amortized `schedule`/`pop` and a batched same-cycle drain
+//!   ([`pop_batch`](wheel::TimingWheel::pop_batch)). Same-cycle FIFO order
+//!   is structural (per-bucket intrusive lists), not a per-event sequence
+//!   comparison. [`EventQueue`] is an alias for it; this is what the
+//!   execution driver runs on.
+//! * [`NaiveEventQueue`] — the retired `BinaryHeap` queue, ordered by
+//!   `(time, insertion seq)`, kept as the obviously-correct reference. The
+//!   lockstep-randomized suite at the bottom of this module drives both
+//!   through the same seeded schedule/pop interleavings (heavy same-cycle
+//!   ties, cascade-boundary and `Cycle::MAX`-adjacent times included) and
+//!   demands identical timelines.
+//!
+//! Both queues clamp an event scheduled in the past to the current time
+//! (the clock never moves backwards); the execution driver never does this,
+//! and the queues agree bit-for-bit on it.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::clock::Cycle;
+pub mod wheel;
+
+pub use wheel::TimingWheel;
+
+/// The event queue used by the execution driver: the hierarchical
+/// [`TimingWheel`].
+pub type EventQueue<E> = TimingWheel<E>;
 
 /// An event paired with its delivery time and a monotonically increasing
 /// sequence number used to break ties deterministically.
@@ -48,15 +73,23 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
-/// A time-ordered queue of simulation events.
+use crate::clock::Cycle;
+
+/// The retired binary-heap event queue, kept as the reference
+/// implementation for the [`TimingWheel`] equivalence suite (the
+/// `NaiveListArray` pattern: an obviously-correct structure the optimized
+/// one is checked against in lockstep).
+///
+/// O(log n) per `schedule`/`pop` with a per-event sequence number for
+/// same-cycle FIFO ties — the costs the wheel exists to remove.
 ///
 /// # Example
 ///
 /// ```
 /// use tdm_sim::clock::Cycle;
-/// use tdm_sim::event::EventQueue;
+/// use tdm_sim::event::NaiveEventQueue;
 ///
-/// let mut q = EventQueue::new();
+/// let mut q = NaiveEventQueue::new();
 /// q.schedule(Cycle::new(20), "late");
 /// q.schedule(Cycle::new(5), "early");
 /// q.schedule(Cycle::new(5), "early-second");
@@ -67,22 +100,22 @@ impl<E> Ord for Scheduled<E> {
 /// assert_eq!(q.pop(), None);
 /// ```
 #[derive(Debug, Clone)]
-pub struct EventQueue<E> {
+pub struct NaiveEventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
     now: Cycle,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for NaiveEventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> NaiveEventQueue<E> {
     /// Creates an empty event queue with the simulation clock at zero.
     pub fn new() -> Self {
-        EventQueue {
+        NaiveEventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: Cycle::ZERO,
@@ -107,11 +140,13 @@ impl<E> EventQueue<E> {
 
     /// Schedules `payload` for delivery at absolute time `time`.
     ///
-    /// Scheduling an event in the past (before [`EventQueue::now`]) is
-    /// allowed but indicates a modelling error in the caller; the event will
-    /// be delivered immediately on the next pop and time will not move
-    /// backwards.
+    /// Scheduling an event in the past (before [`NaiveEventQueue::now`]) is
+    /// allowed but indicates a modelling error in the caller; the event is
+    /// delivered at the current time, behind events already pending for it
+    /// — the same clamp the wheel applies, so the two implementations stay
+    /// comparable event for event.
     pub fn schedule(&mut self, time: Cycle, payload: E) {
+        let time = time.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { time, seq, payload });
@@ -130,7 +165,8 @@ impl<E> EventQueue<E> {
     /// Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
         let Scheduled { time, payload, .. } = self.heap.pop()?;
-        // Never move the clock backwards if a caller scheduled into the past.
+        // Scheduling clamps to `now`, so time is always monotone; the max is
+        // kept as a belt-and-braces guard.
         self.now = self.now.max(time);
         Some((self.now, payload))
     }
@@ -267,5 +303,123 @@ mod tests {
         // Distinct seeds produce distinct interleavings (sanity check that
         // the workload above is actually seed-sensitive).
         assert_ne!(run(1), run(2));
+    }
+
+    // -----------------------------------------------------------------
+    // Lockstep-randomized equivalence: TimingWheel vs NaiveEventQueue.
+    // Both queues receive the identical seeded operation sequence and must
+    // agree on every observable after every operation.
+    // -----------------------------------------------------------------
+
+    /// Drives both queues through `ops` seeded operations where delays are
+    /// drawn by `delay` and pops happen with probability ~`pop_weight`/4.
+    fn lockstep(
+        seed: u64,
+        ops: usize,
+        pop_weight: u64,
+        mut delay: impl FnMut(&mut crate::rng::SplitMix64) -> u64,
+    ) {
+        use crate::rng::SplitMix64;
+
+        let mut rng = SplitMix64::new(seed);
+        let mut wheel: TimingWheel<u64> = TimingWheel::new();
+        let mut naive: NaiveEventQueue<u64> = NaiveEventQueue::new();
+        let mut next_id = 0u64;
+        for step in 0..ops {
+            if rng.next_below(4) >= pop_weight || wheel.is_empty() {
+                let d = Cycle::new(delay(&mut rng));
+                wheel.schedule_after(d, next_id);
+                naive.schedule_after(d, next_id);
+                next_id += 1;
+            } else {
+                assert_eq!(wheel.pop(), naive.pop(), "seed {seed} step {step}");
+            }
+            assert_eq!(wheel.len(), naive.len(), "seed {seed} step {step}");
+            assert_eq!(wheel.now(), naive.now(), "seed {seed} step {step}");
+            assert_eq!(
+                wheel.peek_time(),
+                naive.peek_time(),
+                "seed {seed} step {step}"
+            );
+        }
+        loop {
+            let (a, b) = (wheel.pop(), naive.pop());
+            assert_eq!(a, b, "seed {seed} drain");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn lockstep_near_future_with_heavy_ties() {
+        for seed in 0..8u64 {
+            // Coarse small delays: many same-cycle ties, all level-0/1.
+            lockstep(seed, 2000, 2, |rng| rng.next_below(4) * 10);
+        }
+    }
+
+    #[test]
+    fn lockstep_mixed_horizons() {
+        for seed in 0..8u64 {
+            // Delays spanning every wheel level up to 2^36.
+            lockstep(seed ^ 0xA5A5, 2000, 2, |rng| {
+                let magnitude = rng.next_below(37);
+                rng.next_below(1 << magnitude)
+            });
+        }
+    }
+
+    #[test]
+    fn lockstep_cascade_boundaries() {
+        // Delays clustered right at the wheel's power-of-two slot spans
+        // (64^k ± 1), the off-by-one hot spots of cascade logic.
+        for seed in 0..8u64 {
+            lockstep(seed ^ 0x5C5C, 2000, 2, |rng| {
+                let level = 1 + rng.next_below(4) as u32; // spans 64..=2^24
+                let span = 1u64 << (6 * level);
+                span - 1 + rng.next_below(3)
+            });
+        }
+    }
+
+    #[test]
+    fn lockstep_pop_heavy_drains() {
+        for seed in 0..4u64 {
+            // Pop with probability 3/4: the queues run nearly dry often,
+            // exercising empty/refill transitions.
+            lockstep(seed ^ 0xD00D, 2000, 3, |rng| rng.next_below(100));
+        }
+    }
+
+    #[test]
+    fn lockstep_cycle_max_adjacent() {
+        // Absolute times at the top of the u64 range (the driver's
+        // "infinitely far" sentinel region), scheduled directly.
+        let mut wheel: TimingWheel<u32> = TimingWheel::new();
+        let mut naive: NaiveEventQueue<u32> = NaiveEventQueue::new();
+        let times = [
+            u64::MAX,
+            u64::MAX - 1,
+            u64::MAX - 63,
+            u64::MAX - 64,
+            u64::MAX - 65,
+            1u64 << 60,
+            (1u64 << 60) - 1,
+            0,
+            1,
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            wheel.schedule(Cycle::new(t), i as u32);
+            naive.schedule(Cycle::new(t), i as u32);
+        }
+        loop {
+            let (a, b) = (wheel.pop(), naive.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(wheel.now(), Cycle::MAX);
     }
 }

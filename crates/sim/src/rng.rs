@@ -23,10 +23,11 @@
 //!    — rather than draw from one shared stream, so results do not depend on
 //!    the order in which entities are visited (schedulers and backends may
 //!    reorder them).
-//! 3. **Ties never consult the RNG.** Simultaneous events are ordered by the
-//!    [`EventQueue`](crate::event::EventQueue)'s insertion sequence number,
-//!    never by randomness, so determinism does not depend on rule 2 being
-//!    applied to event ordering.
+//! 3. **Ties never consult the RNG.** Simultaneous events are delivered by
+//!    the [`EventQueue`](crate::event::EventQueue) in insertion order —
+//!    structurally, via the timing wheel's per-cycle FIFO buckets — never by
+//!    randomness, so determinism does not depend on rule 2 being applied to
+//!    event ordering.
 //!
 //! The conformance suite (`tests/conformance/determinism.rs` at the
 //! workspace root) enforces the end-to-end consequence: identical

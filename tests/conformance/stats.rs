@@ -1,17 +1,21 @@
 //! Modeled-metric invariants of the optimised hot paths.
 //!
 //! The simulate loop and the DMU list arrays are performance-optimised
-//! (reused ready buffers, idle-core bitmap, cached list tails), and the
+//! (reused ready buffers, idle-core bitmap, cached list tails, and — since
+//! the timing-wheel swap — batched same-cycle event delivery), and the
 //! schedule trace became opt-in. None of that may move a modeled number:
 //! these tests pin the invariants across the benchmark × backend matrix.
-//! (The cached-tail implementation itself is additionally checked against a
-//! naive linear-walk reference entry-for-entry: by `debug_assert`s on every
-//! walk during any debug-build run, and by the lockstep randomized tests in
-//! `tdm-core`'s `list_array` module.)
+//! (The cached-tail list arrays and the timing wheel are each additionally
+//! checked against a naive reference in lockstep: `debug_assert`s on every
+//! walk during debug-build runs, the randomized suites in `tdm-core`'s
+//! `list_array` module, and the `TimingWheel` vs `NaiveEventQueue` suite in
+//! `tdm-sim`'s `event` module.)
 
 use crate::common::small_benchmarks;
 use crate::{all_backends, conformance_config};
 use tdm::prelude::*;
+use tdm::runtime::exec::simulate_stream;
+use tdm::runtime::stream::WorkloadSource;
 
 /// Switching the schedule trace off must change nothing but the trace
 /// itself: makespan, per-core phase breakdowns and all counters stay
@@ -37,6 +41,45 @@ fn schedule_tracing_never_affects_modeled_time() {
             );
             assert_eq!(traced.stats, untraced.stats, "{context}: stats");
             assert_eq!(traced.tasks, untraced.tasks, "{context}: task count");
+        }
+    }
+}
+
+/// The same trace-toggle invariance on the *streaming* path, pinning both
+/// identities the timing-wheel swap must preserve at once: trace-on/off
+/// changes nothing modeled, and the streamed run agrees with the eager one
+/// bit for bit (schedule included) while the batch-drained loop delivers
+/// same-cycle events underneath.
+#[test]
+fn trace_toggle_and_streaming_identity_hold_together() {
+    let traced_config = conformance_config();
+    let untraced_config = ExecConfig {
+        trace_schedule: false,
+        ..traced_config.clone()
+    };
+    for workload in small_benchmarks() {
+        for backend in all_backends() {
+            let context = format!("{} on {}", workload.name, backend.name());
+            let eager = simulate(&workload, &backend, SchedulerKind::Fifo, &traced_config);
+            let mut source = WorkloadSource::new(&workload);
+            let streamed_traced =
+                simulate_stream(&mut source, &backend, SchedulerKind::Fifo, &traced_config);
+            let mut source = WorkloadSource::new(&workload);
+            let streamed_untraced =
+                simulate_stream(&mut source, &backend, SchedulerKind::Fifo, &untraced_config);
+            assert_eq!(eager.stats, streamed_traced.stats, "{context}: stats");
+            assert_eq!(
+                eager.schedule, streamed_traced.schedule,
+                "{context}: schedule"
+            );
+            assert_eq!(
+                streamed_traced.stats, streamed_untraced.stats,
+                "{context}: trace toggle moved streaming stats"
+            );
+            assert!(
+                streamed_untraced.schedule.is_empty(),
+                "{context}: trace off"
+            );
         }
     }
 }

@@ -202,13 +202,25 @@ fn host_speed_factor(current: &Baseline, committed: &Baseline) -> f64 {
         .iter()
         .filter_map(|want| {
             let got = current.entries.iter().find(|e| e.same_cell(want))?;
-            (want.wall_ms > 0.0).then_some(got.wall_ms / want.wall_ms)
+            // A cell with a zero, negative or non-finite wall on either side
+            // carries no host-speed information (degenerate measurement or a
+            // hand-edited file); it must not poison the median with a 0, ∞
+            // or NaN ratio.
+            let ratio = got.wall_ms / want.wall_ms;
+            (want.wall_ms > 0.0 && ratio.is_finite() && ratio > 0.0).then_some(ratio)
         })
         .collect();
-    if ratios.is_empty() {
+    // With fewer than three comparable cells the "median" degenerates to a
+    // single cell's own ratio (or min/max of two), which would normalise a
+    // real regression away as hardware. Too little signal: assume identical
+    // hosts and let the per-cell tolerance do the judging.
+    if ratios.len() < 3 {
         return 1.0;
     }
-    ratios.sort_by(|a, b| a.partial_cmp(b).expect("wall ratios are finite"));
+    ratios.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("non-finite ratios were filtered out")
+    });
     ratios[(ratios.len() - 1) / 2].clamp(HOST_FACTOR_BAND.0, HOST_FACTOR_BAND.1)
 }
 
@@ -319,8 +331,8 @@ impl Baseline {
                     e.tasks,
                     e.makespan_cycles,
                     e.dmu_accesses,
-                    e.wall_ms,
-                    e.tasks_per_sec,
+                    json::finite(e.wall_ms, "wall_ms"),
+                    json::finite(e.tasks_per_sec, "tasks_per_sec"),
                 )
             })
             .collect();
@@ -331,7 +343,10 @@ impl Baseline {
                 ("seed", self.seed.to_string()),
                 (
                     "geomean_tasks_per_sec",
-                    format!("{:.1}", geomean_tasks_per_sec(self)),
+                    format!(
+                        "{:.1}",
+                        json::finite(geomean_tasks_per_sec(self), "geomean_tasks_per_sec")
+                    ),
                 ),
             ],
             "entries",
@@ -341,9 +356,18 @@ impl Baseline {
 
     /// Parses a baseline back from JSON text.
     ///
+    /// The summary field `geomean_tasks_per_sec` is *derived* from the
+    /// entries, so it is not stored on the struct — but a committed file
+    /// whose stored summary disagrees with its own per-cell records has been
+    /// hand-edited or truncated, and comparing against it would gate on
+    /// garbage. Loading recomputes the geomean and rejects the file when the
+    /// stored value is off by more than the writer's own rounding
+    /// (one decimal place).
+    ///
     /// # Errors
     ///
-    /// Returns a description of the first syntax or schema problem found.
+    /// Returns a description of the first syntax or schema problem found,
+    /// including a stored-vs-recomputed geomean mismatch.
     pub fn from_json(text: &str) -> Result<Baseline, String> {
         let value = json::parse(text)?;
         let obj = value.as_object("top level")?;
@@ -369,12 +393,31 @@ impl Baseline {
                 tasks_per_sec: json::field(e, "tasks_per_sec")?.as_f64("tasks_per_sec")?,
             });
         }
-        Ok(Baseline {
+        let baseline = Baseline {
             schema_version,
             cores,
             seed,
             entries,
-        })
+        };
+        // Optional for backward compatibility: files written before the
+        // summary field existed simply lack it.
+        if let Ok(stored) = json::field(obj, "geomean_tasks_per_sec") {
+            let stored = stored.as_f64("geomean_tasks_per_sec")?;
+            let recomputed = geomean_tasks_per_sec(&baseline);
+            // The writer rounds the stored field *and* every entry's
+            // throughput to one decimal, so the recomputed value can sit a
+            // little off the stored one; a permille-level band covers that
+            // accumulated rounding while still catching any real edit.
+            let slack = 0.051 + recomputed.abs() * 1e-3;
+            if !stored.is_finite() || (stored - recomputed).abs() > slack {
+                return Err(format!(
+                    "geomean_tasks_per_sec mismatch: file stores {stored}, but its own \
+                     entries recompute to {recomputed:.1} — the baseline was edited or \
+                     truncated; regenerate it with `bench_baseline emit`"
+                ));
+            }
+        }
+        Ok(baseline)
     }
 }
 
@@ -485,6 +528,23 @@ pub mod json {
             .find(|(k, _)| k == name)
             .map(|(_, v)| v)
             .ok_or_else(|| format!("missing field \"{name}\""))
+    }
+
+    /// Checks that a number is representable in JSON, returning it for
+    /// inline use in a `format!`. `NaN` and the infinities have no JSON
+    /// spelling — `{:.3}` renders them as `NaN`/`inf`, which every parser
+    /// (including [`parse`] here) rejects. Failing at write time names the
+    /// offending field instead of committing a file nothing can read back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn finite(value: f64, what: &str) -> f64 {
+        assert!(
+            value.is_finite(),
+            "{what}: cannot serialise non-finite value {value} as JSON"
+        );
+        value
     }
 
     /// Serialises a string with the escapes JSON requires.
@@ -896,6 +956,87 @@ mod tests {
         let failures = compare(&current, &committed, DEFAULT_WALL_TOLERANCE);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("schema version"), "{failures:?}");
+    }
+
+    #[test]
+    fn zero_wall_cells_do_not_poison_the_host_factor() {
+        // One committed cell with a 0 ms wall (degenerate measurement): its
+        // infinite ratio must be skipped, not fed to the median, and the
+        // remaining identical cells still pass the gate.
+        let mut committed = sample();
+        committed.entries[0].wall_ms = 0.0;
+        let mut current = committed.clone();
+        current.entries[0].wall_ms = 3.0;
+        assert!(compare(&current, &committed, 0.25).is_empty());
+        // And a fresh 0 ms cell against a committed positive wall (ratio 0)
+        // must not drag the factor towards zero and fail healthy cells.
+        let committed = sample();
+        let mut current = sample();
+        current.entries[0].wall_ms = 0.0;
+        assert!(compare(&current, &committed, 0.25).is_empty());
+    }
+
+    #[test]
+    fn single_cell_matrix_uses_unit_host_factor() {
+        // With one comparable cell the "median" is the cell's own ratio, so
+        // a real 2× regression would be normalised away as hardware. The
+        // minimum-comparable-cells rule pins the factor to 1.0 instead, and
+        // the regression fires.
+        let mut committed = sample();
+        committed.entries.truncate(1);
+        committed.entries[0].wall_ms = 100.0;
+        let mut current = committed.clone();
+        current.entries[0].wall_ms = 200.0;
+        let failures = compare(&current, &committed, 0.25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(
+            failures[0].contains("wall-clock regression"),
+            "{failures:?}"
+        );
+        // An in-tolerance single cell still passes.
+        current.entries[0].wall_ms = 110.0;
+        assert!(compare(&current, &committed, 0.25).is_empty());
+    }
+
+    #[test]
+    fn stored_geomean_is_recomputed_and_checked_on_load() {
+        let baseline = sample();
+        let good = baseline.to_json();
+        // The writer's own output round-trips.
+        Baseline::from_json(&good).expect("self-written geomean must verify");
+        // Tampering with the stored summary (e.g. a bad hand merge) fails
+        // the load with a recompute mismatch.
+        let recomputed = geomean_tasks_per_sec(&baseline);
+        let tampered = good.replace(
+            &format!("\"geomean_tasks_per_sec\": {recomputed:.1}"),
+            &format!("\"geomean_tasks_per_sec\": {:.1}", recomputed * 2.0),
+        );
+        assert_ne!(good, tampered, "replacement must have matched");
+        let err = Baseline::from_json(&tampered).unwrap_err();
+        assert!(err.contains("geomean_tasks_per_sec mismatch"), "{err}");
+        // Files from before the summary field existed load fine without it.
+        let without = good
+            .lines()
+            .filter(|l| !l.contains("geomean_tasks_per_sec"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        Baseline::from_json(&without).expect("summary field is optional");
+    }
+
+    #[test]
+    #[should_panic(expected = "wall_ms: cannot serialise non-finite value")]
+    fn non_finite_wall_is_rejected_at_write_time() {
+        let mut baseline = sample();
+        baseline.entries[0].wall_ms = f64::INFINITY;
+        let _ = baseline.to_json();
+    }
+
+    #[test]
+    #[should_panic(expected = "tasks_per_sec: cannot serialise non-finite value")]
+    fn non_finite_throughput_is_rejected_at_write_time() {
+        let mut baseline = sample();
+        baseline.entries[0].tasks_per_sec = f64::NAN;
+        let _ = baseline.to_json();
     }
 
     #[test]

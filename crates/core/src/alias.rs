@@ -42,13 +42,6 @@ impl std::fmt::Display for AliasError {
 
 impl std::error::Error for AliasError {}
 
-/// One way of a set: a valid (address, id) pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-struct Way {
-    addr: u64,
-    id: u32,
-}
-
 /// Occupancy statistics gathered by an alias table.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct AliasOccupancy {
@@ -77,6 +70,15 @@ impl AliasOccupancy {
 
 /// A set-associative alias table mapping 64-bit addresses to internal IDs.
 ///
+/// Storage is struct-of-arrays: the `(addr, id)` ways of all sets live in two
+/// parallel columns (`addrs` is the key column, `ids` the metadata column),
+/// with set `s` owning the fixed-width row `[s * ways, s * ways + set_lens[s])`.
+/// A probe is therefore a cache-linear tag scan over a contiguous `u64` run —
+/// a shape LLVM can autovectorize — instead of walking a per-set `Vec` of
+/// way structs; the scalar fallback is the same loop. Lookup/insert/remove
+/// semantics (free-ID order, swap-remove eviction, occupancy sampling) are
+/// unchanged from the node layout.
+///
 /// # Example
 ///
 /// ```
@@ -91,13 +93,21 @@ impl AliasOccupancy {
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AliasTable {
-    /// `num_sets` sets of at most `ways` valid ways each.
-    sets: Vec<Vec<Way>>,
+    /// Key column: the address of each valid way, `num_sets * ways` slots.
+    addrs: Vec<u64>,
+    /// Metadata column parallel to `addrs`: the internal ID of each way.
+    ids: Vec<u32>,
+    /// Number of valid ways in each set.
+    set_lens: Vec<u32>,
     ways: usize,
     free_ids: Vec<u32>,
     policy: IndexPolicy,
     occupancy: AliasOccupancy,
     valid_entries: usize,
+    /// Incrementally maintained count of sets with at least one valid way;
+    /// replaces the O(num_sets) scan the occupancy sampling used to do on
+    /// every insert.
+    occupied: usize,
 }
 
 impl AliasTable {
@@ -118,23 +128,26 @@ impl AliasTable {
         );
         let num_sets = entries / ways;
         AliasTable {
-            sets: vec![Vec::with_capacity(ways); num_sets],
+            addrs: vec![0; entries],
+            ids: vec![0; entries],
+            set_lens: vec![0; num_sets],
             ways,
             free_ids: (0..entries as u32).rev().collect(),
             policy,
             occupancy: AliasOccupancy::default(),
             valid_entries: 0,
+            occupied: 0,
         }
     }
 
     /// Total capacity in entries.
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.ways
+        self.set_lens.len() * self.ways
     }
 
     /// Number of sets.
     pub fn num_sets(&self) -> usize {
-        self.sets.len()
+        self.set_lens.len()
     }
 
     /// Associativity.
@@ -154,7 +167,12 @@ impl AliasTable {
 
     /// Number of sets that currently hold at least one valid entry.
     pub fn occupied_sets(&self) -> usize {
-        self.sets.iter().filter(|s| !s.is_empty()).count()
+        debug_assert_eq!(
+            self.occupied,
+            self.set_lens.iter().filter(|&&l| l > 0).count(),
+            "incremental occupied-set counter out of sync with a full scan"
+        );
+        self.occupied
     }
 
     /// Occupancy statistics collected so far.
@@ -183,13 +201,19 @@ impl AliasTable {
             }
         };
         let shifted = addr >> shift.min(63);
-        (shifted as usize) % self.sets.len()
+        (shifted as usize) % self.set_lens.len()
     }
 
     /// Looks up the ID bound to `addr`, if any.
     pub fn lookup(&self, addr: u64, size: u64) -> Option<u32> {
         let set = self.set_index(addr, size);
-        self.sets[set].iter().find(|w| w.addr == addr).map(|w| w.id)
+        let base = set * self.ways;
+        let len = self.set_lens[set] as usize;
+        // Tag scan over the contiguous key column of the set's row.
+        self.addrs[base..base + len]
+            .iter()
+            .position(|&a| a == addr)
+            .map(|pos| self.ids[base + pos])
     }
 
     /// Inserts a new mapping for `addr`, returning the freshly allocated ID.
@@ -205,11 +229,13 @@ impl AliasTable {
     /// checks with [`AliasTable::lookup`] first.
     pub fn insert(&mut self, addr: u64, size: u64) -> Result<u32, AliasError> {
         let set = self.set_index(addr, size);
+        let base = set * self.ways;
+        let len = self.set_lens[set] as usize;
         debug_assert!(
-            !self.sets[set].iter().any(|w| w.addr == addr),
+            !self.addrs[base..base + len].contains(&addr),
             "address {addr:#x} inserted twice"
         );
-        if self.sets[set].len() >= self.ways {
+        if len >= self.ways {
             self.occupancy.set_conflicts += 1;
             return Err(AliasError::SetConflict);
         }
@@ -217,11 +243,16 @@ impl AliasTable {
             self.occupancy.exhaustions += 1;
             return Err(AliasError::Exhausted);
         };
-        self.sets[set].push(Way { addr, id });
+        self.addrs[base + len] = addr;
+        self.ids[base + len] = id;
+        self.set_lens[set] += 1;
+        if len == 0 {
+            self.occupied += 1;
+        }
         self.valid_entries += 1;
         self.occupancy.peak_entries = self.occupancy.peak_entries.max(self.valid_entries);
         self.occupancy.samples += 1;
-        self.occupancy.occupied_set_samples_sum += self.occupied_sets() as u64;
+        self.occupancy.occupied_set_samples_sum += self.occupied as u64;
         Ok(id)
     }
 
@@ -230,21 +261,31 @@ impl AliasTable {
     /// Returns `None` if `addr` was not present.
     pub fn remove(&mut self, addr: u64, size: u64) -> Option<u32> {
         let set = self.set_index(addr, size);
-        let pos = self.sets[set].iter().position(|w| w.addr == addr)?;
-        let way = self.sets[set].swap_remove(pos);
-        self.free_ids.push(way.id);
+        let base = set * self.ways;
+        let len = self.set_lens[set] as usize;
+        let pos = self.addrs[base..base + len]
+            .iter()
+            .position(|&a| a == addr)?;
+        let id = self.ids[base + pos];
+        // Swap-remove within the set's row, same eviction order as before.
+        self.addrs[base + pos] = self.addrs[base + len - 1];
+        self.ids[base + pos] = self.ids[base + len - 1];
+        self.set_lens[set] -= 1;
+        if len == 1 {
+            self.occupied -= 1;
+        }
+        self.free_ids.push(id);
         self.valid_entries -= 1;
-        Some(way.id)
+        Some(id)
     }
 
     /// Removes every mapping (used between parallel regions in tests).
     pub fn clear(&mut self) {
         let capacity = self.capacity();
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.set_lens.fill(0);
         self.free_ids = (0..capacity as u32).rev().collect();
         self.valid_entries = 0;
+        self.occupied = 0;
     }
 }
 

@@ -190,6 +190,9 @@ pub struct Dmu {
     rla: ListArray,
     ready: ReadyQueue,
     stats: DmuStats,
+    /// Reusable scratch for the `add_dependence` pre-check: per-target
+    /// successor-list push counts, so no allocation happens per operation.
+    req_scratch: Vec<(TaskId, u32)>,
 }
 
 impl Dmu {
@@ -223,6 +226,7 @@ impl Dmu {
             rla: ListArray::new(config.reader_la_entries, config.elems_per_list_entry),
             ready: ReadyQueue::new(rq_capacity),
             stats: DmuStats::default(),
+            req_scratch: Vec::new(),
             config,
         }
     }
@@ -375,39 +379,51 @@ impl Dmu {
 
     /// Counts how many *new* list-array entries Algorithm 1 would need, so
     /// the operation can stall up front instead of half-applying.
+    ///
+    /// Successor-list demand is counted per *target list*, not per push: one
+    /// operation can push the same list several times (a last writer that
+    /// also sits in the reader list, or a task registered as reader twice),
+    /// and earlier pushes fill the tail entry that a per-push
+    /// `push_needs_new_entry` probe against pre-operation state would still
+    /// see as free. `succ_pushes` is caller-provided scratch.
     fn add_dependence_requirements(
         &self,
         task: TaskId,
         dep: Option<DepId>,
         dir: DepDirection,
+        succ_pushes: &mut Vec<(TaskId, u32)>,
     ) -> (usize, usize, usize) {
-        let task_entry = self.tasks.get(task).expect("task id came from TAT");
-        let mut needed_sla = 0;
+        fn bump(pushes: &mut Vec<(TaskId, u32)>, target: TaskId) {
+            if let Some(entry) = pushes.iter_mut().find(|entry| entry.0 == target) {
+                entry.1 += 1;
+            } else {
+                pushes.push((target, 1));
+            }
+        }
+
+        succ_pushes.clear();
         let mut needed_rla = 0;
-        let needed_dla = usize::from(self.dla.push_needs_new_entry(task_entry.dependence_list));
+        let needed_dla = usize::from(
+            self.dla
+                .push_needs_new_entry(self.tasks.dependence_list(task)),
+        );
 
         if let Some(dep_id) = dep {
-            let dep_entry = self.deps.get(dep_id).expect("dep id came from DAT");
-            if let Some(writer) = dep_entry.last_writer {
+            if let Some(writer) = self.deps.last_writer(dep_id) {
                 if writer != task {
-                    let writer_entry = self.tasks.get(writer).expect("last writer is in flight");
-                    if self.sla.push_needs_new_entry(writer_entry.successor_list) {
-                        needed_sla += 1;
-                    }
+                    bump(succ_pushes, writer);
                 }
             }
+            let reader_list = self.deps.reader_list(dep_id);
             if dir.writes() {
-                for reader_raw in self.rla.iter(dep_entry.reader_list) {
+                for reader_raw in self.rla.iter(reader_list) {
                     let reader = TaskId::new(reader_raw);
                     if reader == task {
                         continue;
                     }
-                    let reader_entry = self.tasks.get(reader).expect("reader is in flight");
-                    if self.sla.push_needs_new_entry(reader_entry.successor_list) {
-                        needed_sla += 1;
-                    }
+                    bump(succ_pushes, reader);
                 }
-            } else if self.rla.push_needs_new_entry(dep_entry.reader_list) {
+            } else if self.rla.push_needs_new_entry(reader_list) {
                 needed_rla += 1;
             }
         } else {
@@ -415,6 +431,13 @@ impl Dmu {
             // first reader or writer; a read needs one RLA slot which the
             // fresh head entry always provides.
         }
+        let needed_sla = succ_pushes
+            .iter()
+            .map(|&(target, pushes)| {
+                self.sla
+                    .new_entries_for_pushes(self.tasks.successor_list(target), pushes as usize)
+            })
+            .sum();
         (needed_sla, needed_dla, needed_rla)
     }
 
@@ -438,9 +461,54 @@ impl Dmu {
         size: u64,
         dir: DepDirection,
     ) -> Result<DmuResult<()>, DmuError> {
+        let task = self.task_id(desc)?;
+        self.add_dependence_resolved(task, addr, size, dir)
+    }
+
+    /// Batched Algorithm 1: resolves `desc` through the TAT once (actual
+    /// work), then applies each dependence in order exactly as per-op
+    /// [`Dmu::add_dependence`] calls would, appending one per-op
+    /// [`AccessCounter`] to `completed` for every dependence that succeeds.
+    ///
+    /// On a stall the error is returned immediately; the dependences already
+    /// applied stay applied (each completed atomically), so a caller resumes
+    /// by retrying from index `completed.len()` — byte-identical to the
+    /// per-op stall-and-retry protocol. The modeled accesses, including the
+    /// per-dependence TAT probe, are unchanged; only the *actual* repeated
+    /// TAT hash lookups are amortized.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Dmu::add_dependence`], applied per element.
+    pub fn add_dependences<I>(
+        &mut self,
+        desc: DescriptorAddr,
+        deps: I,
+        completed: &mut Vec<AccessCounter>,
+    ) -> Result<(), DmuError>
+    where
+        I: IntoIterator<Item = (DepAddr, u64, DepDirection)>,
+    {
+        let task = self.task_id(desc)?;
+        for (addr, size, dir) in deps {
+            let result = self.add_dependence_resolved(task, addr, size, dir)?;
+            completed.push(result.accesses);
+        }
+        Ok(())
+    }
+
+    /// The body of Algorithm 1 once the task ID is known. The access counter
+    /// still charges the modeled TAT probe for the descriptor; hoisting the
+    /// *actual* lookup is what [`Dmu::add_dependences`] amortizes.
+    fn add_dependence_resolved(
+        &mut self,
+        task: TaskId,
+        addr: DepAddr,
+        size: u64,
+        dir: DepDirection,
+    ) -> Result<DmuResult<()>, DmuError> {
         let mut accesses = AccessCounter::new();
         accesses.touch(DmuStructure::Tat);
-        let task = self.task_id(desc)?;
 
         // Resolve (or create) the dependence entry first; this can stall on
         // DAT/RLA space but does not yet modify any task state, so it is safe
@@ -448,8 +516,10 @@ impl Dmu {
         // entry (an empty dependence entry is harmless and will be reused by
         // the retry).
         let existing = self.dat.lookup(addr.raw(), size).map(DepId::new);
+        let mut scratch = std::mem::take(&mut self.req_scratch);
         let (needed_sla, needed_dla, needed_rla) =
-            self.add_dependence_requirements(task, existing, dir);
+            self.add_dependence_requirements(task, existing, dir, &mut scratch);
+        self.req_scratch = scratch;
         if self.sla.free_entries() < needed_sla {
             return Err(self.stall(StallReason::SuccessorLaFull));
         }
@@ -465,8 +535,7 @@ impl Dmu {
         let dep = self.dep_id_for(addr, size, &mut accesses)?;
 
         // Insert depID in the dependence list of taskID.
-        let task_entry = self.tasks.get(task).expect("task exists");
-        let dep_list = task_entry.dependence_list;
+        let dep_list = self.tasks.dependence_list(task);
         let walk = self
             .dla
             .push(dep_list, dep.raw())
@@ -474,21 +543,20 @@ impl Dmu {
         accesses.record(DmuStructure::DependenceLa, walk.entries_touched);
 
         // RAW / WAW edge from the last writer.
-        let dep_entry = self.deps.get(dep).expect("dep exists").clone();
+        let last_writer = self.deps.last_writer(dep);
+        let reader_list = self.deps.reader_list(dep);
         accesses.touch(DmuStructure::DependenceTable);
-        if let Some(writer) = dep_entry.last_writer {
+        if let Some(writer) = last_writer {
             if writer != task {
-                let writer_entry = self.tasks.get_mut(writer).expect("writer in flight");
-                let succ_list = writer_entry.successor_list;
-                writer_entry.num_successors += 1;
+                let succ_list = self.tasks.successor_list(writer);
+                self.tasks.inc_successors(writer);
                 accesses.touch(DmuStructure::TaskTable);
                 let walk = self
                     .sla
                     .push(succ_list, task.raw())
                     .expect("pre-checked SLA space");
                 accesses.record(DmuStructure::SuccessorLa, walk.entries_touched);
-                let task_entry = self.tasks.get_mut(task).expect("task exists");
-                task_entry.num_predecessors += 1;
+                self.tasks.inc_predecessors(task);
                 accesses.touch(DmuStructure::TaskTable);
             }
         }
@@ -500,36 +568,33 @@ impl Dmu {
             // it mutates inside the loop are disjoint structures.
             accesses.record(
                 DmuStructure::ReaderLa,
-                self.rla.entries_spanned(dep_entry.reader_list),
+                self.rla.entries_spanned(reader_list),
             );
-            for reader_raw in self.rla.iter(dep_entry.reader_list) {
+            for reader_raw in self.rla.iter(reader_list) {
                 let reader = TaskId::new(reader_raw);
                 if reader == task {
                     continue;
                 }
-                let reader_entry = self.tasks.get_mut(reader).expect("reader in flight");
-                let succ_list = reader_entry.successor_list;
-                reader_entry.num_successors += 1;
+                let succ_list = self.tasks.successor_list(reader);
+                self.tasks.inc_successors(reader);
                 accesses.touch(DmuStructure::TaskTable);
                 let walk = self
                     .sla
                     .push(succ_list, task.raw())
                     .expect("pre-checked SLA space");
                 accesses.record(DmuStructure::SuccessorLa, walk.entries_touched);
-                let task_entry = self.tasks.get_mut(task).expect("task exists");
-                task_entry.num_predecessors += 1;
+                self.tasks.inc_predecessors(task);
                 accesses.touch(DmuStructure::TaskTable);
             }
-            let flush_walk = self.rla.flush(dep_entry.reader_list);
+            let flush_walk = self.rla.flush(reader_list);
             accesses.record(DmuStructure::ReaderLa, flush_walk.entries_touched);
-            let dep_entry = self.deps.get_mut(dep).expect("dep exists");
-            dep_entry.last_writer = Some(task);
+            self.deps.set_last_writer(dep, Some(task));
             accesses.touch(DmuStructure::DependenceTable);
         } else {
             // Pure input: register this task as a reader.
             let walk = self
                 .rla
-                .push(dep_entry.reader_list, task.raw())
+                .push(reader_list, task.raw())
                 .expect("pre-checked RLA space");
             accesses.record(DmuStructure::ReaderLa, walk.entries_touched);
         }
@@ -550,10 +615,9 @@ impl Dmu {
         let mut accesses = AccessCounter::new();
         accesses.touch(DmuStructure::Tat);
         let task = self.task_id(desc)?;
-        let entry = self.tasks.get_mut(task).expect("task exists");
-        entry.under_construction = false;
+        self.tasks.submit(task);
         accesses.touch(DmuStructure::TaskTable);
-        let ready_now = entry.num_predecessors == 0;
+        let ready_now = self.tasks.num_predecessors(task) == 0;
         if ready_now {
             self.ready
                 .push(task)
@@ -605,28 +669,25 @@ impl Dmu {
         let mut accesses = AccessCounter::new();
         accesses.touch(DmuStructure::Tat);
         let task = self.task_id(desc)?;
-        let entry = self.tasks.get(task).expect("task exists").clone();
+        let successor_list = self.tasks.successor_list(task);
+        let dependence_list = self.tasks.dependence_list(task);
         accesses.touch(DmuStructure::TaskTable);
 
         // First loop: wake up successors (walking the successor list in
         // place; it mutates only the task table and the ready queue).
         accesses.record(
             DmuStructure::SuccessorLa,
-            self.sla.entries_spanned(entry.successor_list),
+            self.sla.entries_spanned(successor_list),
         );
-        for succ_raw in self.sla.iter(entry.successor_list) {
+        for succ_raw in self.sla.iter(successor_list) {
             let succ = TaskId::new(succ_raw);
-            let succ_entry = self
-                .tasks
-                .get_mut(succ)
-                .expect("successors of an in-flight task are in flight");
             debug_assert!(
-                succ_entry.num_predecessors > 0,
+                self.tasks.num_predecessors(succ) > 0,
                 "predecessor underflow for {succ}"
             );
-            succ_entry.num_predecessors -= 1;
+            let remaining = self.tasks.dec_predecessors(succ);
             accesses.touch(DmuStructure::TaskTable);
-            if succ_entry.num_predecessors == 0 && !succ_entry.under_construction {
+            if remaining == 0 && !self.tasks.under_construction(succ) {
                 self.ready
                     .push(succ)
                     .expect("ready queue sized to task table capacity");
@@ -640,26 +701,25 @@ impl Dmu {
         // array, the dependence table and the DAT).
         accesses.record(
             DmuStructure::DependenceLa,
-            self.dla.entries_spanned(entry.dependence_list),
+            self.dla.entries_spanned(dependence_list),
         );
-        for dep_raw in self.dla.iter(entry.dependence_list) {
+        for dep_raw in self.dla.iter(dependence_list) {
             let dep = DepId::new(dep_raw);
-            let Some(dep_entry) = self.deps.get(dep) else {
+            if !self.deps.contains(dep) {
                 // Already freed via an earlier duplicate in this task's list.
                 continue;
-            };
-            let reader_list = dep_entry.reader_list;
-            let dep_addr = dep_entry.addr;
-            let dep_size = dep_entry.size;
+            }
+            let reader_list = self.deps.reader_list(dep);
+            let dep_addr = self.deps.addr(dep);
+            let dep_size = self.deps.size(dep);
             let (_, walk) = self.rla.remove(reader_list, task.raw());
             accesses.record(DmuStructure::ReaderLa, walk.entries_touched);
 
-            let dep_entry = self.deps.get_mut(dep).expect("dep exists");
             accesses.touch(DmuStructure::DependenceTable);
-            if dep_entry.last_writer == Some(task) {
-                dep_entry.last_writer = None;
+            if self.deps.last_writer(dep) == Some(task) {
+                self.deps.set_last_writer(dep, None);
             }
-            if dep_entry.last_writer.is_none() && self.rla.is_empty(reader_list) {
+            if self.deps.last_writer(dep).is_none() && self.rla.is_empty(reader_list) {
                 let walk = self.rla.free_list(reader_list);
                 accesses.record(DmuStructure::ReaderLa, walk.entries_touched);
                 self.deps.remove(dep);
@@ -670,9 +730,9 @@ impl Dmu {
         }
 
         // Free the task's own resources.
-        let walk = self.sla.free_list(entry.successor_list);
+        let walk = self.sla.free_list(successor_list);
         accesses.record(DmuStructure::SuccessorLa, walk.entries_touched);
-        let walk = self.dla.free_list(entry.dependence_list);
+        let walk = self.dla.free_list(dependence_list);
         accesses.record(DmuStructure::DependenceLa, walk.entries_touched);
         self.tasks.remove(task);
         accesses.touch(DmuStructure::TaskTable);
@@ -691,11 +751,12 @@ impl Dmu {
         let mut accesses = AccessCounter::new();
         accesses.touch(DmuStructure::ReadyQueue);
         let value = self.ready.pop().map(|task| {
-            let entry = self.tasks.get(task).expect("ready tasks are in flight");
+            let descriptor = self.tasks.descriptor(task);
+            let num_successors = self.tasks.num_successors(task);
             accesses.touch(DmuStructure::TaskTable);
             ReadyTask {
-                descriptor: entry.descriptor,
-                num_successors: entry.num_successors,
+                descriptor,
+                num_successors,
             }
         });
         self.stats.get_readies += 1;
@@ -998,6 +1059,54 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_reader_war_stalls_instead_of_panicking() {
+        // Regression: one `add_dependence` can push the same successor list
+        // twice (here, a task registered as reader of the same block twice).
+        // The old pre-check probed `push_needs_new_entry` per push against
+        // pre-operation state, undercounted the SLA demand, passed the stall
+        // gate and then panicked mid-operation when the second push found no
+        // free entry. The exact pre-check must stall up front instead.
+        let mut config = small_config();
+        config.successor_la_entries = 3;
+        config.elems_per_list_entry = 2;
+        let mut dmu = Dmu::new(config);
+        // R writes block 0 and reads block 1 twice.
+        dmu.create_task(desc(0)).unwrap();
+        dmu.add_dependence(desc(0), block(0), 4096, DepDirection::Out)
+            .unwrap();
+        dmu.add_dependence(desc(0), block(1), 4096, DepDirection::In)
+            .unwrap();
+        dmu.add_dependence(desc(0), block(1), 4096, DepDirection::In)
+            .unwrap();
+        dmu.submit_task(desc(0)).unwrap();
+        // A reads block 0, filling one of the two slots of R's successor list.
+        dmu.create_task(desc(1)).unwrap();
+        dmu.add_dependence(desc(1), block(0), 4096, DepDirection::In)
+            .unwrap();
+        dmu.submit_task(desc(1)).unwrap();
+        // T's create consumes the third and last SLA entry.
+        dmu.create_task(desc(2)).unwrap();
+        // T writes block 1: WAR edges push R's successor list once per reader
+        // occurrence. The first push fills the tail; the second would chain a
+        // new entry that does not exist.
+        let err = dmu
+            .add_dependence(desc(2), block(1), 4096, DepDirection::Out)
+            .unwrap_err();
+        assert_eq!(err, DmuError::Stall(StallReason::SuccessorLaFull));
+        // Nothing was half-applied: the graph drains, T retries and succeeds.
+        dmu.get_ready_task();
+        dmu.finish_task(desc(0)).unwrap();
+        dmu.get_ready_task();
+        dmu.finish_task(desc(1)).unwrap();
+        dmu.add_dependence(desc(2), block(1), 4096, DepDirection::Out)
+            .unwrap();
+        dmu.submit_task(desc(2)).unwrap();
+        dmu.get_ready_task();
+        dmu.finish_task(desc(2)).unwrap();
+        assert!(dmu.is_drained());
+    }
+
+    #[test]
     fn unknown_task_is_reported() {
         let mut dmu = Dmu::new(small_config());
         let err = dmu
@@ -1086,6 +1195,92 @@ mod tests {
     }
 
     #[test]
+    fn batched_add_dependences_matches_per_op() {
+        // Two identical DMUs: one fed through the batched entry point, one
+        // through per-op calls. Every counter, stall and final statistic must
+        // be bit-identical — the batch path only amortizes the *actual* TAT
+        // hash lookup, never the modeled accesses.
+        let mut config = small_config();
+        config.dat_entries = 16;
+        config.dat_ways = 4;
+        config.reader_la_entries = 8;
+        let mut per_op = Dmu::new(config.clone());
+        let mut batched = Dmu::new(config);
+
+        let mut counters = Vec::new();
+        for t in 0..40u64 {
+            per_op.create_task(desc(t)).unwrap();
+            batched.create_task(desc(t)).unwrap();
+            let deps: Vec<(DepAddr, u64, DepDirection)> = (0..4u64)
+                .map(|j| {
+                    let dir = match (t + j) % 3 {
+                        0 => DepDirection::In,
+                        1 => DepDirection::Out,
+                        _ => DepDirection::InOut,
+                    };
+                    (block((t + j) % 6), 4096, dir)
+                })
+                .collect();
+
+            // Per-op reference, stalling and retrying like the driver does.
+            let mut next = 0;
+            let mut reference = Vec::new();
+            while next < deps.len() {
+                let (addr, size, dir) = deps[next];
+                match per_op.add_dependence(desc(t), addr, size, dir) {
+                    Ok(r) => {
+                        reference.push(r.accesses);
+                        next += 1;
+                    }
+                    Err(DmuError::Stall(_)) => {
+                        let victim = per_op.get_ready_task().value.unwrap().descriptor;
+                        per_op.finish_task(victim).unwrap();
+                    }
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            per_op.submit_task(desc(t)).unwrap();
+
+            // Batched path: resume from `counters.len()` after each stall.
+            counters.clear();
+            loop {
+                let remaining = deps[counters.len()..].iter().copied();
+                match batched.add_dependences(desc(t), remaining, &mut counters) {
+                    Ok(()) => break,
+                    Err(DmuError::Stall(_)) => {
+                        let victim = batched.get_ready_task().value.unwrap().descriptor;
+                        batched.finish_task(victim).unwrap();
+                    }
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            batched.submit_task(desc(t)).unwrap();
+            assert_eq!(
+                counters, reference,
+                "per-dep access counters diverged at task {t}"
+            );
+        }
+
+        // Drain both and compare the full statistics.
+        loop {
+            let a = per_op.get_ready_task();
+            let b = batched.get_ready_task();
+            assert_eq!(a, b);
+            match a.value {
+                Some(t) => {
+                    let wa = per_op.finish_task(t.descriptor).unwrap();
+                    let wb = batched.finish_task(t.descriptor).unwrap();
+                    assert_eq!(wa, wb);
+                }
+                None => break,
+            }
+        }
+        assert!(per_op.is_drained() && batched.is_drained());
+        assert_eq!(per_op.stats(), batched.stats());
+        assert_eq!(per_op.peak_occupancy(), batched.peak_occupancy());
+    }
+
+    #[test]
     fn long_chain_through_small_dmu() {
         // A 100-task chain through a tiny DMU: tasks are created lazily as
         // space frees up, mimicking the blocking creation loop of the master
@@ -1125,5 +1320,853 @@ mod tests {
         assert!(dmu.is_drained());
         assert_eq!(dmu.stats().finishes, total);
         assert!(dmu.stats().stalls > 0, "the tiny DMU must have stalled");
+    }
+}
+
+/// Randomized lockstep equivalence suite for the struct-of-arrays DMU.
+///
+/// `NaiveDmu` keeps the pre-slab reference implementation alive: per-set way
+/// vectors for the alias tables, `Vec<Option<Entry>>` task/dependence tables
+/// and the node-walking [`NaiveListArray`] — the layouts the slab refactor
+/// replaced. Every operation of a randomized workload is replayed on both
+/// models and must produce bit-identical results, per-op access counters,
+/// errors and aggregate statistics.
+///
+/// CI runs this module by name: `cargo test --release -p tdm-core dmu_lockstep`.
+#[cfg(test)]
+mod dmu_lockstep {
+    use super::*;
+    use crate::list_array::naive::NaiveListArray;
+    use tdm_sim::rng::SplitMix64;
+
+    /// One way of a naive alias-table set: the old array-of-structs node.
+    #[derive(Debug, Clone, Copy)]
+    struct Way {
+        addr: u64,
+        id: u32,
+    }
+
+    /// Occupancy statistics mirroring [`crate::alias::AliasOccupancy`], kept
+    /// separately because that struct's sampling fields are private.
+    #[derive(Debug, Clone, Copy, Default)]
+    struct NaiveAliasStats {
+        occupied_set_samples_sum: u64,
+        samples: u64,
+        peak_entries: usize,
+    }
+
+    /// The pre-refactor alias table: a `Vec<Way>` per set, occupancy sampled
+    /// with a full O(num_sets) scan on every insert.
+    struct NaiveAliasTable {
+        sets: Vec<Vec<Way>>,
+        ways: usize,
+        free_ids: Vec<u32>,
+        policy: IndexPolicy,
+        stats: NaiveAliasStats,
+        valid_entries: usize,
+    }
+
+    impl NaiveAliasTable {
+        fn new(entries: usize, ways: usize, policy: IndexPolicy) -> Self {
+            NaiveAliasTable {
+                sets: vec![Vec::new(); entries / ways],
+                ways,
+                free_ids: (0..entries as u32).rev().collect(),
+                policy,
+                stats: NaiveAliasStats::default(),
+                valid_entries: 0,
+            }
+        }
+
+        fn set_index(&self, addr: u64, size: u64) -> usize {
+            let shift = match self.policy {
+                IndexPolicy::Static { low_bit } => low_bit,
+                IndexPolicy::Dynamic => {
+                    if size <= 1 {
+                        0
+                    } else {
+                        63 - size.next_power_of_two().leading_zeros()
+                    }
+                }
+            };
+            ((addr >> shift.min(63)) as usize) % self.sets.len()
+        }
+
+        fn lookup(&self, addr: u64, size: u64) -> Option<u32> {
+            let set = self.set_index(addr, size);
+            self.sets[set]
+                .iter()
+                .find(|way| way.addr == addr)
+                .map(|way| way.id)
+        }
+
+        fn insert(&mut self, addr: u64, size: u64) -> Result<u32, AliasError> {
+            let set = self.set_index(addr, size);
+            if self.sets[set].len() >= self.ways {
+                return Err(AliasError::SetConflict);
+            }
+            let Some(id) = self.free_ids.pop() else {
+                return Err(AliasError::Exhausted);
+            };
+            self.sets[set].push(Way { addr, id });
+            self.valid_entries += 1;
+            self.stats.peak_entries = self.stats.peak_entries.max(self.valid_entries);
+            self.stats.samples += 1;
+            self.stats.occupied_set_samples_sum +=
+                self.sets.iter().filter(|s| !s.is_empty()).count() as u64;
+            Ok(id)
+        }
+
+        fn remove(&mut self, addr: u64, size: u64) -> Option<u32> {
+            let set = self.set_index(addr, size);
+            let pos = self.sets[set].iter().position(|way| way.addr == addr)?;
+            let id = self.sets[set].swap_remove(pos).id;
+            self.free_ids.push(id);
+            self.valid_entries -= 1;
+            Some(id)
+        }
+
+        fn average_occupied_sets(&self) -> f64 {
+            if self.stats.samples == 0 {
+                0.0
+            } else {
+                self.stats.occupied_set_samples_sum as f64 / self.stats.samples as f64
+            }
+        }
+    }
+
+    /// The pre-refactor task table: one `Option<TaskEntry>` box per slot.
+    struct NaiveTaskTable {
+        entries: Vec<Option<TaskEntry>>,
+        live: usize,
+        peak: usize,
+    }
+
+    impl NaiveTaskTable {
+        fn new(capacity: usize) -> Self {
+            NaiveTaskTable {
+                entries: vec![None; capacity],
+                live: 0,
+                peak: 0,
+            }
+        }
+
+        fn get(&self, id: TaskId) -> &TaskEntry {
+            self.entries[id.index()].as_ref().expect("live task entry")
+        }
+
+        fn get_mut(&mut self, id: TaskId) -> &mut TaskEntry {
+            self.entries[id.index()].as_mut().expect("live task entry")
+        }
+
+        fn insert(&mut self, id: TaskId, entry: TaskEntry) {
+            assert!(self.entries[id.index()].is_none());
+            self.entries[id.index()] = Some(entry);
+            self.live += 1;
+            self.peak = self.peak.max(self.live);
+        }
+
+        fn remove(&mut self, id: TaskId) {
+            assert!(self.entries[id.index()].take().is_some());
+            self.live -= 1;
+        }
+    }
+
+    /// The pre-refactor dependence table.
+    struct NaiveDepTable {
+        entries: Vec<Option<DepEntry>>,
+        live: usize,
+        peak: usize,
+    }
+
+    impl NaiveDepTable {
+        fn new(capacity: usize) -> Self {
+            NaiveDepTable {
+                entries: vec![None; capacity],
+                live: 0,
+                peak: 0,
+            }
+        }
+
+        fn contains(&self, id: DepId) -> bool {
+            self.entries[id.index()].is_some()
+        }
+
+        fn get(&self, id: DepId) -> &DepEntry {
+            self.entries[id.index()]
+                .as_ref()
+                .expect("live dependence entry")
+        }
+
+        fn get_mut(&mut self, id: DepId) -> &mut DepEntry {
+            self.entries[id.index()]
+                .as_mut()
+                .expect("live dependence entry")
+        }
+
+        fn insert(&mut self, id: DepId, entry: DepEntry) {
+            assert!(self.entries[id.index()].is_none());
+            self.entries[id.index()] = Some(entry);
+            self.live += 1;
+            self.peak = self.peak.max(self.live);
+        }
+
+        fn remove(&mut self, id: DepId) {
+            assert!(self.entries[id.index()].take().is_some());
+            self.live -= 1;
+        }
+    }
+
+    /// The reference DMU: identical semantics and access accounting to
+    /// [`Dmu`], implemented over the old pointer-chasing storage.
+    struct NaiveDmu {
+        tat: NaiveAliasTable,
+        dat: NaiveAliasTable,
+        tasks: NaiveTaskTable,
+        deps: NaiveDepTable,
+        sla: NaiveListArray,
+        dla: NaiveListArray,
+        rla: NaiveListArray,
+        ready: ReadyQueue,
+        stats: DmuStats,
+    }
+
+    impl NaiveDmu {
+        fn new(config: &DmuConfig) -> Self {
+            let rq_capacity = config.ready_queue_entries.max(config.task_table_entries());
+            NaiveDmu {
+                tat: NaiveAliasTable::new(
+                    config.tat_entries,
+                    config.tat_ways,
+                    IndexPolicy::Static {
+                        low_bit: TAT_INDEX_LOW_BIT,
+                    },
+                ),
+                dat: NaiveAliasTable::new(config.dat_entries, config.dat_ways, config.index_policy),
+                tasks: NaiveTaskTable::new(config.task_table_entries()),
+                deps: NaiveDepTable::new(config.dependence_table_entries()),
+                sla: NaiveListArray::new(config.successor_la_entries, config.elems_per_list_entry),
+                dla: NaiveListArray::new(config.dependence_la_entries, config.elems_per_list_entry),
+                rla: NaiveListArray::new(config.reader_la_entries, config.elems_per_list_entry),
+                ready: ReadyQueue::new(rq_capacity),
+                stats: DmuStats::default(),
+            }
+        }
+
+        fn stall(&mut self, reason: StallReason) -> DmuError {
+            self.stats.stalls += 1;
+            DmuError::Stall(reason)
+        }
+
+        fn task_id(&self, desc: DescriptorAddr) -> Result<TaskId, DmuError> {
+            self.tat
+                .lookup(desc.raw(), 64)
+                .map(TaskId::new)
+                .ok_or(DmuError::UnknownTask(desc))
+        }
+
+        fn record_completion(&mut self, accesses: &AccessCounter) {
+            self.stats.total_accesses += accesses.total();
+            self.stats.peak_tasks = self.stats.peak_tasks.max(self.tasks.live);
+            self.stats.peak_deps = self.stats.peak_deps.max(self.deps.live);
+        }
+
+        fn create_task(&mut self, desc: DescriptorAddr) -> Result<DmuResult<TaskId>, DmuError> {
+            if self.tat.lookup(desc.raw(), 64).is_some() {
+                return Err(DmuError::UnknownTask(desc));
+            }
+            if self.sla.free_entries() < 1 {
+                return Err(self.stall(StallReason::SuccessorLaFull));
+            }
+            if self.dla.free_entries() < 1 {
+                return Err(self.stall(StallReason::DependenceLaFull));
+            }
+            let mut accesses = AccessCounter::new();
+            let id = match self.tat.insert(desc.raw(), 64) {
+                Ok(raw) => TaskId::new(raw),
+                Err(AliasError::SetConflict) => return Err(self.stall(StallReason::TatConflict)),
+                Err(AliasError::Exhausted) => return Err(self.stall(StallReason::TatExhausted)),
+            };
+            accesses.touch(DmuStructure::Tat);
+            let successor_list = self.sla.alloc_list().expect("pre-checked SLA space");
+            accesses.touch(DmuStructure::SuccessorLa);
+            let dependence_list = self.dla.alloc_list().expect("pre-checked DLA space");
+            accesses.touch(DmuStructure::DependenceLa);
+            self.tasks.insert(
+                id,
+                TaskEntry {
+                    descriptor: desc,
+                    num_predecessors: 0,
+                    num_successors: 0,
+                    successor_list,
+                    dependence_list,
+                    under_construction: true,
+                },
+            );
+            accesses.touch(DmuStructure::TaskTable);
+            self.stats.creates += 1;
+            self.record_completion(&accesses);
+            Ok(DmuResult::new(id, accesses))
+        }
+
+        fn dep_id_for(
+            &mut self,
+            addr: DepAddr,
+            size: u64,
+            accesses: &mut AccessCounter,
+        ) -> Result<DepId, DmuError> {
+            accesses.touch(DmuStructure::Dat);
+            if let Some(raw) = self.dat.lookup(addr.raw(), size) {
+                return Ok(DepId::new(raw));
+            }
+            if self.rla.free_entries() < 1 {
+                return Err(self.stall(StallReason::ReaderLaFull));
+            }
+            let raw = match self.dat.insert(addr.raw(), size) {
+                Ok(raw) => raw,
+                Err(AliasError::SetConflict) => return Err(self.stall(StallReason::DatConflict)),
+                Err(AliasError::Exhausted) => return Err(self.stall(StallReason::DatExhausted)),
+            };
+            let reader_list = self.rla.alloc_list().expect("pre-checked RLA space");
+            accesses.touch(DmuStructure::ReaderLa);
+            let id = DepId::new(raw);
+            self.deps.insert(
+                id,
+                DepEntry {
+                    addr,
+                    size,
+                    last_writer: None,
+                    reader_list,
+                },
+            );
+            accesses.touch(DmuStructure::DependenceTable);
+            Ok(id)
+        }
+
+        fn add_dependence_requirements(
+            &self,
+            task: TaskId,
+            dep: Option<DepId>,
+            dir: DepDirection,
+        ) -> (usize, usize, usize) {
+            fn bump(pushes: &mut Vec<(TaskId, u32)>, target: TaskId) {
+                if let Some(entry) = pushes.iter_mut().find(|entry| entry.0 == target) {
+                    entry.1 += 1;
+                } else {
+                    pushes.push((target, 1));
+                }
+            }
+
+            let mut succ_pushes: Vec<(TaskId, u32)> = Vec::new();
+            let mut needed_rla = 0;
+            let needed_dla = usize::from(
+                self.dla
+                    .push_needs_new_entry(self.tasks.get(task).dependence_list),
+            );
+            if let Some(dep_id) = dep {
+                let entry = self.deps.get(dep_id);
+                if let Some(writer) = entry.last_writer {
+                    if writer != task {
+                        bump(&mut succ_pushes, writer);
+                    }
+                }
+                if dir.writes() {
+                    for reader_raw in self.rla.collect(entry.reader_list) {
+                        let reader = TaskId::new(reader_raw);
+                        if reader == task {
+                            continue;
+                        }
+                        bump(&mut succ_pushes, reader);
+                    }
+                } else if self.rla.push_needs_new_entry(entry.reader_list) {
+                    needed_rla += 1;
+                }
+            }
+            let needed_sla = succ_pushes
+                .iter()
+                .map(|&(target, pushes)| {
+                    self.sla.new_entries_for_pushes(
+                        self.tasks.get(target).successor_list,
+                        pushes as usize,
+                    )
+                })
+                .sum();
+            (needed_sla, needed_dla, needed_rla)
+        }
+
+        fn add_dependence(
+            &mut self,
+            desc: DescriptorAddr,
+            addr: DepAddr,
+            size: u64,
+            dir: DepDirection,
+        ) -> Result<DmuResult<()>, DmuError> {
+            let task = self.task_id(desc)?;
+            let mut accesses = AccessCounter::new();
+            accesses.touch(DmuStructure::Tat);
+
+            let existing = self.dat.lookup(addr.raw(), size).map(DepId::new);
+            let (needed_sla, needed_dla, needed_rla) =
+                self.add_dependence_requirements(task, existing, dir);
+            if self.sla.free_entries() < needed_sla {
+                return Err(self.stall(StallReason::SuccessorLaFull));
+            }
+            if self.dla.free_entries() < needed_dla {
+                return Err(self.stall(StallReason::DependenceLaFull));
+            }
+            let new_dep_rla = usize::from(existing.is_none());
+            if self.rla.free_entries() < needed_rla + new_dep_rla {
+                return Err(self.stall(StallReason::ReaderLaFull));
+            }
+
+            let dep = self.dep_id_for(addr, size, &mut accesses)?;
+
+            let dep_list = self.tasks.get(task).dependence_list;
+            let walk = self
+                .dla
+                .push(dep_list, dep.raw())
+                .expect("pre-checked DLA space");
+            accesses.record(DmuStructure::DependenceLa, walk.entries_touched);
+
+            let last_writer = self.deps.get(dep).last_writer;
+            let reader_list = self.deps.get(dep).reader_list;
+            accesses.touch(DmuStructure::DependenceTable);
+            if let Some(writer) = last_writer {
+                if writer != task {
+                    let succ_list = self.tasks.get(writer).successor_list;
+                    self.tasks.get_mut(writer).num_successors += 1;
+                    accesses.touch(DmuStructure::TaskTable);
+                    let walk = self
+                        .sla
+                        .push(succ_list, task.raw())
+                        .expect("pre-checked SLA space");
+                    accesses.record(DmuStructure::SuccessorLa, walk.entries_touched);
+                    self.tasks.get_mut(task).num_predecessors += 1;
+                    accesses.touch(DmuStructure::TaskTable);
+                }
+            }
+
+            if dir.writes() {
+                accesses.record(
+                    DmuStructure::ReaderLa,
+                    self.rla.entries_spanned(reader_list),
+                );
+                for reader_raw in self.rla.collect(reader_list) {
+                    let reader = TaskId::new(reader_raw);
+                    if reader == task {
+                        continue;
+                    }
+                    let succ_list = self.tasks.get(reader).successor_list;
+                    self.tasks.get_mut(reader).num_successors += 1;
+                    accesses.touch(DmuStructure::TaskTable);
+                    let walk = self
+                        .sla
+                        .push(succ_list, task.raw())
+                        .expect("pre-checked SLA space");
+                    accesses.record(DmuStructure::SuccessorLa, walk.entries_touched);
+                    self.tasks.get_mut(task).num_predecessors += 1;
+                    accesses.touch(DmuStructure::TaskTable);
+                }
+                let flush_walk = self.rla.flush(reader_list);
+                accesses.record(DmuStructure::ReaderLa, flush_walk.entries_touched);
+                self.deps.get_mut(dep).last_writer = Some(task);
+                accesses.touch(DmuStructure::DependenceTable);
+            } else {
+                let walk = self
+                    .rla
+                    .push(reader_list, task.raw())
+                    .expect("pre-checked RLA space");
+                accesses.record(DmuStructure::ReaderLa, walk.entries_touched);
+            }
+
+            self.stats.add_dependences += 1;
+            self.record_completion(&accesses);
+            Ok(DmuResult::new((), accesses))
+        }
+
+        fn submit_task(&mut self, desc: DescriptorAddr) -> Result<DmuResult<bool>, DmuError> {
+            let mut accesses = AccessCounter::new();
+            accesses.touch(DmuStructure::Tat);
+            let task = self.task_id(desc)?;
+            self.tasks.get_mut(task).under_construction = false;
+            accesses.touch(DmuStructure::TaskTable);
+            let ready_now = self.tasks.get(task).num_predecessors == 0;
+            if ready_now {
+                self.ready
+                    .push(task)
+                    .expect("ready queue sized to capacity");
+                accesses.touch(DmuStructure::ReadyQueue);
+            }
+            self.stats.submits += 1;
+            self.record_completion(&accesses);
+            Ok(DmuResult::new(ready_now, accesses))
+        }
+
+        fn finish_task_into(
+            &mut self,
+            desc: DescriptorAddr,
+            woken: &mut Vec<TaskId>,
+        ) -> Result<DmuResult<()>, DmuError> {
+            woken.clear();
+            let mut accesses = AccessCounter::new();
+            accesses.touch(DmuStructure::Tat);
+            let task = self.task_id(desc)?;
+            let successor_list = self.tasks.get(task).successor_list;
+            let dependence_list = self.tasks.get(task).dependence_list;
+            accesses.touch(DmuStructure::TaskTable);
+
+            accesses.record(
+                DmuStructure::SuccessorLa,
+                self.sla.entries_spanned(successor_list),
+            );
+            for succ_raw in self.sla.collect(successor_list) {
+                let succ = TaskId::new(succ_raw);
+                let entry = self.tasks.get_mut(succ);
+                entry.num_predecessors -= 1;
+                let remaining = entry.num_predecessors;
+                let under_construction = entry.under_construction;
+                accesses.touch(DmuStructure::TaskTable);
+                if remaining == 0 && !under_construction {
+                    self.ready
+                        .push(succ)
+                        .expect("ready queue sized to capacity");
+                    accesses.touch(DmuStructure::ReadyQueue);
+                    woken.push(succ);
+                }
+            }
+
+            accesses.record(
+                DmuStructure::DependenceLa,
+                self.dla.entries_spanned(dependence_list),
+            );
+            for dep_raw in self.dla.collect(dependence_list) {
+                let dep = DepId::new(dep_raw);
+                if !self.deps.contains(dep) {
+                    continue;
+                }
+                let reader_list = self.deps.get(dep).reader_list;
+                let dep_addr = self.deps.get(dep).addr;
+                let dep_size = self.deps.get(dep).size;
+                let (_, walk) = self.rla.remove(reader_list, task.raw());
+                accesses.record(DmuStructure::ReaderLa, walk.entries_touched);
+
+                accesses.touch(DmuStructure::DependenceTable);
+                if self.deps.get(dep).last_writer == Some(task) {
+                    self.deps.get_mut(dep).last_writer = None;
+                }
+                if self.deps.get(dep).last_writer.is_none() && self.rla.is_empty(reader_list) {
+                    let walk = self.rla.free_list(reader_list);
+                    accesses.record(DmuStructure::ReaderLa, walk.entries_touched);
+                    self.deps.remove(dep);
+                    accesses.touch(DmuStructure::DependenceTable);
+                    self.dat.remove(dep_addr.raw(), dep_size);
+                    accesses.touch(DmuStructure::Dat);
+                }
+            }
+
+            let walk = self.sla.free_list(successor_list);
+            accesses.record(DmuStructure::SuccessorLa, walk.entries_touched);
+            let walk = self.dla.free_list(dependence_list);
+            accesses.record(DmuStructure::DependenceLa, walk.entries_touched);
+            self.tasks.remove(task);
+            accesses.touch(DmuStructure::TaskTable);
+            self.tat.remove(desc.raw(), 64);
+            accesses.touch(DmuStructure::Tat);
+
+            self.stats.finishes += 1;
+            self.record_completion(&accesses);
+            Ok(DmuResult::new((), accesses))
+        }
+
+        fn get_ready_task(&mut self) -> DmuResult<Option<ReadyTask>> {
+            let mut accesses = AccessCounter::new();
+            accesses.touch(DmuStructure::ReadyQueue);
+            let value = self.ready.pop().map(|task| {
+                let entry = self.tasks.get(task);
+                accesses.touch(DmuStructure::TaskTable);
+                ReadyTask {
+                    descriptor: entry.descriptor,
+                    num_successors: entry.num_successors,
+                }
+            });
+            self.stats.get_readies += 1;
+            self.record_completion(&accesses);
+            DmuResult::new(value, accesses)
+        }
+
+        fn is_drained(&self) -> bool {
+            self.tasks.live == 0 && self.deps.live == 0 && self.ready.is_empty()
+        }
+    }
+
+    /// Applies every op to both models and asserts bit-identical outcomes.
+    struct LockstepRig {
+        dmu: Dmu,
+        naive: NaiveDmu,
+        woken_dmu: Vec<TaskId>,
+        woken_naive: Vec<TaskId>,
+    }
+
+    impl LockstepRig {
+        fn new(config: DmuConfig) -> Self {
+            LockstepRig {
+                naive: NaiveDmu::new(&config),
+                dmu: Dmu::new(config),
+                woken_dmu: Vec::new(),
+                woken_naive: Vec::new(),
+            }
+        }
+
+        fn create(&mut self, d: DescriptorAddr) -> bool {
+            let a = self.dmu.create_task(d);
+            let b = self.naive.create_task(d);
+            assert_eq!(a, b, "create_task({d}) diverged");
+            a.is_ok()
+        }
+
+        fn add_dep(&mut self, d: DescriptorAddr, addr: DepAddr, dir: DepDirection) -> bool {
+            let a = self.dmu.add_dependence(d, addr, 4096, dir);
+            let b = self.naive.add_dependence(d, addr, 4096, dir);
+            assert_eq!(a, b, "add_dependence({d}, {addr}) diverged");
+            a.is_ok()
+        }
+
+        fn submit(&mut self, d: DescriptorAddr) {
+            let a = self.dmu.submit_task(d);
+            let b = self.naive.submit_task(d);
+            assert_eq!(a, b, "submit_task({d}) diverged");
+        }
+
+        fn pop_ready(&mut self) -> Option<DescriptorAddr> {
+            let a = self.dmu.get_ready_task();
+            let b = self.naive.get_ready_task();
+            assert_eq!(a, b, "get_ready_task diverged");
+            a.value.map(|t| t.descriptor)
+        }
+
+        fn finish(&mut self, d: DescriptorAddr) {
+            let a = self.dmu.finish_task_into(d, &mut self.woken_dmu);
+            let b = self.naive.finish_task_into(d, &mut self.woken_naive);
+            assert_eq!(a, b, "finish_task({d}) diverged");
+            assert_eq!(
+                self.woken_dmu, self.woken_naive,
+                "woken list diverged at {d}"
+            );
+        }
+
+        fn check_aggregates(&self) {
+            assert_eq!(self.dmu.stats(), self.naive.stats, "DmuStats diverged");
+            let peak = self.dmu.peak_occupancy();
+            assert_eq!(peak.tasks, self.naive.tasks.peak);
+            assert_eq!(peak.deps, self.naive.deps.peak);
+            assert_eq!(peak.tat, self.naive.tat.stats.peak_entries);
+            assert_eq!(peak.dat, self.naive.dat.stats.peak_entries);
+            assert_eq!(
+                self.dmu.dat_average_occupied_sets().to_bits(),
+                self.naive.dat.average_occupied_sets().to_bits(),
+                "Figure 11 occupancy metric diverged"
+            );
+        }
+    }
+
+    fn lockstep_config() -> DmuConfig {
+        DmuConfig {
+            tat_entries: 16,
+            tat_ways: 4,
+            dat_entries: 16,
+            dat_ways: 4,
+            successor_la_entries: 12,
+            dependence_la_entries: 12,
+            reader_la_entries: 12,
+            elems_per_list_entry: 2,
+            ready_queue_entries: 16,
+            access_latency: Cycle::new(1),
+            index_policy: IndexPolicy::Dynamic,
+        }
+    }
+
+    /// The main lockstep drive: a reuse-heavy randomized workload through a
+    /// deliberately tiny DMU so stalls, overflow chains, entry recycling and
+    /// WAR flushes all fire constantly.
+    #[test]
+    fn slab_dmu_matches_naive_reference_in_randomized_lockstep() {
+        for seed in 0..6u64 {
+            let mut rng = SplitMix64::new(0xD_17E ^ seed.wrapping_mul(0x9E3779B97F4A7C15));
+            let mut rig = LockstepRig::new(lockstep_config());
+            let mut next_desc = 0u64;
+            let mut pending: Vec<DescriptorAddr> = Vec::new();
+
+            let desc_of = |i: u64| DescriptorAddr(0x10_0000 + i * 64);
+            let block_of = |i: u64| DepAddr(0x80_0000 + i * 4096);
+
+            for step in 0..2500u64 {
+                match rng.next_below(10) {
+                    0..=3 => {
+                        let d = desc_of(next_desc);
+                        if rig.create(d) {
+                            next_desc += 1;
+                            let ndeps = rng.next_below(4);
+                            for _ in 0..ndeps {
+                                let addr = block_of(rng.next_below(12));
+                                let dir = match rng.next_below(3) {
+                                    0 => DepDirection::In,
+                                    1 => DepDirection::Out,
+                                    _ => DepDirection::InOut,
+                                };
+                                if !rig.add_dep(d, addr, dir) {
+                                    break;
+                                }
+                            }
+                            rig.submit(d);
+                        }
+                    }
+                    4..=6 => {
+                        if let Some(d) = rig.pop_ready() {
+                            pending.push(d);
+                        }
+                    }
+                    _ => {
+                        if !pending.is_empty() {
+                            let idx = rng.next_below(pending.len() as u64) as usize;
+                            let d = pending.swap_remove(idx);
+                            rig.finish(d);
+                        }
+                    }
+                }
+                if step % 500 == 0 {
+                    rig.check_aggregates();
+                }
+            }
+
+            // Drain both models completely: finish everything popped, then
+            // pop-and-finish until empty (every submitted task becomes ready
+            // once its predecessors finish).
+            for d in pending.drain(..) {
+                rig.finish(d);
+            }
+            while let Some(d) = rig.pop_ready() {
+                rig.finish(d);
+            }
+            assert!(rig.dmu.is_drained(), "slab DMU not drained (seed {seed})");
+            assert!(
+                rig.naive.is_drained(),
+                "naive DMU not drained (seed {seed})"
+            );
+            rig.check_aggregates();
+            assert!(
+                rig.dmu.stats().stalls > 0,
+                "the tiny lockstep DMU should have stalled (seed {seed})"
+            );
+        }
+    }
+
+    /// The batched entry point replayed in lockstep against the naive per-op
+    /// reference: `add_dependences` must stay bit-identical to a loop of
+    /// naive `add_dependence` calls, including stall points and resume.
+    #[test]
+    fn batched_adds_match_naive_per_op_in_lockstep() {
+        let mut rng = SplitMix64::new(0xBA7C4);
+        let config = lockstep_config();
+        let mut dmu = Dmu::new(config.clone());
+        let mut naive = NaiveDmu::new(&config);
+        let mut counters = Vec::new();
+
+        let desc_of = |i: u64| DescriptorAddr(0x10_0000 + i * 64);
+        let block_of = |i: u64| DepAddr(0x80_0000 + i * 4096);
+
+        for t in 0..300u64 {
+            let d = desc_of(t);
+            loop {
+                let a = dmu.create_task(d);
+                let b = naive.create_task(d);
+                assert_eq!(a, b);
+                if a.is_ok() {
+                    break;
+                }
+                // Both stalled identically: free space and retry.
+                let ra = dmu.get_ready_task();
+                let rb = naive.get_ready_task();
+                assert_eq!(ra, rb);
+                let victim = ra.value.expect("a ready task must exist").descriptor;
+                let mut wa = Vec::new();
+                let mut wb = Vec::new();
+                assert_eq!(
+                    dmu.finish_task_into(victim, &mut wa),
+                    naive.finish_task_into(victim, &mut wb)
+                );
+                assert_eq!(wa, wb);
+            }
+
+            let deps: Vec<(DepAddr, u64, DepDirection)> = (0..rng.next_below(5))
+                .map(|_| {
+                    let dir = match rng.next_below(3) {
+                        0 => DepDirection::In,
+                        1 => DepDirection::Out,
+                        _ => DepDirection::InOut,
+                    };
+                    (block_of(rng.next_below(10)), 4096, dir)
+                })
+                .collect();
+
+            counters.clear();
+            let mut naive_applied = 0usize;
+            loop {
+                let remaining = deps[counters.len()..].iter().copied();
+                let batch = dmu.add_dependences(d, remaining, &mut counters);
+                // Replay the naive reference per-op up to the batch's
+                // progress, comparing each returned access counter.
+                while naive_applied < counters.len() {
+                    let (addr, size, dir) = deps[naive_applied];
+                    let r = naive
+                        .add_dependence(d, addr, size, dir)
+                        .expect("naive must succeed where the batch succeeded");
+                    assert_eq!(
+                        r.accesses, counters[naive_applied],
+                        "per-dep access counter diverged at task {t}"
+                    );
+                    naive_applied += 1;
+                }
+                match batch {
+                    Ok(()) => break,
+                    Err(e) => {
+                        // The naive per-op call must stall identically...
+                        let (addr, size, dir) = deps[naive_applied];
+                        let ne = naive.add_dependence(d, addr, size, dir).unwrap_err();
+                        assert_eq!(e, ne, "stall reason diverged at task {t}");
+                        // ...then both free space and resume from where the
+                        // batch stopped (`counters.len()`).
+                        let ra = dmu.get_ready_task();
+                        let rb = naive.get_ready_task();
+                        assert_eq!(ra, rb);
+                        let victim = ra.value.expect("a ready task must exist").descriptor;
+                        let mut wa = Vec::new();
+                        let mut wb = Vec::new();
+                        assert_eq!(
+                            dmu.finish_task_into(victim, &mut wa),
+                            naive.finish_task_into(victim, &mut wb)
+                        );
+                        assert_eq!(wa, wb);
+                    }
+                }
+            }
+            assert_eq!(dmu.submit_task(d), naive.submit_task(d));
+        }
+
+        // Drain and compare the end state.
+        loop {
+            let a = dmu.get_ready_task();
+            let b = naive.get_ready_task();
+            assert_eq!(a, b);
+            let Some(t) = a.value else { break };
+            let mut wa = Vec::new();
+            let mut wb = Vec::new();
+            assert_eq!(
+                dmu.finish_task_into(t.descriptor, &mut wa),
+                naive.finish_task_into(t.descriptor, &mut wb)
+            );
+            assert_eq!(wa, wb);
+        }
+        assert!(dmu.is_drained() && naive.is_drained());
+        assert_eq!(dmu.stats(), naive.stats);
     }
 }

@@ -27,6 +27,13 @@ impl ListHandle {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Crate-internal constructor used by the struct-of-arrays tables to
+    /// fill unoccupied column slots with a placeholder; such placeholders
+    /// are never handed out and never dereferenced.
+    pub(crate) const fn from_raw(index: usize) -> Self {
+        ListHandle(index)
+    }
 }
 
 /// Error returned when the list array has no free entries.
@@ -41,28 +48,9 @@ impl std::fmt::Display for ListArrayFull {
 
 impl std::error::Error for ListArrayFull {}
 
-/// One SRAM entry: up to `elems_per_entry` valid elements plus a continuation
-/// pointer.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-struct Entry {
-    /// Valid elements stored in this entry (invalid slots are simply absent;
-    /// the hardware marks them with all-ones).
-    elems: Vec<u32>,
-    /// Continuation entry, or `None` if the list ends here (the hardware
-    /// encodes this by pointing the entry at itself).
-    next: Option<usize>,
-    /// Whether this entry is currently part of some list.
-    allocated: bool,
-    /// Cached index of the chain's tail entry. Only meaningful on a list's
-    /// *head* entry; lets `push` append in O(1) instead of re-walking the
-    /// chain. This is a simulator-side shortcut: the modeled hardware still
-    /// walks the chain, which is why walk *counts* are derived from
-    /// `chain_entries` below and stay exactly what a linear walk reports.
-    tail: usize,
-    /// Cached number of entries in the chain (head included). Only
-    /// meaningful on a head entry.
-    chain_entries: u64,
-}
+/// Sentinel in the `next` column marking the end of a chain (the hardware
+/// encodes this by pointing the entry at itself).
+const NO_NEXT: u32 = u32::MAX;
 
 /// Result of an operation that walked a list: how many list-array entries
 /// were read or written.
@@ -73,6 +61,15 @@ pub struct Walk {
 }
 
 /// A fixed-capacity SRAM array holding multiple variable-length lists.
+///
+/// Storage is struct-of-arrays: instead of one heap-allocated node per entry,
+/// the array keeps parallel per-entry columns (`lens`, `next`, cached
+/// `tail`/`chain_entries`, `allocated`) plus one flat element arena in which
+/// entry `i` owns the fixed-width run starting at `i * elems_per_entry`.
+/// Chain walks and element scans therefore stream through contiguous memory
+/// instead of chasing per-entry `Vec` allocations; the modeled [`Walk`]
+/// counts are byte-for-byte what the old node layout reported (enforced by
+/// `tail_of_naive` plus the lockstep tests against `naive::NaiveListArray`).
 ///
 /// # Example
 ///
@@ -89,7 +86,25 @@ pub struct Walk {
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ListArray {
-    entries: Vec<Entry>,
+    /// Flat element arena; entry `i` owns `arena[i*epe .. i*epe + lens[i]]`.
+    /// Slots past an entry's length are stale (the hardware marks invalid
+    /// slots with all-ones; we just ignore them).
+    arena: Vec<u32>,
+    /// Number of valid elements in each entry.
+    lens: Vec<u32>,
+    /// Continuation entry per entry, or [`NO_NEXT`] if the list ends there.
+    next: Vec<u32>,
+    /// Cached index of the chain's tail entry. Only meaningful on a list's
+    /// *head* entry; lets `push` append in O(1) instead of re-walking the
+    /// chain. This is a simulator-side shortcut: the modeled hardware still
+    /// walks the chain, which is why walk *counts* are derived from
+    /// `chain_entries` below and stay exactly what a linear walk reports.
+    tail: Vec<u32>,
+    /// Cached number of entries in each chain (head included). Only
+    /// meaningful on a head entry.
+    chain_entries: Vec<u64>,
+    /// Whether each entry is currently part of some list.
+    allocated: Vec<bool>,
     free: Vec<usize>,
     elems_per_entry: usize,
     /// High-water mark of allocated entries, for occupancy reporting.
@@ -109,8 +124,17 @@ impl ListArray {
             elems_per_entry > 0,
             "list array entries need at least one element slot"
         );
+        assert!(
+            num_entries < NO_NEXT as usize,
+            "list array too large for u32 entry indices"
+        );
         ListArray {
-            entries: vec![Entry::default(); num_entries],
+            arena: vec![0; num_entries * elems_per_entry],
+            lens: vec![0; num_entries],
+            next: vec![NO_NEXT; num_entries],
+            tail: vec![0; num_entries],
+            chain_entries: vec![0; num_entries],
+            allocated: vec![false; num_entries],
             // Allocate low indices first; order is irrelevant to correctness.
             free: (0..num_entries).rev().collect(),
             elems_per_entry,
@@ -120,7 +144,7 @@ impl ListArray {
 
     /// Total number of entries.
     pub fn capacity(&self) -> usize {
-        self.entries.len()
+        self.lens.len()
     }
 
     /// Elements per entry.
@@ -130,7 +154,7 @@ impl ListArray {
 
     /// Entries currently allocated to some list.
     pub fn entries_in_use(&self) -> usize {
-        self.entries.len() - self.free.len()
+        self.lens.len() - self.free.len()
     }
 
     /// Entries currently free.
@@ -145,13 +169,15 @@ impl ListArray {
 
     fn take_free_entry(&mut self) -> Result<usize, ListArrayFull> {
         let idx = self.free.pop().ok_or(ListArrayFull)?;
-        let entry = &mut self.entries[idx];
-        debug_assert!(!entry.allocated, "free list contained an allocated entry");
-        entry.elems.clear();
-        entry.next = None;
-        entry.allocated = true;
-        entry.tail = idx;
-        entry.chain_entries = 1;
+        debug_assert!(
+            !self.allocated[idx],
+            "free list contained an allocated entry"
+        );
+        self.lens[idx] = 0;
+        self.next[idx] = NO_NEXT;
+        self.allocated[idx] = true;
+        self.tail[idx] = idx as u32;
+        self.chain_entries[idx] = 1;
         self.peak_in_use = self.peak_in_use.max(self.entries_in_use());
         Ok(idx)
     }
@@ -168,7 +194,7 @@ impl ListArray {
 
     fn assert_allocated(&self, handle: ListHandle) {
         debug_assert!(
-            self.entries[handle.0].allocated,
+            self.allocated[handle.0],
             "list handle {handle:?} does not refer to an allocated list"
         );
     }
@@ -182,13 +208,13 @@ impl ListArray {
     /// builds (including the whole conformance matrix).
     fn tail_of(&self, handle: ListHandle) -> (usize, u64) {
         self.assert_allocated(handle);
-        let head = &self.entries[handle.0];
+        let cached = (self.tail[handle.0] as usize, self.chain_entries[handle.0]);
         debug_assert_eq!(
-            (head.tail, head.chain_entries),
+            cached,
             self.tail_of_naive(handle),
             "cached tail/chain-length out of sync with a linear walk for {handle:?}"
         );
-        (head.tail, head.chain_entries)
+        cached
     }
 
     /// Reference implementation of [`Self::tail_of`]: the linear walk the
@@ -197,8 +223,8 @@ impl ListArray {
     fn tail_of_naive(&self, handle: ListHandle) -> (usize, u64) {
         let mut idx = handle.0;
         let mut walked = 1;
-        while let Some(next) = self.entries[idx].next {
-            idx = next;
+        while self.next[idx] != NO_NEXT {
+            idx = self.next[idx] as usize;
             walked += 1;
         }
         (idx, walked)
@@ -209,7 +235,21 @@ impl ListArray {
     /// whether an operation could stall.
     pub fn push_needs_new_entry(&self, handle: ListHandle) -> bool {
         let (tail, _) = self.tail_of(handle);
-        self.entries[tail].elems.len() >= self.elems_per_entry
+        self.lens[tail] as usize >= self.elems_per_entry
+    }
+
+    /// Exact number of fresh entries that `pushes` consecutive appends to
+    /// this list would chain. Unlike calling [`Self::push_needs_new_entry`]
+    /// once per append against pre-push state, this accounts for earlier
+    /// appends filling the tail — which matters when one DMU operation pushes
+    /// several elements into the *same* list (e.g. a writer that also sits in
+    /// the reader list it is flushing).
+    pub fn new_entries_for_pushes(&self, handle: ListHandle, pushes: usize) -> usize {
+        let (tail, _) = self.tail_of(handle);
+        let free_in_tail = self.elems_per_entry - self.lens[tail] as usize;
+        pushes
+            .saturating_sub(free_in_tail)
+            .div_ceil(self.elems_per_entry)
     }
 
     /// Appends `value` to the list.
@@ -225,18 +265,20 @@ impl ListArray {
     /// is available for chaining. The list is left unmodified in that case.
     pub fn push(&mut self, handle: ListHandle, value: u32) -> Result<Walk, ListArrayFull> {
         let (tail, walked) = self.tail_of(handle);
-        if self.entries[tail].elems.len() < self.elems_per_entry {
-            self.entries[tail].elems.push(value);
+        let len = self.lens[tail] as usize;
+        if len < self.elems_per_entry {
+            self.arena[tail * self.elems_per_entry + len] = value;
+            self.lens[tail] += 1;
             return Ok(Walk {
                 entries_touched: walked,
             });
         }
         let new_idx = self.take_free_entry()?;
-        self.entries[new_idx].elems.push(value);
-        self.entries[tail].next = Some(new_idx);
-        let head = &mut self.entries[handle.0];
-        head.tail = new_idx;
-        head.chain_entries = walked + 1;
+        self.arena[new_idx * self.elems_per_entry] = value;
+        self.lens[new_idx] = 1;
+        self.next[tail] = new_idx as u32;
+        self.tail[handle.0] = new_idx as u32;
+        self.chain_entries[handle.0] = walked + 1;
         Ok(Walk {
             entries_touched: walked + 1,
         })
@@ -301,8 +343,18 @@ impl ListArray {
         let mut walked = 0;
         loop {
             walked += 1;
-            if let Some(pos) = self.entries[idx].elems.iter().position(|&v| v == value) {
-                self.entries[idx].elems.remove(pos);
+            let base = idx * self.elems_per_entry;
+            let len = self.lens[idx] as usize;
+            if let Some(pos) = self.arena[base..base + len]
+                .iter()
+                .position(|&v| v == value)
+            {
+                // Shift the remaining elements left within the entry's arena
+                // run; later slots become stale, exactly like invalidating a
+                // hardware slot and compacting.
+                self.arena
+                    .copy_within(base + pos + 1..base + len, base + pos);
+                self.lens[idx] -= 1;
                 return (
                     true,
                     Walk {
@@ -310,17 +362,15 @@ impl ListArray {
                     },
                 );
             }
-            match self.entries[idx].next {
-                Some(next) => idx = next,
-                None => {
-                    return (
-                        false,
-                        Walk {
-                            entries_touched: walked,
-                        },
-                    )
-                }
+            if self.next[idx] == NO_NEXT {
+                return (
+                    false,
+                    Walk {
+                        entries_touched: walked,
+                    },
+                );
             }
+            idx = self.next[idx] as usize;
         }
     }
 
@@ -331,14 +381,15 @@ impl ListArray {
         self.assert_allocated(handle);
         let mut walked = 1;
         let head = handle.0;
-        let mut idx = self.entries[head].next;
-        self.entries[head].elems.clear();
-        self.entries[head].next = None;
-        self.entries[head].tail = head;
-        self.entries[head].chain_entries = 1;
-        while let Some(cur) = idx {
+        let mut idx = self.next[head];
+        self.lens[head] = 0;
+        self.next[head] = NO_NEXT;
+        self.tail[head] = head as u32;
+        self.chain_entries[head] = 1;
+        while idx != NO_NEXT {
             walked += 1;
-            idx = self.entries[cur].next;
+            let cur = idx as usize;
+            idx = self.next[cur];
             self.release_entry(cur);
         }
         Walk {
@@ -347,11 +398,10 @@ impl ListArray {
     }
 
     fn release_entry(&mut self, idx: usize) {
-        let entry = &mut self.entries[idx];
-        debug_assert!(entry.allocated, "double free of list-array entry {idx}");
-        entry.allocated = false;
-        entry.elems.clear();
-        entry.next = None;
+        debug_assert!(self.allocated[idx], "double free of list-array entry {idx}");
+        self.allocated[idx] = false;
+        self.lens[idx] = 0;
+        self.next[idx] = NO_NEXT;
         self.free.push(idx);
     }
 
@@ -360,11 +410,12 @@ impl ListArray {
     /// Returns how many entries were released.
     pub fn free_list(&mut self, handle: ListHandle) -> Walk {
         self.assert_allocated(handle);
-        let mut idx = Some(handle.0);
+        let mut idx = handle.0 as u32;
         let mut walked = 0;
-        while let Some(cur) = idx {
+        while idx != NO_NEXT {
             walked += 1;
-            idx = self.entries[cur].next;
+            let cur = idx as usize;
+            idx = self.next[cur];
             self.release_entry(cur);
         }
         Walk {
@@ -390,14 +441,15 @@ impl Iterator for ListIter<'_> {
     fn next(&mut self) -> Option<u32> {
         loop {
             let idx = self.entry?;
-            let entry = &self.array.entries[idx];
-            if let Some(&value) = entry.elems.get(self.slot) {
+            if self.slot < self.array.lens[idx] as usize {
+                let value = self.array.arena[idx * self.array.elems_per_entry + self.slot];
                 self.slot += 1;
                 return Some(value);
             }
             // Entry exhausted (possibly emptied by `remove`): follow the
             // chain exactly like the hardware traversal does.
-            self.entry = entry.next;
+            let next = self.array.next[idx];
+            self.entry = (next != NO_NEXT).then_some(next as usize);
             self.slot = 0;
         }
     }
@@ -546,6 +598,25 @@ pub mod naive {
             Walk {
                 entries_touched: walked,
             }
+        }
+
+        /// Mirrors [`super::ListArray::free_entries`].
+        pub fn free_entries(&self) -> usize {
+            self.free.len()
+        }
+
+        /// Mirrors [`super::ListArray::new_entries_for_pushes`].
+        pub fn new_entries_for_pushes(&self, handle: ListHandle, pushes: usize) -> usize {
+            let (tail, _) = self.tail_of(handle);
+            let free_in_tail = self.elems_per_entry - self.entries[tail].elems.len();
+            pushes
+                .saturating_sub(free_in_tail)
+                .div_ceil(self.elems_per_entry)
+        }
+
+        /// Mirrors [`super::ListArray::is_empty`] via a full walk.
+        pub fn is_empty(&self, handle: ListHandle) -> bool {
+            self.collect(handle).is_empty()
         }
 
         /// Mirrors [`super::ListArray::collect`].
@@ -874,6 +945,96 @@ mod tests {
                     _ => {}
                 }
                 // Read-side agreement on every live list, every step.
+                for &h in &handles {
+                    assert_eq!(fast.collect(h), naive.collect(h), "{ctx}: contents");
+                    assert_eq!(
+                        fast.entries_spanned(h),
+                        naive.entries_spanned(h),
+                        "{ctx}: span"
+                    );
+                    assert_eq!(
+                        fast.push_needs_new_entry(h),
+                        naive.push_needs_new_entry(h),
+                        "{ctx}: spill prediction"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Reuse-heavy lockstep: a small array is driven so that overflow chains
+    /// are constantly torn down (flush/free) and the released entries are
+    /// reallocated and re-pushed *immediately*, in the same step. This is the
+    /// chain-teardown-then-reuse edge where a stale cached tail or chain
+    /// length would survive into the recycled entry; the naive reference and
+    /// the per-call `tail_of` debug assertion both catch it.
+    #[test]
+    fn walk_counts_match_naive_reference_under_reuse_heavy_churn() {
+        use super::naive::NaiveListArray;
+        use tdm_sim::rng::SplitMix64;
+
+        for seed in 0..8u64 {
+            let mut rng = SplitMix64::new(0xF1EE7 ^ seed.wrapping_mul(0x9E3779B97F4A7C15));
+            let mut fast = ListArray::new(12, 2);
+            let mut naive = NaiveListArray::new(12, 2);
+            let mut handles: Vec<ListHandle> = Vec::new();
+            for step in 0..3_000u32 {
+                let ctx = format!("seed {seed} step {step}");
+                match rng.next_below(8) {
+                    // Grow aggressively so lists overflow into chains.
+                    0..=2 if !handles.is_empty() => {
+                        let h = handles[rng.next_below(handles.len() as u64) as usize];
+                        for i in 0..3 {
+                            let a = fast.push(h, step.wrapping_add(i));
+                            let b = naive.push(h, step.wrapping_add(i));
+                            assert_eq!(a, b, "{ctx}: push walk");
+                        }
+                    }
+                    // Tear a chain down and *immediately* recycle its entries
+                    // into a fresh list grown in the same step.
+                    3 | 4 if !handles.is_empty() => {
+                        let i = rng.next_below(handles.len() as u64) as usize;
+                        let h = handles.swap_remove(i);
+                        assert_eq!(fast.free_list(h), naive.free_list(h), "{ctx}: free walk");
+                        let a = fast.alloc_list();
+                        let b = naive.alloc_list();
+                        assert_eq!(a, b, "{ctx}: realloc after free");
+                        if let Ok(nh) = a {
+                            handles.push(nh);
+                            let a = fast.push(nh, step);
+                            let b = naive.push(nh, step);
+                            assert_eq!(a, b, "{ctx}: push into recycled entry");
+                        }
+                    }
+                    // Flush (keeps the head, releases continuations) and
+                    // regrow the same list through the recycled entries.
+                    5 if !handles.is_empty() => {
+                        let h = handles[rng.next_below(handles.len() as u64) as usize];
+                        assert_eq!(fast.flush(h), naive.flush(h), "{ctx}: flush walk");
+                        for i in 0..4 {
+                            let a = fast.push(h, step.wrapping_add(i));
+                            let b = naive.push(h, step.wrapping_add(i));
+                            assert_eq!(a, b, "{ctx}: regrow after flush");
+                        }
+                    }
+                    6 if !handles.is_empty() => {
+                        let h = handles[rng.next_below(handles.len() as u64) as usize];
+                        let victim = rng.next_below(u64::from(step) + 1) as u32;
+                        assert_eq!(
+                            fast.remove(h, victim),
+                            naive.remove(h, victim),
+                            "{ctx}: remove walk"
+                        );
+                    }
+                    _ => {
+                        let a = fast.alloc_list();
+                        let b = naive.alloc_list();
+                        assert_eq!(a, b, "{ctx}: alloc");
+                        if let Ok(h) = a {
+                            handles.push(h);
+                        }
+                    }
+                }
                 for &h in &handles {
                     assert_eq!(fast.collect(h), naive.collect(h), "{ctx}: contents");
                     assert_eq!(

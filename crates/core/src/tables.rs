@@ -6,6 +6,13 @@
 //! pointers of its successor and dependence lists. The Dependence Table
 //! stores, per in-flight dependence, the ID of its last writer and the head
 //! pointer of its reader list.
+//!
+//! Storage is struct-of-arrays: each logical entry field lives in its own
+//! parallel column, so the DMU's hot paths (predecessor decrements in
+//! `finish_task`, last-writer updates in `add_dependence`) touch one dense
+//! column instead of dragging whole entry structs through the cache. The
+//! [`TaskEntry`] / [`DepEntry`] structs remain as by-value row types for
+//! insertion, removal and inspection.
 
 use serde::{Deserialize, Serialize};
 
@@ -37,9 +44,20 @@ pub struct TaskEntry {
 }
 
 /// A direct-mapped table of in-flight tasks, indexed by [`TaskId`].
+///
+/// Entry fields are stored as parallel columns; the hot accessors
+/// ([`TaskTable::dec_predecessors`] and friends) read and write exactly one
+/// column. Every accessor panics on a dead or out-of-range ID — the alias
+/// table guarantees the DMU only holds live IDs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TaskTable {
-    entries: Vec<Option<TaskEntry>>,
+    descriptor: Vec<DescriptorAddr>,
+    num_predecessors: Vec<u32>,
+    num_successors: Vec<u32>,
+    successor_list: Vec<ListHandle>,
+    dependence_list: Vec<ListHandle>,
+    under_construction: Vec<bool>,
+    occupied: Vec<bool>,
     live: usize,
     peak: usize,
 }
@@ -53,7 +71,13 @@ impl TaskTable {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "task table needs at least one entry");
         TaskTable {
-            entries: vec![None; capacity],
+            descriptor: vec![DescriptorAddr(0); capacity],
+            num_predecessors: vec![0; capacity],
+            num_successors: vec![0; capacity],
+            successor_list: vec![ListHandle::from_raw(0); capacity],
+            dependence_list: vec![ListHandle::from_raw(0); capacity],
+            under_construction: vec![false; capacity],
+            occupied: vec![false; capacity],
             live: 0,
             peak: 0,
         }
@@ -61,7 +85,7 @@ impl TaskTable {
 
     /// Total number of entries.
     pub fn capacity(&self) -> usize {
-        self.entries.len()
+        self.occupied.len()
     }
 
     /// Number of live entries.
@@ -79,6 +103,13 @@ impl TaskTable {
         self.peak
     }
 
+    fn check_live(&self, id: TaskId) {
+        assert!(
+            self.occupied.get(id.index()).copied().unwrap_or(false),
+            "task table entry {id} is not live"
+        );
+    }
+
     /// Installs `entry` at `id`.
     ///
     /// # Panics
@@ -86,38 +117,115 @@ impl TaskTable {
     /// Panics if `id` is out of range or already occupied — the alias table
     /// guarantees freshly allocated IDs are free.
     pub fn insert(&mut self, id: TaskId, entry: TaskEntry) {
-        let slot = &mut self.entries[id.index()];
-        assert!(slot.is_none(), "task table entry {id} is already occupied");
-        *slot = Some(entry);
+        let i = id.index();
+        assert!(
+            !self.occupied[i],
+            "task table entry {id} is already occupied"
+        );
+        self.descriptor[i] = entry.descriptor;
+        self.num_predecessors[i] = entry.num_predecessors;
+        self.num_successors[i] = entry.num_successors;
+        self.successor_list[i] = entry.successor_list;
+        self.dependence_list[i] = entry.dependence_list;
+        self.under_construction[i] = entry.under_construction;
+        self.occupied[i] = true;
         self.live += 1;
         self.peak = self.peak.max(self.live);
     }
 
-    /// Returns the entry at `id`, if live.
-    pub fn get(&self, id: TaskId) -> Option<&TaskEntry> {
-        self.entries.get(id.index()).and_then(|e| e.as_ref())
+    /// Returns the entry at `id` (recomposed from the columns), if live.
+    pub fn get(&self, id: TaskId) -> Option<TaskEntry> {
+        let i = id.index();
+        if !self.occupied.get(i).copied().unwrap_or(false) {
+            return None;
+        }
+        Some(TaskEntry {
+            descriptor: self.descriptor[i],
+            num_predecessors: self.num_predecessors[i],
+            num_successors: self.num_successors[i],
+            successor_list: self.successor_list[i],
+            dependence_list: self.dependence_list[i],
+            under_construction: self.under_construction[i],
+        })
     }
 
-    /// Returns the entry at `id` mutably, if live.
-    pub fn get_mut(&mut self, id: TaskId) -> Option<&mut TaskEntry> {
-        self.entries.get_mut(id.index()).and_then(|e| e.as_mut())
+    /// Descriptor address of a live task.
+    pub fn descriptor(&self, id: TaskId) -> DescriptorAddr {
+        self.check_live(id);
+        self.descriptor[id.index()]
+    }
+
+    /// Successor-list head of a live task.
+    pub fn successor_list(&self, id: TaskId) -> ListHandle {
+        self.check_live(id);
+        self.successor_list[id.index()]
+    }
+
+    /// Dependence-list head of a live task.
+    pub fn dependence_list(&self, id: TaskId) -> ListHandle {
+        self.check_live(id);
+        self.dependence_list[id.index()]
+    }
+
+    /// Unsatisfied-predecessor count of a live task.
+    pub fn num_predecessors(&self, id: TaskId) -> u32 {
+        self.check_live(id);
+        self.num_predecessors[id.index()]
+    }
+
+    /// Successor count of a live task.
+    pub fn num_successors(&self, id: TaskId) -> u32 {
+        self.check_live(id);
+        self.num_successors[id.index()]
+    }
+
+    /// Whether a live task is still under construction.
+    pub fn under_construction(&self, id: TaskId) -> bool {
+        self.check_live(id);
+        self.under_construction[id.index()]
+    }
+
+    /// Increments the successor count of a live task.
+    pub fn inc_successors(&mut self, id: TaskId) {
+        self.check_live(id);
+        self.num_successors[id.index()] += 1;
+    }
+
+    /// Increments the predecessor count of a live task.
+    pub fn inc_predecessors(&mut self, id: TaskId) {
+        self.check_live(id);
+        self.num_predecessors[id.index()] += 1;
+    }
+
+    /// Decrements the predecessor count of a live task and returns the new
+    /// count.
+    pub fn dec_predecessors(&mut self, id: TaskId) -> u32 {
+        self.check_live(id);
+        let slot = &mut self.num_predecessors[id.index()];
+        *slot -= 1;
+        *slot
+    }
+
+    /// Marks a live task as submitted (no longer under construction).
+    pub fn submit(&mut self, id: TaskId) {
+        self.check_live(id);
+        self.under_construction[id.index()] = false;
     }
 
     /// Removes and returns the entry at `id`.
     pub fn remove(&mut self, id: TaskId) -> Option<TaskEntry> {
-        let removed = self.entries.get_mut(id.index()).and_then(|e| e.take());
-        if removed.is_some() {
-            self.live -= 1;
-        }
-        removed
+        let entry = self.get(id)?;
+        self.occupied[id.index()] = false;
+        self.live -= 1;
+        Some(entry)
     }
 
-    /// Iterates over the live `(id, entry)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (TaskId, &TaskEntry)> {
-        self.entries
-            .iter()
-            .enumerate()
-            .filter_map(|(i, e)| e.as_ref().map(|entry| (TaskId::new(i as u32), entry)))
+    /// Iterates over the live `(id, entry)` pairs, recomposing rows.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, TaskEntry)> + '_ {
+        self.occupied.iter().enumerate().filter_map(|(i, &occ)| {
+            let id = TaskId::new(i as u32);
+            occ.then(|| (id, self.get(id).expect("occupied entry is live")))
+        })
     }
 }
 
@@ -137,9 +245,17 @@ pub struct DepEntry {
 }
 
 /// A direct-mapped table of in-flight dependences, indexed by [`DepId`].
+///
+/// Same struct-of-arrays layout as [`TaskTable`]: each [`DepEntry`] field is
+/// a parallel column with panicking single-column accessors for the hot
+/// paths.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DependenceTable {
-    entries: Vec<Option<DepEntry>>,
+    addr: Vec<DepAddr>,
+    size: Vec<u64>,
+    last_writer: Vec<Option<TaskId>>,
+    reader_list: Vec<ListHandle>,
+    occupied: Vec<bool>,
     live: usize,
     peak: usize,
 }
@@ -153,7 +269,11 @@ impl DependenceTable {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "dependence table needs at least one entry");
         DependenceTable {
-            entries: vec![None; capacity],
+            addr: vec![DepAddr(0); capacity],
+            size: vec![0; capacity],
+            last_writer: vec![None; capacity],
+            reader_list: vec![ListHandle::from_raw(0); capacity],
+            occupied: vec![false; capacity],
             live: 0,
             peak: 0,
         }
@@ -161,7 +281,7 @@ impl DependenceTable {
 
     /// Total number of entries.
     pub fn capacity(&self) -> usize {
-        self.entries.len()
+        self.occupied.len()
     }
 
     /// Number of live entries.
@@ -179,47 +299,96 @@ impl DependenceTable {
         self.peak
     }
 
+    fn check_live(&self, id: DepId) {
+        assert!(
+            self.occupied.get(id.index()).copied().unwrap_or(false),
+            "dependence table entry {id} is not live"
+        );
+    }
+
     /// Installs `entry` at `id`.
     ///
     /// # Panics
     ///
     /// Panics if `id` is already occupied.
     pub fn insert(&mut self, id: DepId, entry: DepEntry) {
-        let slot = &mut self.entries[id.index()];
+        let i = id.index();
         assert!(
-            slot.is_none(),
+            !self.occupied[i],
             "dependence table entry {id} is already occupied"
         );
-        *slot = Some(entry);
+        self.addr[i] = entry.addr;
+        self.size[i] = entry.size;
+        self.last_writer[i] = entry.last_writer;
+        self.reader_list[i] = entry.reader_list;
+        self.occupied[i] = true;
         self.live += 1;
         self.peak = self.peak.max(self.live);
     }
 
-    /// Returns the entry at `id`, if live.
-    pub fn get(&self, id: DepId) -> Option<&DepEntry> {
-        self.entries.get(id.index()).and_then(|e| e.as_ref())
+    /// Returns the entry at `id` (recomposed from the columns), if live.
+    pub fn get(&self, id: DepId) -> Option<DepEntry> {
+        let i = id.index();
+        if !self.occupied.get(i).copied().unwrap_or(false) {
+            return None;
+        }
+        Some(DepEntry {
+            addr: self.addr[i],
+            size: self.size[i],
+            last_writer: self.last_writer[i],
+            reader_list: self.reader_list[i],
+        })
     }
 
-    /// Returns the entry at `id` mutably, if live.
-    pub fn get_mut(&mut self, id: DepId) -> Option<&mut DepEntry> {
-        self.entries.get_mut(id.index()).and_then(|e| e.as_mut())
+    /// True if the entry at `id` is live.
+    pub fn contains(&self, id: DepId) -> bool {
+        self.occupied.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Base address of a live dependence.
+    pub fn addr(&self, id: DepId) -> DepAddr {
+        self.check_live(id);
+        self.addr[id.index()]
+    }
+
+    /// Size in bytes of a live dependence.
+    pub fn size(&self, id: DepId) -> u64 {
+        self.check_live(id);
+        self.size[id.index()]
+    }
+
+    /// Last writer of a live dependence, if still in flight.
+    pub fn last_writer(&self, id: DepId) -> Option<TaskId> {
+        self.check_live(id);
+        self.last_writer[id.index()]
+    }
+
+    /// Updates the last writer of a live dependence.
+    pub fn set_last_writer(&mut self, id: DepId, writer: Option<TaskId>) {
+        self.check_live(id);
+        self.last_writer[id.index()] = writer;
+    }
+
+    /// Reader-list head of a live dependence.
+    pub fn reader_list(&self, id: DepId) -> ListHandle {
+        self.check_live(id);
+        self.reader_list[id.index()]
     }
 
     /// Removes and returns the entry at `id`.
     pub fn remove(&mut self, id: DepId) -> Option<DepEntry> {
-        let removed = self.entries.get_mut(id.index()).and_then(|e| e.take());
-        if removed.is_some() {
-            self.live -= 1;
-        }
-        removed
+        let entry = self.get(id)?;
+        self.occupied[id.index()] = false;
+        self.live -= 1;
+        Some(entry)
     }
 
-    /// Iterates over the live `(id, entry)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (DepId, &DepEntry)> {
-        self.entries
-            .iter()
-            .enumerate()
-            .filter_map(|(i, e)| e.as_ref().map(|entry| (DepId::new(i as u32), entry)))
+    /// Iterates over the live `(id, entry)` pairs, recomposing rows.
+    pub fn iter(&self) -> impl Iterator<Item = (DepId, DepEntry)> + '_ {
+        self.occupied.iter().enumerate().filter_map(|(i, &occ)| {
+            let id = DepId::new(i as u32);
+            occ.then(|| (id, self.get(id).expect("occupied entry is live")))
+        })
     }
 }
 
@@ -252,12 +421,33 @@ mod tests {
         t.insert(id, task_entry(0x1000));
         assert_eq!(t.len(), 1);
         assert_eq!(t.get(id).unwrap().descriptor, DescriptorAddr(0x1000));
-        t.get_mut(id).unwrap().num_predecessors = 3;
+        for _ in 0..3 {
+            t.inc_predecessors(id);
+        }
         assert_eq!(t.get(id).unwrap().num_predecessors, 3);
+        assert_eq!(t.num_predecessors(id), 3);
         let removed = t.remove(id).unwrap();
         assert_eq!(removed.num_predecessors, 3);
         assert!(t.get(id).is_none());
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn task_table_column_accessors_roundtrip() {
+        let mut t = TaskTable::new(4);
+        let id = TaskId::new(1);
+        t.insert(id, task_entry(0x2000));
+        assert_eq!(t.descriptor(id), DescriptorAddr(0x2000));
+        assert!(t.under_construction(id));
+        t.submit(id);
+        assert!(!t.under_construction(id));
+        t.inc_successors(id);
+        t.inc_successors(id);
+        assert_eq!(t.num_successors(id), 2);
+        t.inc_predecessors(id);
+        assert_eq!(t.dec_predecessors(id), 0);
+        assert_eq!(t.successor_list(id), t.get(id).unwrap().successor_list);
+        assert_eq!(t.dependence_list(id), t.get(id).unwrap().dependence_list);
     }
 
     #[test]
@@ -276,6 +466,13 @@ mod tests {
         let mut t = TaskTable::new(4);
         t.insert(TaskId::new(0), task_entry(1));
         t.insert(TaskId::new(0), task_entry(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not live")]
+    fn task_table_dead_accessor_panics() {
+        let t = TaskTable::new(4);
+        let _ = t.descriptor(TaskId::new(0));
     }
 
     #[test]
@@ -301,10 +498,15 @@ mod tests {
             },
         );
         assert_eq!(t.get(id).unwrap().addr, DepAddr(0xBEEF));
-        t.get_mut(id).unwrap().last_writer = Some(TaskId::new(7));
+        assert_eq!(t.addr(id), DepAddr(0xBEEF));
+        assert_eq!(t.size(id), 4096);
+        assert!(t.contains(id));
+        t.set_last_writer(id, Some(TaskId::new(7)));
         assert_eq!(t.get(id).unwrap().last_writer, Some(TaskId::new(7)));
+        assert_eq!(t.last_writer(id), Some(TaskId::new(7)));
         assert!(t.remove(id).is_some());
         assert!(t.remove(id).is_none());
+        assert!(!t.contains(id));
     }
 
     #[test]

@@ -133,6 +133,33 @@ pub trait DependenceEngine: Send {
         ready: &mut Vec<ReadyInfo>,
     ) -> Cycle;
 
+    /// Processes a whole same-cycle batch of finishes in event order,
+    /// appending one cost and one `(start, end)` range into `ready` per
+    /// finish to the caller-owned `costs` and `spans` buffers (append-only;
+    /// the caller clears them between batches).
+    ///
+    /// The observable outcome — costs, ready tasks and their order, engine
+    /// statistics — must be identical to calling
+    /// [`DependenceEngine::finish_task`] once per element; batching only
+    /// amortizes *actual* per-call work (dispatch, buffer churn, repeated
+    /// lookups), exactly like the DMU's batched `add_dependences`. The
+    /// default implementation is that per-op loop.
+    fn finish_batch(
+        &mut self,
+        now: Cycle,
+        finishes: &[(TaskRef, usize)],
+        costs: &mut Vec<Cycle>,
+        ready: &mut Vec<ReadyInfo>,
+        spans: &mut Vec<(usize, usize)>,
+    ) {
+        for &(task, core) in finishes {
+            let start = ready.len();
+            let cost = self.finish_task(now, task, core, ready);
+            costs.push(cost);
+            spans.push((start, ready.len()));
+        }
+    }
+
     /// Hardware statistics, if this engine models a hardware tracker.
     fn hardware_report(&self) -> Option<HardwareReport> {
         None
@@ -431,6 +458,14 @@ pub struct HardwareEngine {
     slot_owner: Vec<usize>,
     /// Reusable scratch buffer for `Dmu::finish_task_into` woken lists.
     woken_buf: Vec<TaskId>,
+    /// Reusable scratch for the per-dependence access counters returned by
+    /// the batched `Dmu::add_dependences`.
+    dep_counters: Vec<tdm_core::access::AccessCounter>,
+    /// Route every DMU operation through the one-at-a-time entry points
+    /// instead of the batched ones. The batched path is contractually
+    /// bit-identical; this switch exists so the conformance suite can run
+    /// both and compare (see [`crate::exec::ExecConfig::per_op_dmu`]).
+    per_op: bool,
 }
 
 impl HardwareEngine {
@@ -455,7 +490,16 @@ impl HardwareEngine {
             task_slot: FastMap::default(),
             slot_owner: Vec::new(),
             woken_buf: Vec::new(),
+            dep_counters: Vec::new(),
+            per_op: false,
         }
+    }
+
+    /// Same engine with the per-operation DMU path selected (conformance
+    /// knob; see the `per_op` field).
+    pub fn with_per_op_dmu(mut self) -> Self {
+        self.per_op = true;
+        self
     }
 
     /// Direct access to the underlying DMU (used by tests and by the
@@ -609,16 +653,54 @@ impl DependenceEngine for HardwareEngine {
             }
         }
 
-        while pending.next_dep < spec.deps.len() {
-            let dep = &spec.deps[pending.next_dep];
-            match self
-                .dmu
-                .add_dependence(desc, DepAddr(dep.addr), dep.size, dep.direction)
-            {
-                Ok(r) => {
-                    cost += self.charge_instruction(now + cost, r.cost(latency));
-                    pending.next_dep += 1;
+        if self.per_op {
+            while pending.next_dep < spec.deps.len() {
+                let dep = &spec.deps[pending.next_dep];
+                match self
+                    .dmu
+                    .add_dependence(desc, DepAddr(dep.addr), dep.size, dep.direction)
+                {
+                    Ok(r) => {
+                        cost += self.charge_instruction(now + cost, r.cost(latency));
+                        pending.next_dep += 1;
+                    }
+                    Err(DmuError::Stall(_)) => {
+                        cost += self.charge_stalled_attempt(now + cost);
+                        self.stall_cycles += cost;
+                        self.pending = Some(pending);
+                        // Ready tasks may already be sitting in the queue;
+                        // expose them so workers are not starved while the
+                        // master waits.
+                        self.drain_ready(now + cost, &mut cost, ready);
+                        return CreationOutcome {
+                            cost,
+                            completed: false,
+                        };
+                    }
+                    Err(e) => panic!("unexpected DMU error during add_dependence: {e}"),
                 }
+            }
+        } else if pending.next_dep < spec.deps.len() {
+            // Hand the DMU the whole remaining dependence batch: the task ID
+            // is resolved through the TAT once, and each applied dependence
+            // returns its per-op access counter. Charges replay in op order
+            // below; `charge_instruction` depends only on its own
+            // (time, processing) sequence, never on DMU table state, so
+            // charging after the batch applied is arithmetic-identical to
+            // charging between per-op `add_dependence` calls.
+            let mut counters = std::mem::take(&mut self.dep_counters);
+            counters.clear();
+            let remaining = spec.deps[pending.next_dep..]
+                .iter()
+                .map(|dep| (DepAddr(dep.addr), dep.size, dep.direction));
+            let outcome = self.dmu.add_dependences(desc, remaining, &mut counters);
+            for counter in &counters {
+                cost += self.charge_instruction(now + cost, counter.cost(latency));
+            }
+            pending.next_dep += counters.len();
+            self.dep_counters = counters;
+            match outcome {
+                Ok(()) => {}
                 Err(DmuError::Stall(_)) => {
                     cost += self.charge_stalled_attempt(now + cost);
                     self.stall_cycles += cost;
@@ -670,6 +752,46 @@ impl DependenceEngine for HardwareEngine {
         self.release_descriptor(task);
         self.drain_ready(now + cost, &mut cost, ready);
         cost
+    }
+
+    /// Batched finish: one virtual call, one woken-buffer take/restore and
+    /// one latency lookup for the whole same-cycle batch. Each element is
+    /// still charged and drained exactly like a [`Self::finish_task`] call at
+    /// `now`, in batch order, so costs, ready order and DMU statistics are
+    /// bit-identical to the per-op path.
+    fn finish_batch(
+        &mut self,
+        now: Cycle,
+        finishes: &[(TaskRef, usize)],
+        costs: &mut Vec<Cycle>,
+        ready: &mut Vec<ReadyInfo>,
+        spans: &mut Vec<(usize, usize)>,
+    ) {
+        if self.per_op {
+            for &(task, core) in finishes {
+                let start = ready.len();
+                let cost = self.finish_task(now, task, core, ready);
+                costs.push(cost);
+                spans.push((start, ready.len()));
+            }
+            return;
+        }
+        let latency = self.dmu.access_latency();
+        let mut woken = std::mem::take(&mut self.woken_buf);
+        for &(task, _core) in finishes {
+            let start = ready.len();
+            let desc = self.descriptor(task);
+            let result = self
+                .dmu
+                .finish_task_into(desc, &mut woken)
+                .expect("finishing an in-flight task cannot fail");
+            let mut cost = self.charge_instruction(now, result.cost(latency));
+            self.release_descriptor(task);
+            self.drain_ready(now + cost, &mut cost, ready);
+            costs.push(cost);
+            spans.push((start, ready.len()));
+        }
+        self.woken_buf = woken;
     }
 
     fn hardware_report(&self) -> Option<HardwareReport> {

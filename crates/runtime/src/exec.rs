@@ -112,22 +112,33 @@ impl Backend {
         Backend::TaskSuperscalar(DmuConfig::default())
     }
 
-    fn build_engine(&self, cost: &CostModel, noc_round_trip: Cycle) -> Box<dyn DependenceEngine> {
+    fn build_engine(
+        &self,
+        cost: &CostModel,
+        noc_round_trip: Cycle,
+        per_op_dmu: bool,
+    ) -> Box<dyn DependenceEngine> {
+        let hardware = |flavor| {
+            let engine =
+                HardwareEngine::new(flavor, self.dmu_config(), cost.clone(), noc_round_trip);
+            if per_op_dmu {
+                engine.with_per_op_dmu()
+            } else {
+                engine
+            }
+        };
         match self {
             Backend::Software => Box::new(SoftwareEngine::new(cost.clone())),
             Backend::Carbon => Box::new(SoftwareEngine::with_name("carbon", cost.clone())),
-            Backend::Tdm(dmu) => Box::new(HardwareEngine::new(
-                HardwareFlavor::Tdm,
-                dmu.clone(),
-                cost.clone(),
-                noc_round_trip,
-            )),
-            Backend::TaskSuperscalar(dmu) => Box::new(HardwareEngine::new(
-                HardwareFlavor::TaskSuperscalar,
-                dmu.clone(),
-                cost.clone(),
-                noc_round_trip,
-            )),
+            Backend::Tdm(_) => Box::new(hardware(HardwareFlavor::Tdm)),
+            Backend::TaskSuperscalar(_) => Box::new(hardware(HardwareFlavor::TaskSuperscalar)),
+        }
+    }
+
+    fn dmu_config(&self) -> DmuConfig {
+        match self {
+            Backend::Tdm(dmu) | Backend::TaskSuperscalar(dmu) => dmu.clone(),
+            _ => DmuConfig::default(),
         }
     }
 }
@@ -170,6 +181,12 @@ pub struct ExecConfig {
     /// at a time): [`with_window`](ExecConfig::with_window) clamps eagerly,
     /// and the driver applies the same clamp to a directly assigned field.
     pub window: usize,
+    /// Route hardware-DMU work through the one-operation-at-a-time entry
+    /// points instead of the batched ones. The batched path is contractually
+    /// bit-identical — same modeled accesses, costs and reports — so this
+    /// knob exists only so the conformance suite can pin that contract by
+    /// running both and comparing. Off (batched) by default.
+    pub per_op_dmu: bool,
 }
 
 impl Default for ExecConfig {
@@ -184,6 +201,7 @@ impl Default for ExecConfig {
             locality_capacity_bytes: locality,
             trace_schedule: false,
             window: usize::MAX,
+            per_op_dmu: false,
         }
     }
 }
@@ -210,6 +228,13 @@ impl ExecConfig {
     /// [`window`](ExecConfig::window) directly behaves identically.
     pub fn with_window(mut self, window: usize) -> Self {
         self.window = window.max(1);
+        self
+    }
+
+    /// Same configuration with the per-operation DMU path selected (see
+    /// [`per_op_dmu`](ExecConfig::per_op_dmu)).
+    pub fn with_per_op_dmu(mut self) -> Self {
+        self.per_op_dmu = true;
         self
     }
 }
@@ -520,6 +545,21 @@ pub fn simulate_stream<S: TaskSource + ?Sized>(
     run_core(StreamFeed::new(source), backend, scheduler, config)
 }
 
+/// What the master core does in Phase 2 of the current batch, decided while
+/// the batch's engine work is issued (Pass A of [`run_core`]) and replayed
+/// with the driver bookkeeping (Pass B).
+enum MasterPlan {
+    /// No creation attempt this batch (master absent, throttled, or the feed
+    /// is exhausted): plain worker behaviour.
+    None,
+    /// The in-flight window is full: mark the master throttled, then worker
+    /// behaviour.
+    Throttle,
+    /// A creation was attempted; the tasks it readied are in the create
+    /// buffer.
+    Created { cost: Cycle, completed: bool },
+}
+
 /// The discrete-event loop shared by [`simulate`] and [`simulate_stream`].
 fn run_core<F: TaskFeed>(
     mut feed: F,
@@ -533,7 +573,7 @@ fn run_core<F: TaskFeed>(
     let noc = NocModel::from_chip(&config.chip);
     let noc_round_trip = noc.average_round_trip();
 
-    let mut engine = backend.build_engine(&config.cost, noc_round_trip);
+    let mut engine = backend.build_engine(&config.cost, noc_round_trip, config.per_op_dmu);
     let hardware_sched = backend.hardware_scheduling();
     let mut pool: Box<dyn Scheduler> = if hardware_sched {
         Box::new(FifoScheduler::new())
@@ -559,9 +599,15 @@ fn run_core<F: TaskFeed>(
     let mut running: Vec<Option<TaskRef>> = vec![None; num_cores];
     let mut idle_since: Vec<Option<Cycle>> = vec![None; num_cores];
     let mut idle_set = IdleSet::new(num_cores);
-    // One ready buffer reused across every engine call of the run; engines
-    // append, `push_ready` drains.
-    let mut ready_buf: Vec<ReadyInfo> = Vec::new();
+    // Batch buffers reused across cycles: the tasks finishing this cycle in
+    // event order (paired with their core), the per-finish costs, the tasks
+    // those finishes readied (with per-finish `[start, end)` spans into the
+    // shared buffer), and the tasks the master's creation attempt readied.
+    let mut fin_tasks: Vec<(TaskRef, usize)> = Vec::new();
+    let mut fin_costs: Vec<Cycle> = Vec::new();
+    let mut fin_spans: Vec<(usize, usize)> = Vec::new();
+    let mut fin_ready: Vec<ReadyInfo> = Vec::new();
+    let mut create_ready: Vec<ReadyInfo> = Vec::new();
     let mut next_create = 0usize;
     let mut finished = 0usize;
     let mut peak_resident = feed.resident();
@@ -602,21 +648,117 @@ fn run_core<F: TaskFeed>(
     // one-pop-at-a-time loop this replaces.
     let mut batch: Vec<usize> = Vec::new();
     while let Some(now) = events.pop_batch(&mut batch) {
+        // ------------------------------------------------------------------
+        // Pass A: every engine call of this batch, issued in event order.
+        //
+        // The engine sees exactly the operation sequence the per-event loop
+        // would issue — finishes of cores up to and including the master,
+        // the master's creation attempt, then the remaining finishes — but
+        // the finish runs go through `finish_batch`, which amortises
+        // per-call work across the whole cycle. Engine calls never read the
+        // scheduler pool, the idle set or the event queue, and the driver
+        // bookkeeping replayed in Pass B never touches the engine, so the
+        // two-pass split is observably identical to the interleaved loop it
+        // replaces (the per-op conformance suite pins this).
+        // ------------------------------------------------------------------
+        fin_tasks.clear();
+        fin_costs.clear();
+        fin_spans.clear();
+        fin_ready.clear();
+        create_ready.clear();
+        let mut master_plan = MasterPlan::None;
+
+        let master_pos = batch.iter().position(|&c| c == master);
+        let split = master_pos.map_or(batch.len(), |pos| pos + 1);
+        for &core in &batch[..split] {
+            if let Some(task) = running[core].take() {
+                fin_tasks.push((task, core));
+            }
+        }
+        engine.finish_batch(
+            now,
+            &fin_tasks,
+            &mut fin_costs,
+            &mut fin_ready,
+            &mut fin_spans,
+        );
+        for &(task, _) in &fin_tasks {
+            feed.release(task);
+        }
+        let first_run = fin_tasks.len();
+
+        if master_pos.is_some() {
+            // The master's creation decision, evaluated against the state it
+            // observes mid-batch: finishes processed before its event reset
+            // the throttle and shrink the in-flight window.
+            let finished_mid = finished + first_run;
+            let throttled_mid = master_throttled && first_run == 0;
+            if !throttled_mid && !feed.exhausted(next_create) {
+                if next_create - finished_mid >= window {
+                    master_plan = MasterPlan::Throttle;
+                } else {
+                    // The cycle the master reaches its creation attempt at:
+                    // its own finish cost plus one push per task that finish
+                    // readied.
+                    let mut t_master = now;
+                    if let Some(&(_, last_core)) = fin_tasks.last() {
+                        if last_core == master {
+                            let (start, end) = fin_spans[first_run - 1];
+                            t_master = now
+                                + fin_costs[first_run - 1]
+                                + push_cost.scaled((end - start) as u64);
+                        }
+                    }
+                    let task = TaskRef(next_create);
+                    let outcome = {
+                        let spec = feed.fetch(next_create);
+                        engine.create_task(t_master, task, spec, &mut create_ready)
+                    };
+                    peak_resident = peak_resident.max(feed.resident());
+                    master_plan = MasterPlan::Created {
+                        cost: outcome.cost,
+                        completed: outcome.completed,
+                    };
+                }
+            }
+            let before = fin_tasks.len();
+            for &core in &batch[split..] {
+                if let Some(task) = running[core].take() {
+                    fin_tasks.push((task, core));
+                }
+            }
+            engine.finish_batch(
+                now,
+                &fin_tasks[before..],
+                &mut fin_costs,
+                &mut fin_ready,
+                &mut fin_spans,
+            );
+            for &(task, _) in &fin_tasks[before..] {
+                feed.release(task);
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // Pass B: driver bookkeeping, replayed per event in batch order.
+        // ------------------------------------------------------------------
+        let mut fin_idx = 0usize;
         for &core in &batch {
             let mut t = now;
 
             // ------------------------------------------------------------------
-            // Phase 1: finish the task this core was running, if any.
+            // Phase 1: the finish this core contributed to the batch, if any.
             // ------------------------------------------------------------------
             let mut finished_here = false;
-            if let Some(task) = running[core].take() {
+            if fin_idx < fin_tasks.len() && fin_tasks[fin_idx].1 == core {
+                let (task, _) = fin_tasks[fin_idx];
+                let fin_cost = fin_costs[fin_idx];
+                let (start, end) = fin_spans[fin_idx];
+                fin_idx += 1;
                 // Any finish releases DMU resources and shrinks the in-flight
                 // window, so a throttled master may retry creation at its next
                 // opportunity.
                 master_throttled = false;
-                ready_buf.clear();
-                let fin_cost = engine.finish_task(t, task, core, &mut ready_buf);
-                feed.release(task);
                 stats.cores[core].add(Phase::Deps, fin_cost);
                 t += fin_cost;
                 finished += 1;
@@ -630,7 +772,7 @@ fn run_core<F: TaskFeed>(
                 }
                 makespan = makespan.max(t);
                 push_ready(
-                    &ready_buf,
+                    &fin_ready[start..end],
                     Some(core),
                     &mut t,
                     core,
@@ -653,7 +795,7 @@ fn run_core<F: TaskFeed>(
             }
 
             // ------------------------------------------------------------------
-            // Phase 2: the master creates tasks until it stalls or runs out.
+            // Phase 2: the master's creation attempt, decided in Pass A.
             //
             // When a creation attempt stalls on a full DMU structure, or the
             // in-flight count reaches the configured window, the master does not
@@ -661,39 +803,37 @@ fn run_core<F: TaskFeed>(
             // worker path, executes a task (or goes idle) and retries creation
             // after the next finish.
             // ------------------------------------------------------------------
-            if core == master && !master_throttled && !feed.exhausted(next_create) {
-                if next_create - finished >= window {
-                    master_throttled = true;
-                    // Fall through to the worker path while the window drains.
-                } else {
-                    let task = TaskRef(next_create);
-                    ready_buf.clear();
-                    let outcome = {
-                        let spec = feed.fetch(next_create);
-                        engine.create_task(t, task, spec, &mut ready_buf)
-                    };
-                    peak_resident = peak_resident.max(feed.resident());
-                    stats.cores[master].add(Phase::Deps, outcome.cost);
-                    t += outcome.cost;
-                    push_ready(
-                        &ready_buf,
-                        None,
-                        &mut t,
-                        master,
-                        &mut *pool,
-                        &mut stats,
-                        push_cost,
-                        &mut idle_set,
-                        &mut events,
-                    );
-                    if outcome.completed {
-                        next_create += 1;
-                        events.schedule(t, master);
-                        continue;
+            if core == master {
+                match master_plan {
+                    MasterPlan::None => {}
+                    MasterPlan::Throttle => {
+                        master_throttled = true;
+                        // Fall through to the worker path while the window
+                        // drains.
                     }
-                    master_throttled = true;
-                    // Fall through to the worker path: execute something (or
-                    // idle) while the DMU drains.
+                    MasterPlan::Created { cost, completed } => {
+                        stats.cores[master].add(Phase::Deps, cost);
+                        t += cost;
+                        push_ready(
+                            &create_ready,
+                            None,
+                            &mut t,
+                            master,
+                            &mut *pool,
+                            &mut stats,
+                            push_cost,
+                            &mut idle_set,
+                            &mut events,
+                        );
+                        if completed {
+                            next_create += 1;
+                            events.schedule(t, master);
+                            continue;
+                        }
+                        master_throttled = true;
+                        // Fall through to the worker path: execute something
+                        // (or idle) while the DMU drains.
+                    }
                 }
             }
 

@@ -14,7 +14,7 @@
 //! were just produced here" versus "my inputs live in another core's cache or
 //! in L2/memory", which an LRU over dependence blocks captures.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
@@ -64,27 +64,57 @@ impl CoreResidency {
     }
 
     /// Touches a block: moves it to the MRU position, inserting it if absent,
-    /// and evicts LRU blocks if the capacity is exceeded.
-    fn touch(&mut self, addr: BlockAddr, size: u64, capacity: u64) {
+    /// and evicts LRU blocks if the capacity is exceeded. Evicted addresses
+    /// are reported through `holders` so the model-level index stays in sync.
+    fn touch(
+        &mut self,
+        core: usize,
+        addr: BlockAddr,
+        size: u64,
+        capacity: u64,
+        holders: &mut HashMap<BlockAddr, Vec<u32>>,
+    ) {
         if let Some(pos) = self.blocks.iter().position(|&(a, _)| a == addr) {
             let entry = self.blocks.remove(pos).expect("position came from iter");
             self.bytes -= entry.1;
+        } else {
+            holders.entry(addr).or_default().push(core as u32);
         }
         self.blocks.push_front((addr, size));
         self.bytes += size;
         while self.bytes > capacity && self.blocks.len() > 1 {
-            if let Some((_, evicted)) = self.blocks.pop_back() {
+            if let Some((evicted_addr, evicted)) = self.blocks.pop_back() {
                 self.bytes -= evicted;
+                remove_holder(holders, evicted_addr, core);
             }
         }
         // A single block larger than the whole cache is allowed to stay: the
         // task streams through it and the miss cost is charged on access.
     }
 
-    fn invalidate(&mut self, addr: BlockAddr) {
+    fn invalidate(
+        &mut self,
+        core: usize,
+        addr: BlockAddr,
+        holders: &mut HashMap<BlockAddr, Vec<u32>>,
+    ) {
         if let Some(pos) = self.blocks.iter().position(|&(a, _)| a == addr) {
             let entry = self.blocks.remove(pos).expect("position came from iter");
             self.bytes -= entry.1;
+            remove_holder(holders, addr, core);
+        }
+    }
+}
+
+/// Drops `core` from the holder list of `addr`, removing the map entry when
+/// the list empties.
+fn remove_holder(holders: &mut HashMap<BlockAddr, Vec<u32>>, addr: BlockAddr, core: usize) {
+    if let Some(list) = holders.get_mut(&addr) {
+        if let Some(pos) = list.iter().position(|&c| c as usize == core) {
+            list.swap_remove(pos);
+            if list.is_empty() {
+                holders.remove(&addr);
+            }
         }
     }
 }
@@ -108,6 +138,15 @@ impl CoreResidency {
 pub struct LocalityModel {
     capacity_bytes: u64,
     cores: Vec<CoreResidency>,
+    /// Derived index: which cores currently hold each resident block. Lets a
+    /// write invalidate exactly the holders instead of scanning every core's
+    /// LRU (the former `record_writes` hot loop was O(cores × resident
+    /// blocks) per written block). Purely an actual-work accelerator: the
+    /// per-core residency contents — and therefore every probe outcome —
+    /// are unchanged. Never iterated, so map order is unobservable.
+    holders: HashMap<BlockAddr, Vec<u32>>,
+    /// Scratch holder snapshot reused across `record_writes` calls.
+    scratch: Vec<u32>,
 }
 
 impl LocalityModel {
@@ -124,6 +163,8 @@ impl LocalityModel {
         LocalityModel {
             capacity_bytes,
             cores: vec![CoreResidency::default(); num_cores],
+            holders: HashMap::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -159,22 +200,33 @@ impl LocalityModel {
     /// Records that `core` read the given blocks (they become resident there).
     pub fn record_reads(&mut self, core: usize, working_set: &[(BlockAddr, u64)]) {
         for &(addr, size) in working_set {
-            self.cores[core].touch(addr, size, self.capacity_bytes);
+            self.cores[core].touch(core, addr, size, self.capacity_bytes, &mut self.holders);
         }
+        self.debug_check_holders();
     }
 
     /// Records that `core` wrote the given blocks. The blocks become resident
     /// on the writer and are invalidated everywhere else (a coarse model of
     /// invalidation-based coherence).
     pub fn record_writes(&mut self, core: usize, working_set: &[(BlockAddr, u64)]) {
+        let mut scratch = std::mem::take(&mut self.scratch);
         for &(addr, size) in working_set {
-            for (i, residency) in self.cores.iter_mut().enumerate() {
-                if i != core {
-                    residency.invalidate(addr);
+            // Snapshot the holder list: invalidation mutates it, and at most
+            // a handful of cores ever hold one block.
+            scratch.clear();
+            if let Some(holding) = self.holders.get(&addr) {
+                scratch.extend_from_slice(holding);
+            }
+            for &holder in &scratch {
+                let holder = holder as usize;
+                if holder != core {
+                    self.cores[holder].invalidate(holder, addr, &mut self.holders);
                 }
             }
-            self.cores[core].touch(addr, size, self.capacity_bytes);
+            self.cores[core].touch(core, addr, size, self.capacity_bytes, &mut self.holders);
         }
+        self.scratch = scratch;
+        self.debug_check_holders();
     }
 
     /// Forgets all residency information (used between parallel regions).
@@ -182,6 +234,29 @@ impl LocalityModel {
         for core in &mut self.cores {
             core.blocks.clear();
             core.bytes = 0;
+        }
+        self.holders.clear();
+    }
+
+    /// Debug-build invariant: `holders` is exactly the per-block transpose of
+    /// the per-core residency lists.
+    fn debug_check_holders(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let mut expected: HashMap<BlockAddr, Vec<u32>> = HashMap::new();
+            for (i, residency) in self.cores.iter().enumerate() {
+                for &(addr, _) in &residency.blocks {
+                    expected.entry(addr).or_default().push(i as u32);
+                }
+            }
+            assert_eq!(expected.len(), self.holders.len(), "holder index drift");
+            for (addr, cores) in &expected {
+                let mut got = self.holders.get(addr).cloned().unwrap_or_default();
+                let mut want = cores.clone();
+                got.sort_unstable();
+                want.sort_unstable();
+                assert_eq!(got, want, "holder index drift for block {addr:#x}");
+            }
         }
     }
 
@@ -286,6 +361,64 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_panics() {
         let _ = LocalityModel::new(1, 0);
+    }
+
+    #[test]
+    fn holder_index_matches_a_scan_of_every_core_in_randomized_lockstep() {
+        // The holder index is a derived accelerator; residency (and thus
+        // every probe outcome) must match the retired scan-all-cores
+        // implementation. Replay random reads/writes/resets against a naive
+        // copy that recomputes hit/miss by scanning the per-core lists.
+        use crate::rng::SplitMix64;
+        let mut rng = SplitMix64::new(0xCAFE);
+        let cores = 5;
+        let mut model = LocalityModel::new(cores, 1000);
+        // Mirror of the expected residency: per core, MRU-first (addr, size).
+        let mut mirror: Vec<Vec<(u64, u64)>> = vec![Vec::new(); cores];
+        for step in 0..4000 {
+            let core = (rng.next_u64() % cores as u64) as usize;
+            let addr = 0x100 + (rng.next_u64() % 12) * 0x100;
+            let size = 100 + (rng.next_u64() % 4) * 150;
+            match rng.next_u64() % 8 {
+                0 => {
+                    model.reset();
+                    for m in &mut mirror {
+                        m.clear();
+                    }
+                }
+                1..=3 => {
+                    model.record_reads(core, &[(addr, size)]);
+                    mirror_touch(&mut mirror[core], addr, size, 1000);
+                }
+                _ => {
+                    model.record_writes(core, &[(addr, size)]);
+                    for (i, m) in mirror.iter_mut().enumerate() {
+                        if i != core {
+                            m.retain(|&(a, _)| a != addr);
+                        }
+                    }
+                    mirror_touch(&mut mirror[core], addr, size, 1000);
+                }
+            }
+            for (i, m) in mirror.iter().enumerate() {
+                let bytes: u64 = m.iter().map(|&(_, s)| s).sum();
+                assert_eq!(model.resident_bytes(i), bytes, "step {step} core {i}");
+                for &(a, s) in m {
+                    assert_eq!(model.probe(i, &[(a, s)]).hit_bytes, s, "step {step}");
+                }
+            }
+        }
+    }
+
+    /// The pre-index `touch` semantics, against a plain MRU-first Vec.
+    fn mirror_touch(list: &mut Vec<(u64, u64)>, addr: u64, size: u64, capacity: u64) {
+        list.retain(|&(a, _)| a != addr);
+        list.insert(0, (addr, size));
+        let mut bytes: u64 = list.iter().map(|&(_, s)| s).sum();
+        while bytes > capacity && list.len() > 1 {
+            let (_, evicted) = list.pop().expect("len checked");
+            bytes -= evicted;
+        }
     }
 
     #[test]

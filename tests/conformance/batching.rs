@@ -1,0 +1,95 @@
+//! Batched-vs-per-op DMU equivalence.
+//!
+//! The driver hands the dependence engines whole same-cycle batches
+//! (`finish_batch`, `Dmu::add_dependences`) so table lookups, dispatch and
+//! buffer churn are amortised — but batching is contractually an *actual*-work
+//! optimisation only: modeled accesses, costs, schedules and statistics must
+//! be bit-identical to issuing one operation at a time. The
+//! [`ExecConfig::per_op_dmu`] knob forces the one-at-a-time entry points;
+//! these tests run every cell of the conformance matrix both ways and compare
+//! entire [`RunReport`]s (stats, phase breakdowns, hardware counters and the
+//! traced schedule all participate in `PartialEq`).
+
+use crate::common::{small_benchmark_streams, small_benchmarks};
+use crate::{all_backends, conformance_config};
+use tdm::prelude::*;
+use tdm::runtime::exec::simulate_stream;
+
+/// Eager matrix: benchmark × backend × scheduler, batched vs per-op.
+#[test]
+fn batched_dmu_matches_per_op_across_the_matrix() {
+    let batched_config = conformance_config();
+    let per_op_config = conformance_config().with_per_op_dmu();
+    for workload in small_benchmarks() {
+        for backend in all_backends() {
+            for scheduler in SchedulerKind::all() {
+                let context = format!(
+                    "{} on {} with {}",
+                    workload.name,
+                    backend.name(),
+                    scheduler.name()
+                );
+                let batched = simulate(&workload, &backend, scheduler, &batched_config);
+                let per_op = simulate(&workload, &backend, scheduler, &per_op_config);
+                assert_eq!(batched, per_op, "{context}");
+            }
+        }
+    }
+}
+
+/// Streaming side with a finite window: the throttled master retries
+/// creation after finishes, so the batched creation-resume path (partial
+/// `add_dependences` progress) is exercised too.
+#[test]
+fn batched_dmu_matches_per_op_when_streaming_windowed() {
+    for window in [2usize, 16] {
+        let batched_config = conformance_config().with_window(window);
+        let per_op_config = conformance_config().with_window(window).with_per_op_dmu();
+        for (w_idx, workload) in small_benchmarks().iter().enumerate() {
+            for backend in [Backend::tdm_default(), Backend::task_superscalar_default()] {
+                let context = format!("{} window {window} on {}", workload.name, backend.name());
+                let mut stream = small_benchmark_streams().swap_remove(w_idx);
+                let batched =
+                    simulate_stream(&mut stream, &backend, SchedulerKind::Fifo, &batched_config);
+                let mut stream = small_benchmark_streams().swap_remove(w_idx);
+                let per_op =
+                    simulate_stream(&mut stream, &backend, SchedulerKind::Fifo, &per_op_config);
+                assert_eq!(batched, per_op, "{context}");
+            }
+        }
+    }
+}
+
+/// A deliberately tiny DMU stalls constantly, so the stall-and-retry protocol
+/// of the batched `add_dependences` (resume from the per-op counter count)
+/// must line up with per-op retries on every stall.
+#[test]
+fn batched_dmu_matches_per_op_under_constant_stalls() {
+    let dmu = DmuConfig {
+        tat_entries: 16,
+        tat_ways: 8,
+        dat_entries: 16,
+        dat_ways: 8,
+        successor_la_entries: 16,
+        dependence_la_entries: 16,
+        reader_la_entries: 16,
+        ..DmuConfig::default()
+    };
+    let backend = Backend::Tdm(dmu);
+    let batched_config = conformance_config();
+    let per_op_config = conformance_config().with_per_op_dmu();
+    for workload in small_benchmarks() {
+        let batched = simulate(&workload, &backend, SchedulerKind::Fifo, &batched_config);
+        let per_op = simulate(&workload, &backend, SchedulerKind::Fifo, &per_op_config);
+        let hw = batched
+            .hardware
+            .as_ref()
+            .expect("TDM runs carry a hardware report");
+        assert!(
+            hw.stats.stalls > 0,
+            "{}: tiny DMU must stall",
+            workload.name
+        );
+        assert_eq!(batched, per_op, "{}", workload.name);
+    }
+}

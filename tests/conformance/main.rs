@@ -21,6 +21,7 @@
 #[path = "../common/mod.rs"]
 mod common;
 
+mod batching;
 mod determinism;
 mod schedule;
 mod stats;

@@ -3,8 +3,10 @@
 //!
 //! ```text
 //! bench_scale run    [--tasks N] [--window W] [--bench NAME] [--backend B]
-//! bench_scale smoke  [--tasks N] [--window W]      # CI: small run, asserts bounds
-//! bench_scale verify                               # CI: Table II, 36 cells, bit-identical
+//!                    [--checkpoint-every CYCLES] [--checkpoint-file PATH] [--halt-after K]
+//! bench_scale smoke  [--tasks N] [--window W] [...]  # CI: small run, asserts bounds
+//! bench_scale verify                                 # CI: Table II, 36 cells, bit-identical
+//! bench_scale resume [--checkpoint-file PATH] [--verify]
 //! ```
 //!
 //! * `run` drives each selected benchmark's scaled-up lazy generator
@@ -21,14 +23,28 @@
 //!   the lazy generator — and fails on any difference in makespan, task
 //!   count or DMU access totals. This is the 36-cell equivalence gate the
 //!   scaled-down conformance tests mirror in debug builds.
+//! * `--checkpoint-every CYCLES` makes `run`/`smoke` write a binary snapshot
+//!   (see `SNAPSHOT_FORMAT.md`) to `--checkpoint-file` at each interval of
+//!   simulated time; `--halt-after K` stops the run at the K-th checkpoint,
+//!   leaving the snapshot on disk as the resume point.
+//! * `resume` reads the snapshot back, rebuilds the scaled generator from
+//!   the BENCH section, fast-forwards it to the stored cursor and drives the
+//!   run to completion. With `--verify` it also replays the same run
+//!   uninterrupted and fails unless the two reports are bit-identical —
+//!   the CI checkpoint smoke uses exactly this.
 
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use tdm_bench::cli::{self, Args};
 use tdm_bench::standard_config;
-use tdm_runtime::exec::{simulate, simulate_stream, Backend, ExecConfig};
+use tdm_runtime::exec::{
+    resume_stream, simulate, simulate_stream, simulate_stream_checkpointed, Backend, ExecConfig,
+};
 use tdm_runtime::scheduler::SchedulerKind;
+use tdm_sim::clock::Cycle;
+use tdm_sim::snapshot::{section, Persist, Reader, Snapshot};
 use tdm_workloads::Benchmark;
 
 /// Default task target for `run`: the million-task milestone.
@@ -42,11 +58,18 @@ const DEFAULT_RUN_WINDOW: usize = 4096;
 /// Default creation window for `smoke`: deliberately tight.
 const DEFAULT_SMOKE_WINDOW: usize = 256;
 
+/// Default snapshot path when checkpointing is requested without
+/// `--checkpoint-file`.
+const DEFAULT_CHECKPOINT_FILE: &str = "bench_scale.snap";
+
 struct Options {
     tasks: usize,
     window: usize,
     bench: Option<Benchmark>,
     backend: Backend,
+    checkpoint_every: Option<u64>,
+    checkpoint_file: String,
+    halt_after: Option<usize>,
 }
 
 fn parse_options(args: &[String], tasks: usize, window: usize) -> Result<Options, String> {
@@ -55,6 +78,9 @@ fn parse_options(args: &[String], tasks: usize, window: usize) -> Result<Options
         window,
         bench: None,
         backend: Backend::tdm_default(),
+        checkpoint_every: None,
+        checkpoint_file: DEFAULT_CHECKPOINT_FILE.to_string(),
+        halt_after: None,
     };
     let mut args = Args::new(args);
     while let Some(flag) = args.next_flag() {
@@ -76,8 +102,28 @@ fn parse_options(args: &[String], tasks: usize, window: usize) -> Result<Options
             "--backend" => {
                 options.backend = cli::parse_backend(&args.value("--backend")?)?;
             }
+            "--checkpoint-every" => {
+                options.checkpoint_every = Some(cli::parse_count(
+                    "--checkpoint-every",
+                    &args.value("--checkpoint-every")?,
+                    " cycle",
+                )? as u64);
+            }
+            "--checkpoint-file" => {
+                options.checkpoint_file = args.value("--checkpoint-file")?;
+            }
+            "--halt-after" => {
+                options.halt_after = Some(cli::parse_count(
+                    "--halt-after",
+                    &args.value("--halt-after")?,
+                    " checkpoint",
+                )?);
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    if options.halt_after.is_some() && options.checkpoint_every.is_none() {
+        return Err("--halt-after needs --checkpoint-every".to_string());
     }
     Ok(options)
 }
@@ -89,24 +135,81 @@ fn selected(options: &Options) -> Vec<Benchmark> {
     }
 }
 
-/// One scaled streaming run; returns `(tasks, peak_resident, tasks_per_sec)`.
-fn scaled_run(bench: Benchmark, options: &Options, config: &ExecConfig) -> (u64, usize, f64, u64) {
+/// Serialises the BENCH section: what `resume` needs to rebuild the scaled
+/// generator and the matching configuration (the rest of the run state is in
+/// the driver-written sections).
+fn bench_section(bench: Benchmark, options: &Options) -> Vec<u8> {
+    let mut out = Vec::new();
+    bench.name().to_string().save(&mut out);
+    options.tasks.save(&mut out);
+    options.window.save(&mut out);
+    out
+}
+
+/// One scaled streaming run; returns `(tasks, peak_resident, tasks_per_sec,
+/// makespan)`, or `Ok(None)` when `--halt-after` stopped the run at a
+/// checkpoint.
+fn scaled_run(
+    bench: Benchmark,
+    options: &Options,
+    config: &ExecConfig,
+) -> Result<Option<(u64, usize, f64, u64)>, String> {
     let mut stream = bench.scaled_stream(options.tasks);
     let start = Instant::now();
-    let report = simulate_stream(&mut stream, &options.backend, SchedulerKind::Fifo, config);
+    let report = if config.checkpoint_every.is_some() {
+        let extra = bench_section(bench, options);
+        let mut count = 0usize;
+        let mut sink_error: Option<String> = None;
+        let outcome = simulate_stream_checkpointed(
+            &mut stream,
+            &options.backend,
+            SchedulerKind::Fifo,
+            config,
+            &mut |mut snap| {
+                count += 1;
+                snap.add_section(section::BENCH, extra.clone());
+                if let Err(e) = snap.write_to(Path::new(&options.checkpoint_file)) {
+                    sink_error = Some(e.to_string());
+                    return false;
+                }
+                match options.halt_after {
+                    Some(k) => count < k,
+                    None => true,
+                }
+            },
+        );
+        if let Some(e) = sink_error {
+            return Err(e);
+        }
+        match outcome {
+            Some(report) => report,
+            None => {
+                println!(
+                    "halted {} at checkpoint {count}; resume with: bench_scale resume \
+                     --checkpoint-file {}",
+                    bench.name(),
+                    options.checkpoint_file
+                );
+                return Ok(None);
+            }
+        }
+    } else {
+        simulate_stream(&mut stream, &options.backend, SchedulerKind::Fifo, config)
+    };
     let wall = start.elapsed().as_secs_f64();
-    (
+    Ok(Some((
         report.tasks,
         report.peak_resident_tasks,
         report.tasks as f64 / wall.max(1e-9),
         report.makespan().raw(),
-    )
+    )))
 }
 
 fn run_or_smoke(options: &Options) -> ExitCode {
     // `parse_options` rejected window 0, so no clamp is needed here.
     let config = ExecConfig {
         window: options.window,
+        checkpoint_every: options.checkpoint_every.map(Cycle::new),
         ..standard_config()
     };
     println!(
@@ -123,7 +226,17 @@ fn run_or_smoke(options: &Options) -> ExitCode {
     println!("|{}|", "-".repeat(78));
     let mut failures = 0;
     for bench in selected(options) {
-        let (tasks, peak, throughput, makespan) = scaled_run(bench, options, &config);
+        let (tasks, peak, throughput, makespan) = match scaled_run(bench, options, &config) {
+            Ok(Some(outcome)) => outcome,
+            // Halted at a checkpoint on request: the snapshot on disk is the
+            // deliverable, not a completed run.
+            Ok(None) => continue,
+            Err(message) => {
+                eprintln!("FAIL {}: {message}", bench.name());
+                failures += 1;
+                continue;
+            }
+        };
         println!(
             "| {:<14} | {:>9} | {:>13} | {:>16} | {:>12.0} |",
             bench.name(),
@@ -225,6 +338,78 @@ fn verify() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Resumes a halted checkpointed run from its snapshot file and drives it to
+/// completion; with `verify_against_straight` it also replays the run
+/// uninterrupted and fails unless the two reports are bit-identical.
+fn resume_mode(checkpoint_file: &str, verify_against_straight: bool) -> Result<ExitCode, String> {
+    let path = Path::new(checkpoint_file);
+    let snap = Snapshot::read_from(path).map_err(|e| e.to_string())?;
+    let payload = snap.section(section::BENCH).map_err(|e| {
+        format!("{e} (was this snapshot written by bench_scale's --checkpoint-every?)")
+    })?;
+    let mut r = Reader::new(payload);
+    let bench_name = String::load(&mut r).map_err(|e| e.to_string())?;
+    let tasks = usize::load(&mut r).map_err(|e| e.to_string())?;
+    let window = usize::load(&mut r).map_err(|e| e.to_string())?;
+    r.expect_end("BENCH").map_err(|e| e.to_string())?;
+    let bench = cli::parse_benchmark(&bench_name)?;
+
+    let config = ExecConfig {
+        window,
+        ..standard_config()
+    };
+    let mut stream = bench.scaled_stream(tasks);
+    let start = Instant::now();
+    let report = resume_stream(&mut stream, &snap, &config).map_err(|e| e.to_string())?;
+    let wall = start.elapsed().as_secs_f64();
+    println!(
+        "resumed {} from {}: {} tasks total, makespan {} cycles, {:.0} tasks/sec \
+         (resumed leg)",
+        bench.name(),
+        checkpoint_file,
+        report.tasks,
+        report.makespan().raw(),
+        report.tasks as f64 / wall.max(1e-9),
+    );
+    if !verify_against_straight {
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    // The resumed run rebuilt its backend from the snapshot's META section;
+    // replay the same backend straight through for comparison.
+    let backend = cli::parse_backend(&report.backend)?;
+    let mut stream = bench.scaled_stream(tasks);
+    let straight = simulate_stream(&mut stream, &backend, SchedulerKind::Fifo, &config);
+    if report == straight {
+        println!("verified: resumed report is bit-identical to the uninterrupted run");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "FAIL: resumed report diverges from the uninterrupted run \
+             (makespan {} vs {}, tasks {} vs {})",
+            report.makespan(),
+            straight.makespan(),
+            report.tasks,
+            straight.tasks
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn parse_resume(args: &[String]) -> Result<(String, bool), String> {
+    let mut file = DEFAULT_CHECKPOINT_FILE.to_string();
+    let mut verify = false;
+    let mut args = Args::new(args);
+    while let Some(flag) = args.next_flag() {
+        match flag.as_str() {
+            "--checkpoint-file" => file = args.value("--checkpoint-file")?,
+            "--verify" => verify = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok((file, verify))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mode = args.first().map(String::as_str).unwrap_or("run");
@@ -239,8 +424,21 @@ fn main() -> ExitCode {
             }
             return verify();
         }
+        "resume" => {
+            return match parse_resume(rest).and_then(|(file, v)| resume_mode(&file, v)) {
+                Ok(code) => code,
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         other => {
-            eprintln!("usage: bench_scale [run|smoke|verify] [--tasks N] [--window W] [--bench NAME] [--backend B]");
+            eprintln!(
+                "usage: bench_scale [run|smoke|verify|resume] [--tasks N] [--window W] \
+                 [--bench NAME] [--backend B] [--checkpoint-every CYCLES] \
+                 [--checkpoint-file PATH] [--halt-after K] [--verify]"
+            );
             eprintln!("unknown mode {other:?}");
             return ExitCode::FAILURE;
         }

@@ -289,6 +289,77 @@ impl AliasTable {
     }
 }
 
+// Snapshot support. Everything is persisted verbatim — including the free-ID
+// queue *in order*, because IDs are popped from its back and a resumed run
+// must hand out the same IDs the straight-through run would have.
+use tdm_sim::snapshot::{Persist, Reader, SnapshotError};
+
+impl Persist for AliasOccupancy {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.occupied_set_samples_sum.save(out);
+        self.samples.save(out);
+        self.peak_entries.save(out);
+        self.set_conflicts.save(out);
+        self.exhaustions.save(out);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(AliasOccupancy {
+            occupied_set_samples_sum: u64::load(r)?,
+            samples: u64::load(r)?,
+            peak_entries: usize::load(r)?,
+            set_conflicts: u64::load(r)?,
+            exhaustions: u64::load(r)?,
+        })
+    }
+}
+
+impl Persist for AliasTable {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.addrs.save(out);
+        self.ids.save(out);
+        self.set_lens.save(out);
+        self.ways.save(out);
+        self.free_ids.save(out);
+        self.policy.save(out);
+        self.occupancy.save(out);
+        self.valid_entries.save(out);
+        self.occupied.save(out);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let table = AliasTable {
+            addrs: Vec::load(r)?,
+            ids: Vec::load(r)?,
+            set_lens: Vec::load(r)?,
+            ways: usize::load(r)?,
+            free_ids: Vec::load(r)?,
+            policy: crate::config::IndexPolicy::load(r)?,
+            occupancy: AliasOccupancy::load(r)?,
+            valid_entries: usize::load(r)?,
+            occupied: usize::load(r)?,
+        };
+        let entries = table.addrs.len();
+        if table.ways == 0
+            || table.ids.len() != entries
+            || table.set_lens.len() * table.ways != entries
+            || table.free_ids.len() != entries - table.valid_entries
+        {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "alias table geometry is inconsistent ({} addrs, {} ids, {} sets × {} \
+                     ways, {} free of {} valid)",
+                    entries,
+                    table.ids.len(),
+                    table.set_lens.len(),
+                    table.ways,
+                    table.free_ids.len(),
+                    table.valid_entries
+                ),
+            });
+        }
+        Ok(table)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -218,6 +218,68 @@ impl DmuConfig {
     }
 }
 
+// Snapshot support: the geometry is persisted alongside the DMU state so a
+// resumed run can verify it is rebuilding against the same hardware shape.
+use tdm_sim::snapshot::{Persist, Reader, SnapshotError};
+
+impl Persist for IndexPolicy {
+    fn save(&self, out: &mut Vec<u8>) {
+        match self {
+            IndexPolicy::Static { low_bit } => {
+                0u8.save(out);
+                low_bit.save(out);
+            }
+            IndexPolicy::Dynamic => 1u8.save(out),
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        match u8::load(r)? {
+            0 => Ok(IndexPolicy::Static {
+                low_bit: u32::load(r)?,
+            }),
+            1 => Ok(IndexPolicy::Dynamic),
+            other => Err(SnapshotError::Corrupt {
+                context: format!("index-policy tag {other} (expected 0 or 1)"),
+            }),
+        }
+    }
+}
+
+impl Persist for DmuConfig {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.tat_entries.save(out);
+        self.tat_ways.save(out);
+        self.dat_entries.save(out);
+        self.dat_ways.save(out);
+        self.successor_la_entries.save(out);
+        self.dependence_la_entries.save(out);
+        self.reader_la_entries.save(out);
+        self.elems_per_list_entry.save(out);
+        self.ready_queue_entries.save(out);
+        self.access_latency.save(out);
+        self.index_policy.save(out);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let config = DmuConfig {
+            tat_entries: usize::load(r)?,
+            tat_ways: usize::load(r)?,
+            dat_entries: usize::load(r)?,
+            dat_ways: usize::load(r)?,
+            successor_la_entries: usize::load(r)?,
+            dependence_la_entries: usize::load(r)?,
+            reader_la_entries: usize::load(r)?,
+            elems_per_list_entry: usize::load(r)?,
+            ready_queue_entries: usize::load(r)?,
+            access_latency: Cycle::load(r)?,
+            index_policy: IndexPolicy::load(r)?,
+        };
+        config.validate().map_err(|msg| SnapshotError::Corrupt {
+            context: format!("DMU geometry in snapshot is invalid: {msg}"),
+        })?;
+        Ok(config)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -805,6 +805,69 @@ pub struct PeakOccupancy {
     pub dat: usize,
 }
 
+// Snapshot support: the full DMU state — geometry, both alias tables, the
+// task/dependence slabs, all three list arrays, the ready queue, and the
+// operation counters. `req_scratch` is per-operation scratch (always empty
+// between operations) and is rebuilt empty on load.
+use tdm_sim::snapshot::{Persist, Reader, SnapshotError};
+
+impl Persist for DmuStats {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.creates.save(out);
+        self.add_dependences.save(out);
+        self.submits.save(out);
+        self.finishes.save(out);
+        self.get_readies.save(out);
+        self.stalls.save(out);
+        self.total_accesses.save(out);
+        self.peak_tasks.save(out);
+        self.peak_deps.save(out);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(DmuStats {
+            creates: u64::load(r)?,
+            add_dependences: u64::load(r)?,
+            submits: u64::load(r)?,
+            finishes: u64::load(r)?,
+            get_readies: u64::load(r)?,
+            stalls: u64::load(r)?,
+            total_accesses: u64::load(r)?,
+            peak_tasks: usize::load(r)?,
+            peak_deps: usize::load(r)?,
+        })
+    }
+}
+
+impl Persist for Dmu {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.config.save(out);
+        self.tat.save(out);
+        self.dat.save(out);
+        self.tasks.save(out);
+        self.deps.save(out);
+        self.sla.save(out);
+        self.dla.save(out);
+        self.rla.save(out);
+        self.ready.save(out);
+        self.stats.save(out);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Dmu {
+            config: DmuConfig::load(r)?,
+            tat: AliasTable::load(r)?,
+            dat: AliasTable::load(r)?,
+            tasks: TaskTable::load(r)?,
+            deps: DependenceTable::load(r)?,
+            sla: ListArray::load(r)?,
+            dla: ListArray::load(r)?,
+            rla: ListArray::load(r)?,
+            ready: ReadyQueue::load(r)?,
+            stats: DmuStats::load(r)?,
+            req_scratch: Vec::new(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1320,6 +1383,42 @@ mod tests {
         assert!(dmu.is_drained());
         assert_eq!(dmu.stats().finishes, total);
         assert!(dmu.stats().stalls > 0, "the tiny DMU must have stalled");
+    }
+
+    #[test]
+    fn snapshot_round_trip_mid_flight() {
+        let mut dmu = Dmu::new(small_config());
+        spawn(&mut dmu, desc(0), &[(block(0), DepDirection::Out)]);
+        spawn(&mut dmu, desc(1), &[(block(0), DepDirection::In)]);
+        spawn(
+            &mut dmu,
+            desc(2),
+            &[(block(0), DepDirection::In), (block(1), DepDirection::Out)],
+        );
+        // Consume one ready task so the round trip crosses a non-trivial state:
+        // live tasks, pending dependences, and a partially drained ready queue.
+        let first = dmu.get_ready_task().value.unwrap().descriptor;
+        assert_eq!(first, desc(0));
+
+        let mut bytes = Vec::new();
+        dmu.save(&mut bytes);
+        let mut reader = Reader::new(&bytes);
+        let mut restored = Dmu::load(&mut reader).expect("snapshot must load");
+        reader.expect_end("dmu").unwrap();
+        assert_eq!(format!("{dmu:?}"), format!("{restored:?}"));
+
+        // Both copies must behave identically from here on.
+        for copy in [&mut dmu, &mut restored] {
+            copy.finish_task(first).unwrap();
+            let mut order = Vec::new();
+            while let Some(t) = copy.get_ready_task().value {
+                order.push(t.descriptor);
+                copy.finish_task(t.descriptor).unwrap();
+            }
+            assert_eq!(order, vec![desc(1), desc(2)]);
+            assert!(copy.is_drained());
+        }
+        assert_eq!(dmu.stats(), restored.stats());
     }
 }
 

@@ -159,6 +159,67 @@ impl fmt::Display for DepDirection {
     }
 }
 
+// Snapshot support: IDs and addresses persist as their raw integers,
+// directions as a one-byte tag.
+use tdm_sim::snapshot::{Persist, Reader, SnapshotError};
+
+impl Persist for TaskId {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.0.save(out);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(TaskId(u32::load(r)?))
+    }
+}
+
+impl Persist for DepId {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.0.save(out);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(DepId(u32::load(r)?))
+    }
+}
+
+impl Persist for DescriptorAddr {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.0.save(out);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(DescriptorAddr(u64::load(r)?))
+    }
+}
+
+impl Persist for DepAddr {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.0.save(out);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(DepAddr(u64::load(r)?))
+    }
+}
+
+impl Persist for DepDirection {
+    fn save(&self, out: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            DepDirection::In => 0,
+            DepDirection::Out => 1,
+            DepDirection::InOut => 2,
+        };
+        tag.save(out);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        match u8::load(r)? {
+            0 => Ok(DepDirection::In),
+            1 => Ok(DepDirection::Out),
+            2 => Ok(DepDirection::InOut),
+            other => Err(SnapshotError::Corrupt {
+                context: format!("dependence-direction tag {other} (expected 0..=2)"),
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

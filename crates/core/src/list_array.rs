@@ -455,6 +455,68 @@ impl Iterator for ListIter<'_> {
     }
 }
 
+// Snapshot support. All columns are persisted verbatim, including the free
+// list *in order* (entries are popped from its back) and the stale arena
+// slots past each entry's length — a resumed run must allocate the same
+// entries in the same order a straight-through run would.
+use tdm_sim::snapshot::{Persist, Reader, SnapshotError};
+
+impl Persist for ListHandle {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.0.save(out);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(ListHandle(usize::load(r)?))
+    }
+}
+
+impl Persist for ListArray {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.arena.save(out);
+        self.lens.save(out);
+        self.next.save(out);
+        self.tail.save(out);
+        self.chain_entries.save(out);
+        self.allocated.save(out);
+        self.free.save(out);
+        self.elems_per_entry.save(out);
+        self.peak_in_use.save(out);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let array = ListArray {
+            arena: Vec::load(r)?,
+            lens: Vec::load(r)?,
+            next: Vec::load(r)?,
+            tail: Vec::load(r)?,
+            chain_entries: Vec::load(r)?,
+            allocated: Vec::load(r)?,
+            free: Vec::load(r)?,
+            elems_per_entry: usize::load(r)?,
+            peak_in_use: usize::load(r)?,
+        };
+        let entries = array.lens.len();
+        if array.elems_per_entry == 0
+            || array.arena.len() != entries * array.elems_per_entry
+            || array.next.len() != entries
+            || array.tail.len() != entries
+            || array.chain_entries.len() != entries
+            || array.allocated.len() != entries
+            || array.free.len() > entries
+        {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "list array geometry is inconsistent ({entries} entries, {} arena \
+                     slots, {} elems/entry, {} free)",
+                    array.arena.len(),
+                    array.elems_per_entry,
+                    array.free.len()
+                ),
+            });
+        }
+        Ok(array)
+    }
+}
+
 /// Linear-walk reference model of [`ListArray`], kept under `#[cfg(test)]`.
 ///
 /// It mirrors every operation with the walks the hardware performs and no

@@ -104,6 +104,35 @@ impl ReadyQueue {
     }
 }
 
+// Snapshot support: the FIFO contents in order, plus capacity and peak.
+use tdm_sim::snapshot::{Persist, Reader, SnapshotError};
+
+impl Persist for ReadyQueue {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.queue.save(out);
+        self.capacity.save(out);
+        self.peak.save(out);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let queue: VecDeque<TaskId> = VecDeque::load(r)?;
+        let capacity = usize::load(r)?;
+        let peak = usize::load(r)?;
+        if capacity == 0 || queue.len() > capacity {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "ready queue holds {} tasks but has capacity {capacity}",
+                    queue.len()
+                ),
+            });
+        }
+        Ok(ReadyQueue {
+            queue,
+            capacity,
+            peak,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

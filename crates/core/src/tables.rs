@@ -392,6 +392,99 @@ impl DependenceTable {
     }
 }
 
+// Snapshot support: every column is persisted verbatim, dead slots
+// included — the column contents of unoccupied rows are never observed,
+// but persisting them verbatim keeps the load path a straight copy.
+use tdm_sim::snapshot::{Persist, Reader, SnapshotError};
+
+impl Persist for TaskTable {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.descriptor.save(out);
+        self.num_predecessors.save(out);
+        self.num_successors.save(out);
+        self.successor_list.save(out);
+        self.dependence_list.save(out);
+        self.under_construction.save(out);
+        self.occupied.save(out);
+        self.live.save(out);
+        self.peak.save(out);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let table = TaskTable {
+            descriptor: Vec::load(r)?,
+            num_predecessors: Vec::load(r)?,
+            num_successors: Vec::load(r)?,
+            successor_list: Vec::load(r)?,
+            dependence_list: Vec::load(r)?,
+            under_construction: Vec::load(r)?,
+            occupied: Vec::load(r)?,
+            live: usize::load(r)?,
+            peak: usize::load(r)?,
+        };
+        let capacity = table.occupied.len();
+        let live = table.occupied.iter().filter(|&&o| o).count();
+        if capacity == 0
+            || table.descriptor.len() != capacity
+            || table.num_predecessors.len() != capacity
+            || table.num_successors.len() != capacity
+            || table.successor_list.len() != capacity
+            || table.dependence_list.len() != capacity
+            || table.under_construction.len() != capacity
+            || live != table.live
+        {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "task table is inconsistent ({capacity} entries, {} occupied vs \
+                     recorded {})",
+                    live, table.live
+                ),
+            });
+        }
+        Ok(table)
+    }
+}
+
+impl Persist for DependenceTable {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.addr.save(out);
+        self.size.save(out);
+        self.last_writer.save(out);
+        self.reader_list.save(out);
+        self.occupied.save(out);
+        self.live.save(out);
+        self.peak.save(out);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let table = DependenceTable {
+            addr: Vec::load(r)?,
+            size: Vec::load(r)?,
+            last_writer: Vec::load(r)?,
+            reader_list: Vec::load(r)?,
+            occupied: Vec::load(r)?,
+            live: usize::load(r)?,
+            peak: usize::load(r)?,
+        };
+        let capacity = table.occupied.len();
+        let live = table.occupied.iter().filter(|&&o| o).count();
+        if capacity == 0
+            || table.addr.len() != capacity
+            || table.size.len() != capacity
+            || table.last_writer.len() != capacity
+            || table.reader_list.len() != capacity
+            || live != table.live
+        {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "dependence table is inconsistent ({capacity} entries, {} occupied \
+                     vs recorded {})",
+                    live, table.live
+                ),
+            });
+        }
+        Ok(table)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

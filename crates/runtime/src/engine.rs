@@ -39,6 +39,7 @@ use tdm_core::config::DmuConfig;
 use tdm_core::dmu::{Dmu, DmuError, DmuStats, PeakOccupancy};
 use tdm_core::ids::{DepAddr, DescriptorAddr, TaskId};
 use tdm_sim::clock::Cycle;
+use tdm_sim::snapshot::{Persist, Reader, SnapshotError};
 
 use crate::cost::CostModel;
 use crate::fast_map::FastMap;
@@ -164,6 +165,15 @@ pub trait DependenceEngine: Send {
     fn hardware_report(&self) -> Option<HardwareReport> {
         None
     }
+
+    /// Serializes the engine's dependence-tracking state for a checkpoint
+    /// (the `ENGINE` snapshot section).
+    fn save_state(&self, out: &mut Vec<u8>);
+
+    /// Restores the engine's state from a checkpoint. The receiver must be
+    /// freshly built with the same configuration (flavor, DMU geometry, cost
+    /// model) the snapshot was taken under.
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError>;
 }
 
 // ---------------------------------------------------------------------------
@@ -403,6 +413,86 @@ impl DependenceEngine for SoftwareEngine {
             }
         }
         self.cost.sw_finish_cost(live.successors.len() as u32)
+    }
+
+    // Snapshot support. The address map is canonicalized to a key-sorted list
+    // (map iteration order is unobservable — see `fast_map`); the live slab
+    // and its window position are written verbatim.
+    fn save_state(&self, out: &mut Vec<u8>) {
+        let mut addrs: Vec<(&u64, &AddrState)> = self.addr_state.iter().collect();
+        addrs.sort_unstable_by_key(|(addr, _)| **addr);
+        (addrs.len() as u64).save(out);
+        for (addr, state) in addrs {
+            addr.save(out);
+            state.last_writer.save(out);
+            state.readers.save(out);
+        }
+        self.live.base.save(out);
+        self.live.slots.save(out);
+        self.live.occupied.save(out);
+        self.next_create.save(out);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        let pairs: Vec<(u64, AddrState)> = Vec::load(r)?;
+        let mut addr_state = FastMap::default();
+        for (addr, state) in pairs {
+            if addr_state.insert(addr, state).is_some() {
+                return Err(SnapshotError::Corrupt {
+                    context: format!("duplicate address {addr:#x} in software engine map"),
+                });
+            }
+        }
+        let base = usize::load(r)?;
+        let slots: std::collections::VecDeque<Option<LiveTask>> =
+            std::collections::VecDeque::load(r)?;
+        let occupied = usize::load(r)?;
+        let next_create = usize::load(r)?;
+        if slots.iter().filter(|s| s.is_some()).count() != occupied
+            || base + slots.len() != next_create
+        {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "software live slab inconsistent: base {base}, {} slots, \
+                     {occupied} occupied, next task {next_create}",
+                    slots.len()
+                ),
+            });
+        }
+        self.addr_state = addr_state;
+        self.live = LiveSlab {
+            base,
+            slots,
+            occupied,
+        };
+        self.next_create = next_create;
+        Ok(())
+    }
+}
+
+impl Persist for AddrState {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.last_writer.save(out);
+        self.readers.save(out);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(AddrState {
+            last_writer: Option::load(r)?,
+            readers: Vec::load(r)?,
+        })
+    }
+}
+
+impl Persist for LiveTask {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.pending_predecessors.save(out);
+        self.successors.save(out);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(LiveTask {
+            pending_predecessors: u32::load(r)?,
+            successors: Vec::load(r)?,
+        })
     }
 }
 
@@ -803,6 +893,83 @@ impl DependenceEngine for HardwareEngine {
             instructions: self.instructions,
         })
     }
+
+    // Snapshot support. The DMU serializes itself (tables, list arrays,
+    // ready queue, counters); around it go the engine's timing state, the
+    // interrupted-creation resume point and the descriptor-slot allocator.
+    // The free-slot stack is written verbatim (it is popped LIFO, so its
+    // order is observable through TAT set indices); the task→slot map is
+    // canonicalized by task index. `woken_buf`/`dep_counters` are
+    // per-operation scratch, empty between operations, and are not saved.
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.per_op.save(out);
+        self.dmu.save(out);
+        self.dmu_free_at.save(out);
+        self.pending.save(out);
+        self.stall_cycles.save(out);
+        self.instructions.save(out);
+        self.free_slots.save(out);
+        self.next_slot.save(out);
+        let mut slots: Vec<(usize, u64)> = self.task_slot.iter().map(|(&t, &s)| (t, s)).collect();
+        slots.sort_unstable();
+        slots.save(out);
+        self.slot_owner.save(out);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        let per_op = bool::load(r)?;
+        if per_op != self.per_op {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "snapshot was taken with per_op_dmu={per_op}, \
+                     but the engine was built with per_op_dmu={}",
+                    self.per_op
+                ),
+            });
+        }
+        let dmu = Dmu::load(r)?;
+        let dmu_free_at = Cycle::load(r)?;
+        let pending = Option::load(r)?;
+        let stall_cycles = Cycle::load(r)?;
+        let instructions = u64::load(r)?;
+        let free_slots: Vec<u64> = Vec::load(r)?;
+        let next_slot = u64::load(r)?;
+        let slots: Vec<(usize, u64)> = Vec::load(r)?;
+        let slot_owner: Vec<usize> = Vec::load(r)?;
+        let mut task_slot = FastMap::default();
+        for (task, slot) in slots {
+            if slot >= next_slot || task_slot.insert(task, slot).is_some() {
+                return Err(SnapshotError::Corrupt {
+                    context: format!("descriptor slot map entry ({task}, {slot}) is invalid"),
+                });
+            }
+        }
+        self.dmu = dmu;
+        self.dmu_free_at = dmu_free_at;
+        self.pending = pending;
+        self.stall_cycles = stall_cycles;
+        self.instructions = instructions;
+        self.free_slots = free_slots;
+        self.next_slot = next_slot;
+        self.task_slot = task_slot;
+        self.slot_owner = slot_owner;
+        Ok(())
+    }
+}
+
+impl Persist for PendingCreation {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.task.save(out);
+        self.created.save(out);
+        self.next_dep.save(out);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(PendingCreation {
+            task: TaskRef::load(r)?,
+            created: bool::load(r)?,
+            next_dep: usize::load(r)?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -1162,6 +1329,143 @@ mod tests {
         // Recycled descriptor slots: the allocator never grew past the peak
         // in-flight count.
         assert!(hw.next_slot <= 2, "slots not recycled: {}", hw.next_slot);
+    }
+
+    #[test]
+    fn software_engine_snapshot_round_trips_mid_run() {
+        let w = fork_join_workload();
+        let mut original = SoftwareEngine::new(CostModel::default());
+        let mut ready = Vec::new();
+        for (task, spec) in w.iter().take(3) {
+            original.create_task(Cycle::ZERO, task, spec, &mut ready);
+        }
+        ready.clear();
+        original.finish_task(Cycle::ZERO, TaskRef(0), 0, &mut ready);
+
+        let mut bytes = Vec::new();
+        original.save_state(&mut bytes);
+        let mut restored = SoftwareEngine::new(CostModel::default());
+        let mut reader = Reader::new(&bytes);
+        restored.load_state(&mut reader).unwrap();
+        reader.expect_end("software engine").unwrap();
+
+        // Identical behaviour from the restore point on.
+        for engine in [&mut original, &mut restored] {
+            ready.clear();
+            for (task, spec) in w.iter().skip(3) {
+                engine.create_task(Cycle::ZERO, task, spec, &mut ready);
+            }
+        }
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let ca = original.finish_task(Cycle::ZERO, TaskRef(1), 0, &mut a);
+        let cb = restored.finish_task(Cycle::ZERO, TaskRef(1), 0, &mut b);
+        assert_eq!(ca, cb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hardware_engine_snapshot_round_trips_mid_stall() {
+        // A tiny DMU so creation stalls mid-task: the snapshot must carry the
+        // interrupted-creation resume point and the DMU timing state.
+        let w = chain_workload(40);
+        let config = DmuConfig {
+            tat_entries: 8,
+            tat_ways: 8,
+            dat_entries: 8,
+            dat_ways: 8,
+            successor_la_entries: 8,
+            dependence_la_entries: 8,
+            reader_la_entries: 8,
+            ..DmuConfig::default()
+        };
+        let build = || {
+            HardwareEngine::new(
+                HardwareFlavor::Tdm,
+                config.clone(),
+                CostModel::default(),
+                Cycle::new(16),
+            )
+        };
+        let mut original = build();
+        let mut pool: VecDeque<ReadyInfo> = VecDeque::new();
+        let mut ready = Vec::new();
+        let mut now = Cycle::ZERO;
+        let mut next = 0usize;
+        // Create until the first stall so `pending` is Some.
+        loop {
+            ready.clear();
+            let outcome = original.create_task(now, TaskRef(next), &w.tasks[next], &mut ready);
+            pool.extend(ready.drain(..));
+            now += outcome.cost;
+            if !outcome.completed {
+                break;
+            }
+            next += 1;
+        }
+        assert!(original.pending.is_some(), "creation must have stalled");
+
+        let mut bytes = Vec::new();
+        original.save_state(&mut bytes);
+        let mut restored = build();
+        let mut reader = Reader::new(&bytes);
+        restored.load_state(&mut reader).unwrap();
+        reader.expect_end("hardware engine").unwrap();
+        assert_eq!(original.pending, restored.pending);
+        assert_eq!(original.dmu_free_at, restored.dmu_free_at);
+
+        // Drive both to completion identically.
+        let graph = TaskGraph::build(&w);
+        for engine in [&mut original, &mut restored] {
+            let mut pool = pool.clone();
+            let mut order: Vec<TaskRef> = Vec::new();
+            let mut next = next;
+            let mut now = now;
+            while order.len() < w.len() {
+                if next < w.len() {
+                    ready.clear();
+                    let outcome =
+                        engine.create_task(now, TaskRef(next), &w.tasks[next], &mut ready);
+                    pool.extend(ready.drain(..));
+                    now += outcome.cost;
+                    if outcome.completed {
+                        next += 1;
+                        continue;
+                    }
+                }
+                let info = pool.pop_front().expect("a ready task must exist");
+                ready.clear();
+                now += engine.finish_task(now, info.task, 0, &mut ready);
+                pool.extend(ready.drain(..));
+                order.push(info.task);
+            }
+            assert!(graph.check_order(&order).is_ok());
+        }
+        assert_eq!(
+            original.hardware_report().unwrap(),
+            restored.hardware_report().unwrap()
+        );
+    }
+
+    #[test]
+    fn hardware_load_rejects_mismatched_per_op_mode() {
+        let e = HardwareEngine::new(
+            HardwareFlavor::Tdm,
+            DmuConfig::default(),
+            CostModel::default(),
+            Cycle::new(16),
+        );
+        let mut bytes = Vec::new();
+        e.save_state(&mut bytes);
+        let mut wrong = HardwareEngine::new(
+            HardwareFlavor::Tdm,
+            DmuConfig::default(),
+            CostModel::default(),
+            Cycle::new(16),
+        )
+        .with_per_op_dmu();
+        let err = wrong.load_state(&mut Reader::new(&bytes)).unwrap_err();
+        assert!(err.to_string().contains("per_op"), "got: {err}");
     }
 
     #[test]

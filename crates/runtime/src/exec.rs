@@ -56,6 +56,7 @@ use tdm_sim::config::ChipConfig;
 use tdm_sim::event::EventQueue;
 use tdm_sim::noc::NocModel;
 use tdm_sim::rng::SplitMix64;
+use tdm_sim::snapshot::{self, section, Persist, Reader, Snapshot, SnapshotError};
 use tdm_sim::stats::{Phase, SimStats};
 
 use crate::cost::CostModel;
@@ -187,6 +188,16 @@ pub struct ExecConfig {
     /// knob exists only so the conformance suite can pin that contract by
     /// running both and comparing. Off (batched) by default.
     pub per_op_dmu: bool,
+    /// Capture a checkpoint [`Snapshot`] every this many cycles of simulated
+    /// time, when running through [`simulate_checkpointed`] /
+    /// [`simulate_stream_checkpointed`]. `None` (the default) disables
+    /// periodic capture; the plain [`simulate`] / [`simulate_stream`] entry
+    /// points ignore the knob entirely. Deliberately **not** part of the
+    /// resume-compatibility fingerprint: a resumed run may checkpoint on a
+    /// different cadence (or not at all) — capture never affects modeled
+    /// time, so the reports stay bit-identical either way (see
+    /// `SNAPSHOT_FORMAT.md`).
+    pub checkpoint_every: Option<Cycle>,
 }
 
 impl Default for ExecConfig {
@@ -202,6 +213,7 @@ impl Default for ExecConfig {
             trace_schedule: false,
             window: usize::MAX,
             per_op_dmu: false,
+            checkpoint_every: None,
         }
     }
 }
@@ -235,6 +247,14 @@ impl ExecConfig {
     /// [`per_op_dmu`](ExecConfig::per_op_dmu)).
     pub fn with_per_op_dmu(mut self) -> Self {
         self.per_op_dmu = true;
+        self
+    }
+
+    /// Same configuration with periodic checkpointing every `every` cycles
+    /// (see [`checkpoint_every`](ExecConfig::checkpoint_every)). Only the
+    /// `*_checkpointed` entry points act on it.
+    pub fn with_checkpoint_every(mut self, every: Cycle) -> Self {
+        self.checkpoint_every = Some(every);
         self
     }
 }
@@ -384,7 +404,17 @@ trait TaskFeed {
     fn release(&mut self, task: TaskRef);
     /// Specs currently held resident.
     fn resident(&self) -> usize;
+    /// Serialises the feed's restorable state for the FEED snapshot section
+    /// (first byte is the feed-kind tag), or `None` if the underlying source
+    /// cannot be checkpointed (it reports no
+    /// [`TaskSource::checkpoint_cursor`]).
+    fn save_state(&self) -> Option<Vec<u8>>;
 }
+
+/// FEED-section tag: the run was driven by an eager, materialised workload.
+const FEED_EAGER: u8 = 0;
+/// FEED-section tag: the run was driven by a pull-based streaming source.
+const FEED_STREAM: u8 = 1;
 
 /// Feed over a fully materialised workload: specs are borrowed in place and
 /// stay resident for the whole run.
@@ -426,6 +456,12 @@ impl TaskFeed for EagerFeed<'_> {
     fn resident(&self) -> usize {
         self.workload.len()
     }
+
+    // The workload is the caller's: a checkpoint only needs to record that
+    // this was an eager run (resume borrows the same workload again).
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(vec![FEED_EAGER])
+    }
 }
 
 /// Feed over a pull-based source: holds the specs of in-flight tasks plus
@@ -451,6 +487,74 @@ impl<'a, S: TaskSource + ?Sized> StreamFeed<'a, S> {
             peeked,
             next_index: 0,
         }
+    }
+
+    /// Rebuilds a feed from a snapshot's FEED section: fast-forwards a
+    /// *fresh* source to the stored cursor, re-pulls the prefetched spec if
+    /// one was pending, and reinstates the in-flight window. Deliberately
+    /// not [`new`](StreamFeed::new) — that constructor eagerly pulls the
+    /// first task, which would desynchronise the cursor.
+    fn restore(source: &'a mut S, payload: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = Reader::new(payload);
+        let tag = u8::load(&mut r)?;
+        if tag != FEED_STREAM {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "FEED section carries feed-kind tag {tag}, not a streaming run — \
+                     resume this snapshot with `resume`, not `resume_stream`"
+                ),
+            });
+        }
+        let next_index = usize::load(&mut r)?;
+        let had_peek = bool::load(&mut r)?;
+        let pairs = Vec::<(usize, TaskSpec)>::load(&mut r)?;
+        r.expect_end("FEED")?;
+
+        if let Some(produced) = source.checkpoint_cursor() {
+            if produced != 0 {
+                return Err(SnapshotError::Corrupt {
+                    context: format!(
+                        "resume requires a freshly built source, but this one has \
+                         already produced {produced} tasks"
+                    ),
+                });
+            }
+        }
+        source.resume_at(next_index as u64);
+        let peeked = if had_peek {
+            let spec = source.next_task().ok_or_else(|| SnapshotError::Corrupt {
+                context: format!(
+                    "stream ended at task {next_index}, before the position the \
+                     snapshot was taken at — the resuming source is shorter than \
+                     the one that was checkpointed"
+                ),
+            })?;
+            Some(spec)
+        } else {
+            None
+        };
+        let mut in_flight = FastMap::default();
+        for (index, spec) in pairs {
+            if index >= next_index {
+                return Err(SnapshotError::Corrupt {
+                    context: format!(
+                        "FEED lists task {index} as in flight, at or past the \
+                         stream cursor {next_index}"
+                    ),
+                });
+            }
+            if in_flight.insert(index, spec).is_some() {
+                return Err(SnapshotError::Corrupt {
+                    context: format!("FEED lists task {index} in flight twice"),
+                });
+            }
+        }
+        Ok(StreamFeed {
+            source,
+            in_flight,
+            peeked,
+            next_index,
+        })
     }
 }
 
@@ -503,6 +607,32 @@ impl<S: TaskSource + ?Sized> TaskFeed for StreamFeed<'_, S> {
     fn resident(&self) -> usize {
         self.in_flight.len() + usize::from(self.peeked.is_some())
     }
+
+    // A streaming checkpoint stores the production cursor plus the bounded
+    // in-flight window — never the unproduced remainder of the stream, so
+    // snapshots stay O(window) however many tasks are still to come.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let cursor = self.source.checkpoint_cursor()?;
+        debug_assert_eq!(
+            cursor,
+            self.next_index as u64 + u64::from(self.peeked.is_some()),
+            "source cursor disagrees with the feed's production count"
+        );
+        let mut out = Vec::new();
+        FEED_STREAM.save(&mut out);
+        self.next_index.save(&mut out);
+        self.peeked.is_some().save(&mut out);
+        // In-flight specs keyed by task index, canonicalised to index order
+        // (map iteration order is unobservable and must stay that way).
+        let mut pairs: Vec<(usize, TaskSpec)> = self
+            .in_flight
+            .iter()
+            .map(|(&i, spec)| (i, spec.clone()))
+            .collect();
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        pairs.save(&mut out);
+        Some(out)
+    }
 }
 
 /// Simulates `workload` on `backend` with the given scheduling policy.
@@ -520,7 +650,16 @@ pub fn simulate(
     scheduler: SchedulerKind,
     config: &ExecConfig,
 ) -> RunReport {
-    run_core(EagerFeed { workload }, backend, scheduler, config)
+    run_core(
+        EagerFeed { workload },
+        backend,
+        scheduler,
+        config,
+        None,
+        None,
+    )
+    .expect("a run without restore cannot fail")
+    .expect("a run without a checkpoint sink cannot halt")
 }
 
 /// Simulates the tasks produced by `source` on `backend`, creating them
@@ -542,7 +681,160 @@ pub fn simulate_stream<S: TaskSource + ?Sized>(
     scheduler: SchedulerKind,
     config: &ExecConfig,
 ) -> RunReport {
-    run_core(StreamFeed::new(source), backend, scheduler, config)
+    run_core(
+        StreamFeed::new(source),
+        backend,
+        scheduler,
+        config,
+        None,
+        None,
+    )
+    .expect("a run without restore cannot fail")
+    .expect("a run without a checkpoint sink cannot halt")
+}
+
+/// Runs `workload` like [`simulate`], additionally capturing a [`Snapshot`]
+/// of the full mid-run state every [`ExecConfig::checkpoint_every`] cycles
+/// and handing each one to `sink`.
+///
+/// `sink` returns `true` to keep running or `false` to halt the run at that
+/// checkpoint; a halted run returns `None` (the snapshot the sink just
+/// received is the resume point). If `checkpoint_every` is unset the sink is
+/// never called and the run completes normally. Capture never affects
+/// modeled time: a checkpointed run's report is bit-identical to a plain
+/// [`simulate`] run's.
+///
+/// # Panics
+///
+/// Panics on dependence-engine deadlock (see [`simulate`]).
+pub fn simulate_checkpointed(
+    workload: &Workload,
+    backend: &Backend,
+    scheduler: SchedulerKind,
+    config: &ExecConfig,
+    sink: &mut dyn FnMut(Snapshot) -> bool,
+) -> Option<RunReport> {
+    let ctl = config.checkpoint_every.map(|every| CheckpointCtl {
+        every,
+        next_at: every,
+        sink,
+    });
+    run_core(
+        EagerFeed { workload },
+        backend,
+        scheduler,
+        config,
+        None,
+        ctl,
+    )
+    .expect("eager feeds are always checkpointable")
+}
+
+/// Runs `source` like [`simulate_stream`], additionally capturing a
+/// [`Snapshot`] every [`ExecConfig::checkpoint_every`] cycles (see
+/// [`simulate_checkpointed`] for the sink contract).
+///
+/// Streaming checkpoints store the source's production cursor
+/// ([`TaskSource::checkpoint_cursor`]) plus the bounded in-flight window —
+/// never the unproduced remainder of the stream — so snapshots stay
+/// O(window) regardless of how many tasks are still to come.
+///
+/// # Panics
+///
+/// Panics if checkpointing is enabled but `source` reports no checkpoint
+/// cursor, and on dependence-engine deadlock (see [`simulate`]).
+pub fn simulate_stream_checkpointed<S: TaskSource + ?Sized>(
+    source: &mut S,
+    backend: &Backend,
+    scheduler: SchedulerKind,
+    config: &ExecConfig,
+    sink: &mut dyn FnMut(Snapshot) -> bool,
+) -> Option<RunReport> {
+    assert!(
+        config.checkpoint_every.is_none() || source.checkpoint_cursor().is_some(),
+        "cannot checkpoint source {:?}: TaskSource::checkpoint_cursor returned None",
+        source.name()
+    );
+    let ctl = config.checkpoint_every.map(|every| CheckpointCtl {
+        every,
+        next_at: every,
+        sink,
+    });
+    run_core(
+        StreamFeed::new(source),
+        backend,
+        scheduler,
+        config,
+        None,
+        ctl,
+    )
+    .expect("source cursor support was checked above")
+}
+
+/// Resumes an eager-workload run from `snapshot`, driving it to completion.
+///
+/// `workload` and `config` must match what the checkpointed run used: the
+/// snapshot's META section carries the run identity and a configuration
+/// fingerprint, both validated before any state is reinstated, and the
+/// backend and scheduler are rebuilt from it — a snapshot can never be
+/// resumed under different semantics than it was taken under. Resuming is
+/// bit-exact: the returned [`RunReport`] is identical to the report of an
+/// uninterrupted run (the snapshot conformance suite pins this across the
+/// full backend × scheduler matrix).
+///
+/// # Panics
+///
+/// Panics on dependence-engine deadlock (see [`simulate`]).
+pub fn resume(
+    workload: &Workload,
+    snapshot: &Snapshot,
+    config: &ExecConfig,
+) -> Result<RunReport, SnapshotError> {
+    let meta = RunMeta::from_snapshot(snapshot)?;
+    meta.validate(FEED_EAGER, &workload.name, config)?;
+    // The eager FEED payload is just the kind tag; check it is well-formed.
+    let mut r = Reader::new(snapshot.section(section::FEED)?);
+    let _tag = u8::load(&mut r)?;
+    r.expect_end("FEED")?;
+    let report = run_core(
+        EagerFeed { workload },
+        &meta.backend,
+        meta.scheduler,
+        config,
+        Some(snapshot),
+        None,
+    )?;
+    Ok(report.expect("resumed runs have no checkpoint sink and cannot halt"))
+}
+
+/// Resumes a streaming run from `snapshot`, driving it to completion.
+///
+/// `source` must be a *freshly built* instance of the stream the
+/// checkpointed run was consuming: it is fast-forwarded to the snapshot's
+/// production cursor via [`TaskSource::resume_at`], so the stream is
+/// regenerated rather than stored. Validation and bit-exactness are as for
+/// [`resume`].
+///
+/// # Panics
+///
+/// Panics on dependence-engine deadlock (see [`simulate`]).
+pub fn resume_stream<S: TaskSource + ?Sized>(
+    source: &mut S,
+    snapshot: &Snapshot,
+    config: &ExecConfig,
+) -> Result<RunReport, SnapshotError> {
+    let meta = RunMeta::from_snapshot(snapshot)?;
+    meta.validate(FEED_STREAM, source.name(), config)?;
+    let feed = StreamFeed::restore(source, snapshot.section(section::FEED)?)?;
+    let report = run_core(
+        feed,
+        &meta.backend,
+        meta.scheduler,
+        config,
+        Some(snapshot),
+        None,
+    )?;
+    Ok(report.expect("resumed runs have no checkpoint sink and cannot halt"))
 }
 
 /// What the master core does in Phase 2 of the current batch, decided while
@@ -560,13 +852,28 @@ enum MasterPlan {
     Created { cost: Cycle, completed: bool },
 }
 
-/// The discrete-event loop shared by [`simulate`] and [`simulate_stream`].
+/// Periodic capture control threaded into [`run_core`]: when simulated time
+/// reaches `next_at`, the driver assembles a [`Snapshot`] and hands it to
+/// `sink`; a `false` return halts the run (the checkpointed entry points
+/// then return `None` instead of a report).
+struct CheckpointCtl<'a> {
+    every: Cycle,
+    next_at: Cycle,
+    sink: &'a mut dyn FnMut(Snapshot) -> bool,
+}
+
+/// The discrete-event loop shared by every entry point: plain
+/// ([`simulate`] / [`simulate_stream`]), checkpointed (`checkpoint` set) and
+/// resumed (`restore` set). Returns `Ok(None)` when a checkpoint sink halted
+/// the run, and an error only when `restore` holds an inconsistent snapshot.
 fn run_core<F: TaskFeed>(
     mut feed: F,
     backend: &Backend,
     scheduler: SchedulerKind,
     config: &ExecConfig,
-) -> RunReport {
+    restore: Option<&Snapshot>,
+    mut checkpoint: Option<CheckpointCtl<'_>>,
+) -> Result<Option<RunReport>, SnapshotError> {
     let num_cores = config.chip.num_cores;
     let master = 0usize;
     let window = config.window.max(1);
@@ -634,8 +941,69 @@ fn run_core<F: TaskFeed>(
         }
     };
 
-    for core in 0..num_cores {
-        events.schedule(Cycle::ZERO, core);
+    if let Some(snap) = restore {
+        // Reinstate the mutable run state section by section. META (identity
+        // and configuration fingerprint) was already validated by the resume
+        // entry point, and the feed was rebuilt from FEED before this call;
+        // everything else lives in the long-lived locals loaded here. The
+        // initial per-core event seeding is skipped — the restored timing
+        // wheel already holds the pending events of the interrupted run.
+        stats = snapshot::from_payload(snap.section(section::STATS)?, "STATS")?;
+        if stats.cores.len() != num_cores || stats.master != master {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "STATS section covers {} cores (master {}), expected {num_cores} \
+                     (master {master})",
+                    stats.cores.len(),
+                    stats.master
+                ),
+            });
+        }
+        locality = snapshot::from_payload(snap.section(section::LOCALITY)?, "LOCALITY")?;
+        if locality.num_cores() != num_cores {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "LOCALITY section covers {} cores, expected {num_cores}",
+                    locality.num_cores()
+                ),
+            });
+        }
+        events = snapshot::from_payload(snap.section(section::EVENTS)?, "EVENTS")?;
+        let mut r = Reader::new(snap.section(section::SCHEDULER)?);
+        pool.load_state(&mut r)?;
+        r.expect_end("SCHEDULER")?;
+        let mut r = Reader::new(snap.section(section::ENGINE)?);
+        engine.load_state(&mut r)?;
+        r.expect_end("ENGINE")?;
+        let mut r = Reader::new(snap.section(section::DRIVER)?);
+        running = Vec::load(&mut r)?;
+        idle_since = Vec::load(&mut r)?;
+        let idle_words = Vec::<u64>::load(&mut r)?;
+        next_create = usize::load(&mut r)?;
+        finished = usize::load(&mut r)?;
+        peak_resident = usize::load(&mut r)?;
+        makespan = Cycle::load(&mut r)?;
+        master_throttled = bool::load(&mut r)?;
+        r.expect_end("DRIVER")?;
+        if running.len() != num_cores
+            || idle_since.len() != num_cores
+            || idle_words.len() != idle_set.words.len()
+        {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "DRIVER section covers {} cores, expected {num_cores}",
+                    running.len()
+                ),
+            });
+        }
+        idle_set.words = idle_words;
+        if config.trace_schedule {
+            schedule = snapshot::from_payload(snap.section(section::TRACE)?, "TRACE")?;
+        }
+    } else {
+        for core in 0..num_cores {
+            events.schedule(Cycle::ZERO, core);
+        }
     }
 
     // Batched same-cycle delivery: every event of the current cycle is
@@ -873,6 +1241,39 @@ fn run_core<F: TaskFeed>(
                 idle_set.insert(core);
             }
         }
+
+        // Periodic checkpoint capture. The bottom of the batch is the one
+        // point where no per-batch scratch is live — the fin_*/create
+        // buffers and the master plan have all been consumed — so the full
+        // run state is exactly the long-lived locals serialised here.
+        if let Some(ctl) = checkpoint.as_mut() {
+            if now >= ctl.next_at {
+                ctl.next_at = now + ctl.every;
+                let snap = capture_snapshot(
+                    &feed,
+                    backend,
+                    scheduler,
+                    config,
+                    &*engine,
+                    &*pool,
+                    &stats,
+                    &locality,
+                    &events,
+                    &running,
+                    &idle_since,
+                    &idle_set,
+                    next_create,
+                    finished,
+                    peak_resident,
+                    makespan,
+                    master_throttled,
+                    &schedule,
+                );
+                if !(ctl.sink)(snap) {
+                    return Ok(None);
+                }
+            }
+        }
     }
 
     assert!(
@@ -891,7 +1292,7 @@ fn run_core<F: TaskFeed>(
     }
     stats.normalize_to_makespan();
 
-    RunReport {
+    Ok(Some(RunReport {
         workload: feed.name().to_string(),
         backend: backend.name().to_string(),
         scheduler: scheduler_name,
@@ -900,7 +1301,80 @@ fn run_core<F: TaskFeed>(
         tasks: finished as u64,
         peak_resident_tasks: peak_resident,
         schedule,
+    }))
+}
+
+/// Assembles the complete run state into a [`Snapshot`], one section per
+/// subsystem (the registry in [`tdm_sim::snapshot::SECTIONS`] and the layout
+/// in `SNAPSHOT_FORMAT.md` describe each). Pure read: capture never mutates
+/// the run, so checkpointed and plain runs stay bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn capture_snapshot<F: TaskFeed>(
+    feed: &F,
+    backend: &Backend,
+    scheduler: SchedulerKind,
+    config: &ExecConfig,
+    engine: &dyn DependenceEngine,
+    pool: &dyn Scheduler,
+    stats: &SimStats,
+    locality: &LocalityModel,
+    events: &EventQueue<usize>,
+    running: &[Option<TaskRef>],
+    idle_since: &[Option<Cycle>],
+    idle_set: &IdleSet,
+    next_create: usize,
+    finished: usize,
+    peak_resident: usize,
+    makespan: Cycle,
+    master_throttled: bool,
+    schedule: &[ScheduledTask],
+) -> Snapshot {
+    let feed_state = feed
+        .save_state()
+        .expect("checkpointing requires a source with a checkpoint cursor");
+    let meta = RunMeta {
+        feed_kind: feed_state[0],
+        workload: feed.name().to_string(),
+        backend: backend.clone(),
+        scheduler,
+        num_cores: config.chip.num_cores as u64,
+        seed: config.seed,
+        locality_capacity_bytes: config.locality_capacity_bytes,
+        trace_schedule: config.trace_schedule,
+        window: config.window as u64,
+        per_op_dmu: config.per_op_dmu,
+        cost_hash: debug_hash(&config.cost),
+        chip_hash: debug_hash(&config.chip),
+    };
+
+    let mut driver = Vec::new();
+    running.to_vec().save(&mut driver);
+    idle_since.to_vec().save(&mut driver);
+    idle_set.words.save(&mut driver);
+    next_create.save(&mut driver);
+    finished.save(&mut driver);
+    peak_resident.save(&mut driver);
+    makespan.save(&mut driver);
+    master_throttled.save(&mut driver);
+
+    let mut sched_state = Vec::new();
+    pool.save_state(&mut sched_state);
+    let mut engine_state = Vec::new();
+    engine.save_state(&mut engine_state);
+
+    let mut snap = Snapshot::new();
+    snap.add_section(section::META, snapshot::to_payload(&meta));
+    snap.add_section(section::DRIVER, driver);
+    snap.add_section(section::EVENTS, snapshot::to_payload(events));
+    snap.add_section(section::STATS, snapshot::to_payload(stats));
+    snap.add_section(section::LOCALITY, snapshot::to_payload(locality));
+    snap.add_section(section::SCHEDULER, sched_state);
+    snap.add_section(section::ENGINE, engine_state);
+    snap.add_section(section::FEED, feed_state);
+    if config.trace_schedule {
+        snap.add_section(section::TRACE, snapshot::to_payload(&schedule.to_vec()));
     }
+    snap
 }
 
 /// Pushes newly ready tasks into the scheduling pool, charging the pushing
@@ -934,6 +1408,205 @@ fn push_ready(
             break;
         };
         events.schedule(*t, idle_core);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot support: run identity, configuration fingerprint, Persist impls
+// ---------------------------------------------------------------------------
+
+impl Persist for Backend {
+    fn save(&self, out: &mut Vec<u8>) {
+        match self {
+            Backend::Software => 0u8.save(out),
+            Backend::Tdm(dmu) => {
+                1u8.save(out);
+                dmu.save(out);
+            }
+            Backend::Carbon => 2u8.save(out),
+            Backend::TaskSuperscalar(dmu) => {
+                3u8.save(out);
+                dmu.save(out);
+            }
+        }
+    }
+
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match u8::load(r)? {
+            0 => Backend::Software,
+            1 => Backend::Tdm(DmuConfig::load(r)?),
+            2 => Backend::Carbon,
+            3 => Backend::TaskSuperscalar(DmuConfig::load(r)?),
+            tag => {
+                return Err(SnapshotError::Corrupt {
+                    context: format!("unknown backend tag {tag}"),
+                })
+            }
+        })
+    }
+}
+
+impl Persist for ScheduledTask {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.task.save(out);
+        self.core.save(out);
+        self.finish.save(out);
+    }
+
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(ScheduledTask {
+            task: TaskRef::load(r)?,
+            core: usize::load(r)?,
+            finish: Cycle::load(r)?,
+        })
+    }
+}
+
+/// FNV-1a over the `Debug` rendering of a config sub-structure: a compact
+/// compatibility fingerprint for the cost model and chip description. Every
+/// field of both feeds modeled time, so any difference must fail resume; a
+/// collision is astronomically unlikely, and the cost of a detected mismatch
+/// is a clear error rather than silent divergence.
+fn debug_hash(value: &impl std::fmt::Debug) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in format!("{value:?}").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The META section: the run's identity (what is being simulated, on what)
+/// plus the configuration fingerprint that gates resume. The backend and
+/// scheduler are *rebuilt from here* on resume — they are not caller inputs
+/// — so a snapshot can never be resumed under different semantics.
+struct RunMeta {
+    feed_kind: u8,
+    workload: String,
+    backend: Backend,
+    scheduler: SchedulerKind,
+    num_cores: u64,
+    seed: u64,
+    locality_capacity_bytes: u64,
+    trace_schedule: bool,
+    window: u64,
+    per_op_dmu: bool,
+    cost_hash: u64,
+    chip_hash: u64,
+}
+
+impl Persist for RunMeta {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.feed_kind.save(out);
+        self.workload.save(out);
+        self.backend.save(out);
+        self.scheduler.save(out);
+        self.num_cores.save(out);
+        self.seed.save(out);
+        self.locality_capacity_bytes.save(out);
+        self.trace_schedule.save(out);
+        self.window.save(out);
+        self.per_op_dmu.save(out);
+        self.cost_hash.save(out);
+        self.chip_hash.save(out);
+    }
+
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(RunMeta {
+            feed_kind: u8::load(r)?,
+            workload: String::load(r)?,
+            backend: Backend::load(r)?,
+            scheduler: SchedulerKind::load(r)?,
+            num_cores: u64::load(r)?,
+            seed: u64::load(r)?,
+            locality_capacity_bytes: u64::load(r)?,
+            trace_schedule: bool::load(r)?,
+            window: u64::load(r)?,
+            per_op_dmu: bool::load(r)?,
+            cost_hash: u64::load(r)?,
+            chip_hash: u64::load(r)?,
+        })
+    }
+}
+
+impl RunMeta {
+    fn from_snapshot(snap: &Snapshot) -> Result<RunMeta, SnapshotError> {
+        snapshot::from_payload(snap.section(section::META)?, "META")
+    }
+
+    /// Checks that the resuming entry point, workload and configuration
+    /// match what the snapshot was taken under. Every mismatch is its own
+    /// actionable error — the operator learns *which* knob diverged.
+    fn validate(
+        &self,
+        feed_kind: u8,
+        workload: &str,
+        config: &ExecConfig,
+    ) -> Result<(), SnapshotError> {
+        let fail = |context: String| Err(SnapshotError::Corrupt { context });
+        if self.feed_kind != feed_kind {
+            let (taken, resume_with) = if self.feed_kind == FEED_STREAM {
+                ("a streaming run", "resume_stream")
+            } else {
+                ("an eager run", "resume")
+            };
+            return fail(format!(
+                "snapshot was taken by {taken} — resume it with `{resume_with}`"
+            ));
+        }
+        if self.workload != workload {
+            return fail(format!(
+                "snapshot was taken on workload {:?}, not {workload:?}",
+                self.workload
+            ));
+        }
+        if self.num_cores != config.chip.num_cores as u64 {
+            return fail(format!(
+                "snapshot was taken with {} cores but the resuming config has {}",
+                self.num_cores, config.chip.num_cores
+            ));
+        }
+        if self.seed != config.seed {
+            return fail(format!(
+                "snapshot was taken with seed {} but the resuming config has seed {}",
+                self.seed, config.seed
+            ));
+        }
+        if self.locality_capacity_bytes != config.locality_capacity_bytes {
+            return fail(format!(
+                "snapshot was taken with locality capacity {} B but the resuming \
+                 config has {} B",
+                self.locality_capacity_bytes, config.locality_capacity_bytes
+            ));
+        }
+        if self.trace_schedule != config.trace_schedule {
+            return fail(format!(
+                "snapshot was taken with trace_schedule={} but the resuming config \
+                 has trace_schedule={}",
+                self.trace_schedule, config.trace_schedule
+            ));
+        }
+        if self.window != config.window as u64 {
+            return fail(format!(
+                "snapshot was taken with window {} but the resuming config has \
+                 window {}",
+                self.window, config.window
+            ));
+        }
+        if self.per_op_dmu != config.per_op_dmu {
+            return fail(format!(
+                "snapshot was taken with per_op_dmu={} but the resuming config has \
+                 per_op_dmu={}",
+                self.per_op_dmu, config.per_op_dmu
+            ));
+        }
+        if self.cost_hash != debug_hash(&config.cost) {
+            return fail("snapshot was taken under a different cost model".to_string());
+        }
+        if self.chip_hash != debug_hash(&config.chip) {
+            return fail("snapshot was taken under a different chip configuration".to_string());
+        }
+        Ok(())
     }
 }
 
@@ -1320,6 +1993,154 @@ mod tests {
         assert_eq!(ExecConfig::default().with_window(0).window, 1);
         assert_eq!(ExecConfig::default().with_window(9).window, 9);
         assert_eq!(ExecConfig::default().window, usize::MAX);
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run_and_resumes_bit_exact() {
+        let mut w = chains_workload(6, 8, 25.0);
+        w.locality_benefit = 0.1;
+        let chip = ChipConfig::default();
+        let config = small_chip(6)
+            .with_trace_schedule()
+            .with_checkpoint_every(chip.micros(40.0));
+        let straight = simulate(&w, &Backend::tdm_default(), SchedulerKind::Age, &config);
+
+        let mut snaps: Vec<Snapshot> = Vec::new();
+        let report = simulate_checkpointed(
+            &w,
+            &Backend::tdm_default(),
+            SchedulerKind::Age,
+            &config,
+            &mut |snap| {
+                snaps.push(snap);
+                true
+            },
+        )
+        .expect("sink never halts");
+        // Capture never perturbs modeled time.
+        assert_eq!(report, straight);
+        assert!(snaps.len() >= 2, "expected several checkpoints");
+
+        // Resuming from every checkpoint reproduces the uninterrupted report,
+        // including a round trip through the binary container.
+        for snap in &snaps {
+            let snap = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+            let resumed = resume(&w, &snap, &config).unwrap();
+            assert_eq!(resumed, straight);
+        }
+    }
+
+    #[test]
+    fn halted_stream_run_resumes_bit_exact() {
+        let mut w = chains_workload(5, 10, 15.0);
+        w.locality_benefit = 0.1;
+        let chip = ChipConfig::default();
+        let config = small_chip(4)
+            .with_trace_schedule()
+            .with_window(7)
+            .with_checkpoint_every(chip.micros(120.0));
+
+        let mut source = WorkloadSource::new(&w);
+        let straight = simulate_stream(
+            &mut source,
+            &Backend::tdm_default(),
+            SchedulerKind::Fifo,
+            &config,
+        );
+
+        // Halt at the second checkpoint.
+        let mut halted_at: Option<Snapshot> = None;
+        let mut seen = 0usize;
+        let mut source = WorkloadSource::new(&w);
+        let outcome = simulate_stream_checkpointed(
+            &mut source,
+            &Backend::tdm_default(),
+            SchedulerKind::Fifo,
+            &config,
+            &mut |snap| {
+                seen += 1;
+                if seen == 2 {
+                    halted_at = Some(snap);
+                    false
+                } else {
+                    true
+                }
+            },
+        );
+        assert!(outcome.is_none(), "sink halted the run");
+        let snap = halted_at.expect("run reached the second checkpoint");
+
+        // A *fresh* source is fast-forwarded to the snapshot's cursor.
+        let mut fresh = WorkloadSource::new(&w);
+        let resumed = resume_stream(&mut fresh, &snap, &config).unwrap();
+        assert_eq!(resumed, straight);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config_and_wrong_entry_point() {
+        let w = chains_workload(3, 6, 20.0);
+        let chip = ChipConfig::default();
+        let config = small_chip(4).with_checkpoint_every(chip.micros(50.0));
+        let mut snaps = Vec::new();
+        simulate_checkpointed(
+            &w,
+            &Backend::tdm_default(),
+            SchedulerKind::Fifo,
+            &config,
+            &mut |snap| {
+                snaps.push(snap);
+                true
+            },
+        )
+        .unwrap();
+        let snap = &snaps[0];
+
+        // Different seed: refused with an error naming the knob.
+        let mut other = config.clone();
+        other.seed = 7;
+        let err = resume(&w, snap, &other).unwrap_err();
+        assert!(err.to_string().contains("seed"), "{err}");
+
+        // Different core count.
+        let err = resume(
+            &w,
+            snap,
+            &small_chip(8).with_checkpoint_every(chip.micros(50.0)),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("cores"), "{err}");
+
+        // Different workload name.
+        let mut renamed = w.clone();
+        renamed.name = "other".to_string();
+        let err = resume(&renamed, snap, &config).unwrap_err();
+        assert!(err.to_string().contains("workload"), "{err}");
+
+        // Eager snapshot through the streaming entry point.
+        let mut source = WorkloadSource::new(&w);
+        let err = resume_stream(&mut source, snap, &config).unwrap_err();
+        assert!(err.to_string().contains("eager"), "{err}");
+    }
+
+    #[test]
+    fn unset_checkpoint_every_never_calls_the_sink() {
+        let w = independent_workload(10, 10.0);
+        let config = small_chip(4);
+        assert_eq!(config.checkpoint_every, None);
+        let mut calls = 0usize;
+        let report = simulate_checkpointed(
+            &w,
+            &Backend::Software,
+            SchedulerKind::Fifo,
+            &config,
+            &mut |_| {
+                calls += 1;
+                true
+            },
+        )
+        .unwrap();
+        assert_eq!(calls, 0);
+        assert_eq!(report.tasks, 10);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 use tdm_sim::clock::Cycle;
+use tdm_sim::snapshot::{Persist, Reader, SnapshotError};
 
 use crate::task::TaskRef;
 
@@ -67,6 +68,15 @@ pub trait Scheduler: Send {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Serializes the pool's contents for a checkpoint (the `SCHEDULER`
+    /// snapshot section). Entries are written in the policy's internal order
+    /// so a restored pool pops identically.
+    fn save_state(&self, out: &mut Vec<u8>);
+
+    /// Restores the pool's contents from a checkpoint. The receiver must be
+    /// freshly built (empty) with the same policy parameters.
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError>;
 }
 
 /// Scheduler selection, used by harnesses and examples to construct policies
@@ -129,6 +139,57 @@ impl std::fmt::Display for SchedulerKind {
     }
 }
 
+// Snapshot support: ready entries and the policy selector travel in the
+// `SCHEDULER` and `META` snapshot sections respectively.
+
+impl Persist for ReadyEntry {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.task.save(out);
+        self.num_successors.save(out);
+        self.creation_seq.save(out);
+        self.ready_at.save(out);
+        self.producer_core.save(out);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(ReadyEntry {
+            task: TaskRef::load(r)?,
+            num_successors: u32::load(r)?,
+            creation_seq: usize::load(r)?,
+            ready_at: Cycle::load(r)?,
+            producer_core: Option::load(r)?,
+        })
+    }
+}
+
+impl Persist for SchedulerKind {
+    fn save(&self, out: &mut Vec<u8>) {
+        match *self {
+            SchedulerKind::Fifo => 0u8.save(out),
+            SchedulerKind::Lifo => 1u8.save(out),
+            SchedulerKind::Locality => 2u8.save(out),
+            SchedulerKind::Successor { threshold } => {
+                3u8.save(out);
+                threshold.save(out);
+            }
+            SchedulerKind::Age => 4u8.save(out),
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        match u8::load(r)? {
+            0 => Ok(SchedulerKind::Fifo),
+            1 => Ok(SchedulerKind::Lifo),
+            2 => Ok(SchedulerKind::Locality),
+            3 => Ok(SchedulerKind::Successor {
+                threshold: u32::load(r)?,
+            }),
+            4 => Ok(SchedulerKind::Age),
+            tag => Err(SnapshotError::Corrupt {
+                context: format!("unknown scheduler kind tag {tag}"),
+            }),
+        }
+    }
+}
+
 /// First-in first-out scheduler: tasks run in the order they became ready.
 #[derive(Debug, Clone, Default)]
 pub struct FifoScheduler {
@@ -157,6 +218,15 @@ impl Scheduler for FifoScheduler {
 
     fn len(&self) -> usize {
         self.queue.len()
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.queue.save(out);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        self.queue = VecDeque::load(r)?;
+        Ok(())
     }
 }
 
@@ -188,6 +258,15 @@ impl Scheduler for LifoScheduler {
 
     fn len(&self) -> usize {
         self.stack.len()
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.stack.save(out);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        self.stack = Vec::load(r)?;
+        Ok(())
     }
 }
 
@@ -228,6 +307,15 @@ impl Scheduler for LocalityScheduler {
 
     fn len(&self) -> usize {
         self.queue.len()
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.queue.save(out);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        self.queue = VecDeque::load(r)?;
+        Ok(())
     }
 }
 
@@ -277,6 +365,28 @@ impl Scheduler for SuccessorScheduler {
     fn len(&self) -> usize {
         self.high.len() + self.low.len()
     }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.threshold.save(out);
+        self.high.save(out);
+        self.low.save(out);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        let threshold = u32::load(r)?;
+        if threshold != self.threshold {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "snapshot was taken with successor threshold {threshold}, \
+                     but the scheduler was built with {}",
+                    self.threshold
+                ),
+            });
+        }
+        self.high = VecDeque::load(r)?;
+        self.low = VecDeque::load(r)?;
+        Ok(())
+    }
 }
 
 /// Age scheduler (Section VI): the ready pool is ordered by task creation
@@ -316,6 +426,53 @@ impl Scheduler for AgeScheduler {
 
     fn len(&self) -> usize {
         self.ring.len()
+    }
+
+    // The ring is written field-for-field (slots, bitmap, window bounds)
+    // rather than as a drained entry list, so the restored pool is not just
+    // behaviourally equivalent but structurally identical — capacity and
+    // window position included.
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.ring.slots.save(out);
+        self.ring.bits.save(out);
+        self.ring.lo.save(out);
+        self.ring.hi.save(out);
+        self.ring.len.save(out);
+        self.ring.dups.save(out);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        let slots: Vec<Option<ReadyEntry>> = Vec::load(r)?;
+        let bits: Vec<u64> = Vec::load(r)?;
+        let lo = usize::load(r)?;
+        let hi = usize::load(r)?;
+        let len = usize::load(r)?;
+        let dups: Vec<ReadyEntry> = Vec::load(r)?;
+        let live = slots.iter().filter(|s| s.is_some()).count();
+        let occupancy: u32 = bits.iter().map(|w| w.count_ones()).sum();
+        if !(slots.len().is_power_of_two() || slots.is_empty())
+            || bits.len() * 64 != slots.len()
+            || occupancy as usize != live
+            || live + dups.len() != len
+        {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "age ring inconsistent: {} slots, {live} live, \
+                     {occupancy} occupancy bits, {} duplicates, len {len}",
+                    slots.len(),
+                    dups.len()
+                ),
+            });
+        }
+        self.ring = SeqRing {
+            slots,
+            bits,
+            lo,
+            hi,
+            len,
+            dups,
+        };
+        Ok(())
     }
 }
 
@@ -703,6 +860,57 @@ mod tests {
             SchedulerKind::Successor { threshold: 2 }.name(),
             "Successor"
         );
+    }
+
+    #[test]
+    fn save_load_round_trips_every_policy() {
+        for kind in SchedulerKind::all() {
+            let mut original = kind.build();
+            for i in 0..15 {
+                original.push(entry(i, 14 - i, (i % 4) as u32, Some(i % 3)));
+            }
+            // Pop a few so the internal cursors are mid-flight.
+            original.pop(0);
+            original.pop(1);
+
+            let mut bytes = Vec::new();
+            original.save_state(&mut bytes);
+            let mut restored = kind.build();
+            let mut reader = Reader::new(&bytes);
+            restored.load_state(&mut reader).unwrap();
+            reader.expect_end("scheduler").unwrap();
+
+            assert_eq!(restored.len(), original.len(), "policy {}", kind.name());
+            for core in [2usize, 0, 1].into_iter().cycle() {
+                let (a, b) = (original.pop(core), restored.pop(core));
+                assert_eq!(a, b, "policy {}", kind.name());
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn successor_load_rejects_mismatched_threshold() {
+        let mut original = SuccessorScheduler::new(2);
+        original.push(entry(0, 0, 5, None));
+        let mut bytes = Vec::new();
+        original.save_state(&mut bytes);
+        let mut wrong = SuccessorScheduler::new(4);
+        let err = wrong.load_state(&mut Reader::new(&bytes)).unwrap_err();
+        assert!(err.to_string().contains("threshold"), "got: {err}");
+    }
+
+    #[test]
+    fn scheduler_kind_persist_round_trips() {
+        for kind in SchedulerKind::all() {
+            let mut bytes = Vec::new();
+            kind.save(&mut bytes);
+            let mut reader = Reader::new(&bytes);
+            assert_eq!(SchedulerKind::load(&mut reader).unwrap(), kind);
+            reader.expect_end("kind").unwrap();
+        }
     }
 
     #[test]

@@ -99,6 +99,35 @@ pub trait TaskSource: Send {
     fn duration_jitter(&self) -> f64 {
         crate::task::DEFAULT_DURATION_JITTER
     }
+
+    /// Position of the source's production cursor: the number of tasks
+    /// produced so far, for checkpointing.
+    ///
+    /// A snapshot stores this cursor instead of the unproduced remainder of
+    /// the stream — restoring builds a fresh source and fast-forwards it with
+    /// [`resume_at`](TaskSource::resume_at), so checkpoints stay small no
+    /// matter how many tasks are still to come. Sources that cannot report a
+    /// cursor return `None` (the default), which makes runs over them
+    /// non-checkpointable in streaming mode.
+    fn checkpoint_cursor(&self) -> Option<u64> {
+        None
+    }
+
+    /// Fast-forwards a freshly built source so that the next
+    /// [`next_task`](TaskSource::next_task) call returns the task at position
+    /// `cursor` (0-based creation order).
+    ///
+    /// The default implementation pulls and discards `cursor` tasks, which is
+    /// always correct for a deterministic source; generators with cheaper
+    /// seeking may override it. Must only be called on a source that has not
+    /// produced any tasks yet.
+    fn resume_at(&mut self, cursor: u64) {
+        for _ in 0..cursor {
+            if self.next_task().is_none() {
+                return;
+            }
+        }
+    }
 }
 
 /// Replays an already-materialised [`Workload`] as a [`TaskSource`],
@@ -143,6 +172,14 @@ impl TaskSource for WorkloadSource<'_> {
     fn duration_jitter(&self) -> f64 {
         self.workload.duration_jitter
     }
+
+    fn checkpoint_cursor(&self) -> Option<u64> {
+        Some(self.next as u64)
+    }
+
+    fn resume_at(&mut self, cursor: u64) {
+        self.next = (cursor as usize).min(self.workload.len());
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +219,21 @@ mod tests {
         assert_eq!(produced, w.tasks);
         assert_eq!(source.len_hint(), Some(0));
         assert!(source.next_task().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn checkpoint_cursor_resumes_mid_stream() {
+        let w = workload();
+        let mut source = WorkloadSource::new(&w);
+        source.next_task();
+        source.next_task();
+        let cursor = source.checkpoint_cursor().unwrap();
+        assert_eq!(cursor, 2);
+
+        let mut resumed = WorkloadSource::new(&w);
+        resumed.resume_at(cursor);
+        assert_eq!(resumed.next_task(), source.next_task());
+        assert_eq!(resumed.len_hint(), source.len_hint());
     }
 
     #[test]

@@ -200,6 +200,49 @@ impl Workload {
     }
 }
 
+// Snapshot support: task specs travel inside checkpoints as part of the
+// streaming feed's bounded in-flight window (see `SNAPSHOT_FORMAT.md`).
+use tdm_sim::snapshot::{Persist, Reader, SnapshotError};
+
+impl Persist for TaskRef {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.0.save(out);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(TaskRef(usize::load(r)?))
+    }
+}
+
+impl Persist for DependenceSpec {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.addr.save(out);
+        self.size.save(out);
+        self.direction.save(out);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(DependenceSpec {
+            addr: u64::load(r)?,
+            size: u64::load(r)?,
+            direction: DepDirection::load(r)?,
+        })
+    }
+}
+
+impl Persist for TaskSpec {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.kind.save(out);
+        self.duration.save(out);
+        self.deps.save(out);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(TaskSpec {
+            kind: String::load(r)?,
+            duration: Cycle::load(r)?,
+            deps: Vec::load(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

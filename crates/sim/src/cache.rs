@@ -266,6 +266,45 @@ impl LocalityModel {
     }
 }
 
+// Snapshot support. The observable state is the per-core MRU block list
+// (order matters: it decides eviction victims); `bytes`, the `holders`
+// transpose and the write scratch are all derived, so the codec stores
+// only capacity and the lists and rebuilds the rest on load.
+impl crate::snapshot::Persist for LocalityModel {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.capacity_bytes.save(out);
+        (self.cores.len() as u64).save(out);
+        for core in &self.cores {
+            core.blocks.save(out);
+        }
+    }
+
+    fn load(r: &mut crate::snapshot::Reader<'_>) -> Result<Self, crate::snapshot::SnapshotError> {
+        let capacity_bytes = u64::load(r)?;
+        let num_cores = u64::load(r)? as usize;
+        if capacity_bytes == 0 || num_cores == 0 {
+            return Err(crate::snapshot::SnapshotError::Corrupt {
+                context: format!(
+                    "locality model with {num_cores} cores and {capacity_bytes}-byte \
+                     capacity (both must be non-zero)"
+                ),
+            });
+        }
+        let mut model = LocalityModel::new(num_cores, capacity_bytes);
+        for core in 0..num_cores {
+            let blocks: VecDeque<(BlockAddr, u64)> = VecDeque::load(r)?;
+            let residency = &mut model.cores[core];
+            residency.bytes = blocks.iter().map(|&(_, size)| size).sum();
+            for &(addr, _) in &blocks {
+                model.holders.entry(addr).or_default().push(core as u32);
+            }
+            residency.blocks = blocks;
+        }
+        model.debug_check_holders();
+        Ok(model)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -480,6 +480,51 @@ impl<E> TimingWheel<E> {
     }
 }
 
+// Snapshot support. A wheel's internal layout (node slab, bucket chains,
+// cascade progress) is an artifact of its history, so the exact struct is
+// not what gets persisted: the *observable* state is the clock plus the
+// pending events in delivery order. Saving drains a clone in pop order;
+// loading starts a fresh wheel at the saved clock and re-schedules the
+// events in that order, which reproduces delivery order exactly —
+// `schedule` files each event relative to `now`, and same-cycle events
+// are FIFO by insertion, which is the order they were written in.
+impl<E: crate::snapshot::Persist + Clone> crate::snapshot::Persist for TimingWheel<E> {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.now.save(out);
+        (self.len as u64).save(out);
+        let mut drain = self.clone();
+        while let Some((time, payload)) = drain.pop() {
+            time.save(out);
+            payload.save(out);
+        }
+    }
+
+    fn load(r: &mut crate::snapshot::Reader<'_>) -> Result<Self, crate::snapshot::SnapshotError> {
+        let now = Cycle::load(r)?;
+        let len = u64::load(r)?;
+        let mut wheel = TimingWheel::new();
+        wheel.now = now;
+        let mut previous = now;
+        for _ in 0..len {
+            let time = Cycle::load(r)?;
+            let payload = E::load(r)?;
+            if time < previous {
+                return Err(crate::snapshot::SnapshotError::Corrupt {
+                    context: format!(
+                        "timing-wheel events out of order: {} after {} (clock {})",
+                        time.raw(),
+                        previous.raw(),
+                        now.raw()
+                    ),
+                });
+            }
+            previous = time;
+            wheel.schedule(time, payload);
+        }
+        Ok(wheel)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

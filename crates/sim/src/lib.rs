@@ -36,6 +36,7 @@ pub mod config;
 pub mod event;
 pub mod noc;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 
 pub use cache::LocalityModel;
@@ -43,4 +44,5 @@ pub use clock::{Cycle, Frequency};
 pub use config::{ChipConfig, CoreConfig, MemoryConfig};
 pub use event::EventQueue;
 pub use noc::NocModel;
+pub use snapshot::{Persist, Snapshot, SnapshotError};
 pub use stats::{CoreBreakdown, Phase, SimStats};

@@ -103,6 +103,22 @@ impl SplitMix64 {
     }
 }
 
+// Snapshot support: the generator *is* its 64-bit state, so a checkpointed
+// stream resumes exactly where it left off. (The driver's per-task jitter
+// streams are derived fresh from the seed and task index and never live
+// across a checkpoint; this impl covers any source-embedded RNG state.)
+impl crate::snapshot::Persist for SplitMix64 {
+    fn save(&self, out: &mut Vec<u8>) {
+        crate::snapshot::Persist::save(&self.state, out);
+    }
+
+    fn load(r: &mut crate::snapshot::Reader<'_>) -> Result<Self, crate::snapshot::SnapshotError> {
+        Ok(SplitMix64 {
+            state: <u64 as crate::snapshot::Persist>::load(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

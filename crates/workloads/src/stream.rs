@@ -49,6 +49,10 @@ use tdm_runtime::task::{TaskSpec, Workload};
 pub struct TaskStream {
     name: String,
     remaining: usize,
+    /// Tasks produced so far — the checkpoint cursor
+    /// ([`TaskSource::checkpoint_cursor`]): a restored run rebuilds the
+    /// stream and fast-forwards it here instead of storing generated tasks.
+    produced: u64,
     locality_benefit: f64,
     duration_jitter: f64,
     iter: Box<dyn Iterator<Item = TaskSpec> + Send>,
@@ -87,6 +91,7 @@ impl TaskStream {
         TaskStream {
             name: name.into(),
             remaining: len,
+            produced: 0,
             locality_benefit: 0.0,
             duration_jitter: tdm_runtime::task::DEFAULT_DURATION_JITTER,
             iter: Box::new(iter),
@@ -158,6 +163,7 @@ impl TaskSource for TaskStream {
                     self.name
                 );
                 self.remaining = self.remaining.saturating_sub(1);
+                self.produced += 1;
             }
             None => debug_assert_eq!(
                 self.remaining, 0,
@@ -178,6 +184,23 @@ impl TaskSource for TaskStream {
 
     fn duration_jitter(&self) -> f64 {
         self.duration_jitter
+    }
+
+    fn checkpoint_cursor(&self) -> Option<u64> {
+        Some(self.produced)
+    }
+
+    // The default pull-and-discard fast-forward is already correct for a
+    // deterministic generator; overriding it keeps the declared-length
+    // bookkeeping (`remaining`/`produced`) exact without relying on the
+    // trait's loop semantics.
+    fn resume_at(&mut self, cursor: u64) {
+        debug_assert_eq!(self.produced, 0, "resume_at on a consumed stream");
+        for _ in 0..cursor {
+            if self.next_task().is_none() {
+                break;
+            }
+        }
     }
 }
 
@@ -227,5 +250,20 @@ mod tests {
     #[should_panic(expected = "declared")]
     fn wrong_declared_length_panics_on_collect() {
         let _ = TaskStream::new("s", 5, three_tasks()).into_workload();
+    }
+
+    #[test]
+    fn checkpoint_cursor_resumes_identically() {
+        let mut original = TaskStream::new("s", 3, three_tasks());
+        original.next_task();
+        original.next_task();
+        let cursor = original.checkpoint_cursor().unwrap();
+        assert_eq!(cursor, 2);
+
+        let mut resumed = TaskStream::new("s", 3, three_tasks());
+        resumed.resume_at(cursor);
+        assert_eq!(resumed.len_hint(), original.len_hint());
+        assert_eq!(resumed.next_task(), original.next_task());
+        assert_eq!(resumed.next_task(), None);
     }
 }

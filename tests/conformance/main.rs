@@ -24,6 +24,7 @@ mod common;
 mod batching;
 mod determinism;
 mod schedule;
+mod snapshot;
 mod stats;
 mod streaming;
 mod sweep;

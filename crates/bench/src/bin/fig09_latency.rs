@@ -1,33 +1,53 @@
 //! Figure 9: performance when the access time of every DMU structure grows
 //! from 1 to 16 cycles, normalized to zero-latency structures.
+//!
+//! The 9 benchmarks × 4 latency points (0, 1, 4 and 16 cycles) form one
+//! [`SweepGrid`] executed in parallel across host threads; the zero-latency
+//! column of each benchmark's chunk is the normalization base. Results are
+//! bit-identical to the old serial eager harness.
 
-use tdm_bench::{geometric_mean, print_table, ratio, run, Benchmark};
+use tdm_bench::sweep::{run_sweep, BackendSpec, SweepGrid, WorkloadSpec};
+use tdm_bench::{default_threads, geometric_mean, print_table, ratio, Benchmark};
 use tdm_core::config::DmuConfig;
 use tdm_runtime::exec::Backend;
 use tdm_runtime::scheduler::SchedulerKind;
 use tdm_sim::clock::Cycle;
 
 fn main() {
-    let latencies = [1u64, 4, 16];
-    let mut rows = Vec::new();
-    let mut per_latency: Vec<Vec<f64>> = vec![Vec::new(); latencies.len()];
+    let latencies = [0u64, 1, 4, 16];
+    let per_bench = latencies.len();
 
-    for bench in Benchmark::ALL {
-        let workload = bench.tdm_workload();
-        // Zero-latency baseline.
-        let base = run(
-            &workload,
-            &Backend::Tdm(DmuConfig::default().with_access_latency(Cycle::ZERO)),
-            SchedulerKind::Fifo,
-        );
+    let grid = SweepGrid::new()
+        .with_workloads(
+            Benchmark::ALL
+                .iter()
+                .map(|&b| WorkloadSpec::tdm_granularity(b))
+                .collect(),
+        )
+        .with_backends(
+            latencies
+                .iter()
+                .map(|&lat| {
+                    BackendSpec::labelled(
+                        format!("tdm-lat{lat}"),
+                        Backend::Tdm(DmuConfig::default().with_access_latency(Cycle::new(lat))),
+                    )
+                })
+                .collect(),
+        )
+        .with_schedulers(vec![SchedulerKind::Fifo]);
+    let results = run_sweep(&grid, default_threads(1));
+
+    let mut rows = Vec::new();
+    let mut per_latency: Vec<Vec<f64>> = vec![Vec::new(); latencies.len() - 1];
+
+    for (b, bench) in Benchmark::ALL.iter().enumerate() {
+        let chunk = &results[b * per_bench..(b + 1) * per_bench];
+        // Grid order puts the zero-latency point first: the baseline.
+        let base = &chunk[0];
         let mut row = vec![bench.abbrev().to_string()];
-        for (i, &lat) in latencies.iter().enumerate() {
-            let report = run(
-                &workload,
-                &Backend::Tdm(DmuConfig::default().with_access_latency(Cycle::new(lat))),
-                SchedulerKind::Fifo,
-            );
-            let perf = base.makespan().as_f64() / report.makespan().as_f64();
+        for (i, point) in chunk[1..].iter().enumerate() {
+            let perf = base.report.makespan().as_f64() / point.report.makespan().as_f64();
             per_latency[i].push(perf);
             row.push(ratio(perf));
         }

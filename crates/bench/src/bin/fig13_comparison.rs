@@ -1,47 +1,118 @@
 //! Figure 13: speedup and normalized EDP of Carbon, Task Superscalar and TDM
 //! (with the best scheduler per benchmark) over the software runtime with a
 //! FIFO scheduler.
+//!
+//! Three [`SweepGrid`]s executed in parallel across host threads: the
+//! software-granularity benchmarks on the software runtime and Carbon (its
+//! runtime overheads match the software baseline), and the TDM-granularity
+//! benchmarks on Task Superscalar (FIFO) and TDM (all five schedulers, from
+//! which OptTDM picks the best per benchmark). Energy is evaluated from
+//! each point's `RunReport` afterwards. Results are bit-identical to the
+//! old serial eager harness.
 
-use tdm_bench::{best_scheduler, geometric_mean, print_table, ratio, run_with_energy, Benchmark};
+use tdm_bench::sweep::{run_sweep, BackendSpec, SweepGrid, SweepResult, WorkloadSpec};
+use tdm_bench::{
+    default_threads, dmu_of, frequency, geometric_mean, power_model, print_table, ratio, Benchmark,
+};
+use tdm_energy::edp::{evaluate, EnergyReport};
 use tdm_runtime::exec::Backend;
 use tdm_runtime::scheduler::SchedulerKind;
 
+/// Evaluates the energy of a sweep point's run (the DMU geometry comes from
+/// the point's backend via [`dmu_of`], exactly like `run_with_energy`).
+fn energy_of(result: &SweepResult, backend: &Backend) -> EnergyReport {
+    evaluate(
+        &result.report,
+        &power_model(),
+        &dmu_of(backend),
+        frequency(),
+    )
+}
+
+/// The best scheduler of one benchmark's chunk: first strict minimum of the
+/// makespan in `SchedulerKind::all()` order (the OptTDM selection of
+/// Section VI-A, reproduced from the sweep results).
+fn best(chunk: &[SweepResult]) -> &SweepResult {
+    let mut best = &chunk[0];
+    for candidate in &chunk[1..] {
+        if candidate.report.makespan() < best.report.makespan() {
+            best = candidate;
+        }
+    }
+    best
+}
+
 fn main() {
+    let threads = default_threads(1);
+    let sw_workloads = || {
+        Benchmark::ALL
+            .iter()
+            .map(|&b| WorkloadSpec::software_granularity(b))
+            .collect()
+    };
+    let tdm_workloads = || {
+        Benchmark::ALL
+            .iter()
+            .map(|&b| WorkloadSpec::tdm_granularity(b))
+            .collect()
+    };
+
+    // Sweep 1: software granularity on the software runtime and Carbon
+    // (hardware FIFO queues, software dependence tracking), FIFO.
+    let sw_backend = Backend::Software;
+    let carbon_backend = Backend::Carbon;
+    let sw_grid = SweepGrid::new()
+        .with_workloads(sw_workloads())
+        .with_backends(vec![
+            BackendSpec::from(sw_backend.clone()),
+            BackendSpec::from(carbon_backend.clone()),
+        ])
+        .with_schedulers(vec![SchedulerKind::Fifo]);
+    let sw_results = run_sweep(&sw_grid, threads);
+
+    // Sweep 2: Task Superscalar — everything in hardware, fixed FIFO; it
+    // benefits from the same reduced overheads as TDM, so it uses the
+    // TDM-optimal granularity.
+    let tss_backend = Backend::task_superscalar_default();
+    let tss_grid = SweepGrid::new()
+        .with_workloads(tdm_workloads())
+        .with_backends(vec![BackendSpec::from(tss_backend.clone())])
+        .with_schedulers(vec![SchedulerKind::Fifo]);
+    let tss_results = run_sweep(&tss_grid, threads);
+
+    // Sweep 3: TDM under every scheduler; OptTDM is the best per benchmark.
+    let tdm_backend = Backend::tdm_default();
+    let schedulers = SchedulerKind::all();
+    let per_bench = schedulers.len();
+    let tdm_grid = SweepGrid::new()
+        .with_workloads(tdm_workloads())
+        .with_backends(vec![BackendSpec::from(tdm_backend.clone())])
+        .with_schedulers(schedulers);
+    let tdm_results = run_sweep(&tdm_grid, threads);
+
     let mut speedup_rows = Vec::new();
     let mut edp_rows = Vec::new();
     let mut speedup_cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
     let mut edp_cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
 
-    for bench in Benchmark::ALL {
-        let sw_workload = bench.software_workload();
-        let tdm_workload = bench.tdm_workload();
-        let (base_run, base_energy) =
-            run_with_energy(&sw_workload, &Backend::Software, SchedulerKind::Fifo);
+    for (b, bench) in Benchmark::ALL.iter().enumerate() {
+        // Grid order per benchmark: [Software FIFO, Carbon FIFO].
+        let base_run = &sw_results[b * 2];
+        let carbon_run = &sw_results[b * 2 + 1];
+        let tss_run = &tss_results[b];
+        let tdm_chunk = &tdm_results[b * per_bench..(b + 1) * per_bench];
+        let opt_tdm = best(tdm_chunk);
 
-        // Carbon: hardware FIFO queues, software dependence tracking, software
-        // granularity (its runtime overheads match the software baseline).
-        let (carbon_run, carbon_energy) =
-            run_with_energy(&sw_workload, &Backend::Carbon, SchedulerKind::Fifo);
-        // Task Superscalar: everything in hardware, fixed FIFO; it benefits
-        // from the same reduced overheads as TDM, so it uses the TDM-optimal
-        // granularity.
-        let (tss_run, tss_energy) = run_with_energy(
-            &tdm_workload,
-            &Backend::task_superscalar_default(),
-            SchedulerKind::Fifo,
-        );
-        // TDM with the best scheduler per benchmark (OptTDM).
-        let opt_tdm = best_scheduler(&tdm_workload, &Backend::tdm_default());
-
+        let base_energy = energy_of(base_run, &sw_backend);
         let speedups = [
-            carbon_run.speedup_over(&base_run),
-            tss_run.speedup_over(&base_run),
-            opt_tdm.report.speedup_over(&base_run),
+            carbon_run.report.speedup_over(&base_run.report),
+            tss_run.report.speedup_over(&base_run.report),
+            opt_tdm.report.speedup_over(&base_run.report),
         ];
         let edps = [
-            carbon_energy.normalized_edp(&base_energy),
-            tss_energy.normalized_edp(&base_energy),
-            opt_tdm.energy.normalized_edp(&base_energy),
+            energy_of(carbon_run, &carbon_backend).normalized_edp(&base_energy),
+            energy_of(tss_run, &tss_backend).normalized_edp(&base_energy),
+            energy_of(opt_tdm, &tdm_backend).normalized_edp(&base_energy),
         ];
         for (col, &v) in speedups.iter().enumerate() {
             speedup_cols[col].push(v);

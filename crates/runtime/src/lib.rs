@@ -6,7 +6,8 @@
 //!
 //! * the program-level task and workload model ([`task`]),
 //! * pull-based task sources for streaming (windowed) execution
-//!   ([`stream`]),
+//!   ([`stream`]), including a line-format trace front-end that replays
+//!   dumped task graphs ([`trace`]),
 //! * the reference Task Dependence Graph used both by the software runtime
 //!   and as the golden model for the DMU ([`tdg`]),
 //! * the cycle cost model of runtime operations ([`cost`]),
@@ -56,6 +57,7 @@ pub mod scheduler;
 pub mod stream;
 pub mod task;
 pub mod tdg;
+pub mod trace;
 
 pub use cost::CostModel;
 pub use engine::{DependenceEngine, HardwareEngine, HardwareFlavor, SoftwareEngine};

@@ -1,0 +1,536 @@
+//! Seeded random-DAG workload grammar: adversarial dependence shapes.
+//!
+//! The nine Table II generators reproduce *benign* parallel structure —
+//! tiled factorizations, pipelines, reduction trees — whose dependence
+//! shapes barely exercise the DMU paths the hardware exists for: alias-table
+//! renaming under address reuse, reader-list chaining and overflow, deep
+//! serial chains, and creation-rate floods. This module is the adversarial
+//! counterpart: a grammar of primitive [`Shape`]s composed into a
+//! [`GrammarSpec`], drawn from a single `u64` seed under the workspace
+//! seeding contract (see [`tdm_sim::rng`]) and produced as an ordinary
+//! [`TaskStream`] — so every generated workload runs eager, streaming,
+//! windowed, checkpointed and swept with zero driver changes.
+//!
+//! The shapes:
+//!
+//! * [`Shape::Chain`] — a deep critical chain: every task `inout`s one
+//!   address, so the region is fully serial no matter how many cores exist.
+//! * [`Shape::Fan`] — extreme fan-out/fan-in: one producer, `width`
+//!   independent readers, one sink reading all of them (successor-list and
+//!   ready-queue pressure).
+//! * [`Shape::RenamingStorm`] — many writers reusing a handful of
+//!   addresses: back-to-back WAW chains force the alias tables to rename
+//!   address versions continuously (DAT/TAT set-conflict and exhaustion
+//!   pressure on undersized geometries).
+//! * [`Shape::ReaderSwarm`] — waves of one writer followed by a swarm of
+//!   readers of the same address: reader lists outgrow
+//!   `elems_per_list_entry` and chain across list-array entries, and the
+//!   next wave's writer raises a WAR against the whole swarm.
+//! * [`Shape::Mixed`] — uniformly random reads/writes over a small block
+//!   pool (dense RAW/WAR/WAW collisions, like the conformance suite's
+//!   random workloads).
+//!
+//! Each phase owns a disjoint address region, so phases are mutually
+//! independent: a multi-phase spec floods the backend with several
+//! concurrent adversarial sub-graphs, and the differential fuzzer
+//! (`bench_fuzz`) shrinks a failing spec by halving its shape list without
+//! changing the surviving phases' tasks.
+//!
+//! # Example
+//!
+//! ```
+//! use tdm_workloads::grammar::{GrammarSpec, Shape};
+//! use tdm_runtime::stream::TaskSource;
+//!
+//! // Drawn from a seed: same seed, same spec, same tasks, bit for bit.
+//! let spec = GrammarSpec::draw(7);
+//! assert_eq!(spec.stream().len(), spec.task_count());
+//!
+//! // Or composed explicitly (what a shrunken fuzz reproducer replays).
+//! let spec = GrammarSpec::new(7, vec![Shape::Chain { len: 4 }]);
+//! let mut stream = spec.stream();
+//! let first = stream.next_task().unwrap();
+//! assert_eq!(first.kind, "chain");
+//! ```
+
+use tdm_runtime::task::{DependenceSpec, TaskSpec};
+use tdm_sim::clock::Cycle;
+use tdm_sim::rng::SplitMix64;
+
+use crate::stream::TaskStream;
+
+/// Base of the grammar's address space (clear of every Table II generator's
+/// regions and the conformance suite's random-workload pool).
+const GRAMMAR_BASE: u64 = 0x9000_0000_0000;
+/// Address stride between phases: each phase's region is disjoint.
+const PHASE_STRIDE: u64 = 0x100_0000;
+/// Block granularity inside a phase region.
+const BLOCK_SIZE: u64 = 0x1000;
+
+/// Shortest task body, in cycles.
+const MIN_DURATION: u64 = 2_000;
+/// Span of task-body durations above [`MIN_DURATION`], in cycles.
+const DURATION_SPAN: u64 = 150_000;
+
+/// One primitive dependence shape of the grammar.
+///
+/// Every variant has a closed-form [`task_count`](Shape::task_count) so a
+/// composed spec can declare its stream length exactly, and a compact
+/// [`encode`](Shape::encode)/[`parse`](Shape::parse) text form so fuzz
+/// reproducers are replayable from a command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// `len` tasks in a fully serial `inout` chain over one address.
+    Chain {
+        /// Chain length in tasks.
+        len: usize,
+    },
+    /// Producer → `width` parallel readers → one fan-in sink.
+    Fan {
+        /// Number of parallel readers between producer and sink.
+        width: usize,
+    },
+    /// `writers` output-only tasks cycling over `addrs` addresses (WAW
+    /// renaming pressure).
+    RenamingStorm {
+        /// Number of writer tasks.
+        writers: usize,
+        /// Number of distinct addresses they reuse.
+        addrs: usize,
+    },
+    /// `waves` repetitions of one writer followed by `readers` readers of
+    /// the same address (reader-list chaining + WAR pressure).
+    ReaderSwarm {
+        /// Readers per wave.
+        readers: usize,
+        /// Number of writer+swarm waves.
+        waves: usize,
+    },
+    /// `tasks` tasks with 0–4 random-direction dependences over a 16-block
+    /// pool.
+    Mixed {
+        /// Number of random tasks.
+        tasks: usize,
+    },
+}
+
+impl Shape {
+    /// Exact number of tasks this shape generates.
+    pub fn task_count(&self) -> usize {
+        match *self {
+            Shape::Chain { len } => len,
+            Shape::Fan { width } => width + 2,
+            Shape::RenamingStorm { writers, .. } => writers,
+            Shape::ReaderSwarm { readers, waves } => (readers + 1) * waves,
+            Shape::Mixed { tasks } => tasks,
+        }
+    }
+
+    /// Compact text form, e.g. `chain:32`, `storm:64x4`, `swarm:24x2`.
+    pub fn encode(&self) -> String {
+        match *self {
+            Shape::Chain { len } => format!("chain:{len}"),
+            Shape::Fan { width } => format!("fan:{width}"),
+            Shape::RenamingStorm { writers, addrs } => format!("storm:{writers}x{addrs}"),
+            Shape::ReaderSwarm { readers, waves } => format!("swarm:{readers}x{waves}"),
+            Shape::Mixed { tasks } => format!("mixed:{tasks}"),
+        }
+    }
+
+    /// Parses the [`encode`](Shape::encode) form; errors name the offending
+    /// token.
+    pub fn parse(text: &str) -> Result<Shape, String> {
+        let (kind, params) = text
+            .split_once(':')
+            .ok_or_else(|| format!("shape {text:?}: expected kind:params"))?;
+        let one = |value: &str| -> Result<usize, String> {
+            let n: usize = value.parse().map_err(|e| format!("shape {text:?}: {e}"))?;
+            if n == 0 {
+                return Err(format!("shape {text:?}: parameter must be at least 1"));
+            }
+            Ok(n)
+        };
+        let two = |value: &str| -> Result<(usize, usize), String> {
+            let (a, b) = value
+                .split_once('x')
+                .ok_or_else(|| format!("shape {text:?}: expected AxB parameters"))?;
+            Ok((one(a)?, one(b)?))
+        };
+        match kind {
+            "chain" => Ok(Shape::Chain { len: one(params)? }),
+            "fan" => Ok(Shape::Fan {
+                width: one(params)?,
+            }),
+            "storm" => {
+                let (writers, addrs) = two(params)?;
+                Ok(Shape::RenamingStorm { writers, addrs })
+            }
+            "swarm" => {
+                let (readers, waves) = two(params)?;
+                Ok(Shape::ReaderSwarm { readers, waves })
+            }
+            "mixed" => Ok(Shape::Mixed {
+                tasks: one(params)?,
+            }),
+            other => Err(format!(
+                "shape {text:?}: unknown kind {other:?} (known: chain, fan, storm, swarm, mixed)"
+            )),
+        }
+    }
+
+    /// Draws one shape with random parameters from `rng`.
+    fn draw(rng: &mut SplitMix64) -> Shape {
+        match rng.next_below(5) {
+            0 => Shape::Chain {
+                len: 8 + rng.next_below(89) as usize,
+            },
+            1 => Shape::Fan {
+                width: 8 + rng.next_below(57) as usize,
+            },
+            2 => Shape::RenamingStorm {
+                writers: 16 + rng.next_below(113) as usize,
+                addrs: 2 + rng.next_below(5) as usize,
+            },
+            3 => Shape::ReaderSwarm {
+                readers: 12 + rng.next_below(37) as usize,
+                waves: 1 + rng.next_below(3) as usize,
+            },
+            _ => Shape::Mixed {
+                tasks: 16 + rng.next_below(81) as usize,
+            },
+        }
+    }
+
+    /// Materialises this shape's tasks for phase region `base`, drawing
+    /// durations (and Mixed's dependences) from `rng` in creation order.
+    fn build(&self, mut rng: SplitMix64, base: u64) -> Vec<TaskSpec> {
+        let duration =
+            |rng: &mut SplitMix64| Cycle::new(MIN_DURATION + rng.next_below(DURATION_SPAN));
+        let mut tasks = Vec::with_capacity(self.task_count());
+        match *self {
+            Shape::Chain { len } => {
+                for _ in 0..len {
+                    tasks.push(TaskSpec::new(
+                        "chain",
+                        duration(&mut rng),
+                        vec![DependenceSpec::inout(base, BLOCK_SIZE)],
+                    ));
+                }
+            }
+            Shape::Fan { width } => {
+                tasks.push(TaskSpec::new(
+                    "fan_src",
+                    duration(&mut rng),
+                    vec![DependenceSpec::output(base, BLOCK_SIZE)],
+                ));
+                let mut sink_deps = Vec::with_capacity(width);
+                for i in 0..width {
+                    let out = base + (1 + i as u64) * BLOCK_SIZE;
+                    tasks.push(TaskSpec::new(
+                        "fan_leaf",
+                        duration(&mut rng),
+                        vec![
+                            DependenceSpec::input(base, BLOCK_SIZE),
+                            DependenceSpec::output(out, BLOCK_SIZE),
+                        ],
+                    ));
+                    sink_deps.push(DependenceSpec::input(out, BLOCK_SIZE));
+                }
+                tasks.push(TaskSpec::new("fan_sink", duration(&mut rng), sink_deps));
+            }
+            Shape::RenamingStorm { writers, addrs } => {
+                for i in 0..writers {
+                    let addr = base + (i % addrs) as u64 * BLOCK_SIZE;
+                    tasks.push(TaskSpec::new(
+                        "storm_writer",
+                        duration(&mut rng),
+                        vec![DependenceSpec::output(addr, BLOCK_SIZE)],
+                    ));
+                }
+            }
+            Shape::ReaderSwarm { readers, waves } => {
+                for _ in 0..waves {
+                    tasks.push(TaskSpec::new(
+                        "swarm_writer",
+                        duration(&mut rng),
+                        vec![DependenceSpec::output(base, BLOCK_SIZE)],
+                    ));
+                    for _ in 0..readers {
+                        tasks.push(TaskSpec::new(
+                            "swarm_reader",
+                            duration(&mut rng),
+                            vec![DependenceSpec::input(base, BLOCK_SIZE)],
+                        ));
+                    }
+                }
+            }
+            Shape::Mixed { tasks: count } => {
+                const POOL: u64 = 16;
+                for _ in 0..count {
+                    let num_deps = rng.next_below(5) as usize;
+                    let deps = (0..num_deps)
+                        .map(|_| {
+                            let addr = base + rng.next_below(POOL) * BLOCK_SIZE;
+                            match rng.next_below(3) {
+                                0 => DependenceSpec::input(addr, BLOCK_SIZE),
+                                1 => DependenceSpec::output(addr, BLOCK_SIZE),
+                                _ => DependenceSpec::inout(addr, BLOCK_SIZE),
+                            }
+                        })
+                        .collect();
+                    tasks.push(TaskSpec::new("mixed", duration(&mut rng), deps));
+                }
+            }
+        }
+        debug_assert_eq!(tasks.len(), self.task_count());
+        tasks
+    }
+}
+
+/// A composed grammar workload: a seed plus an ordered list of shapes, one
+/// phase per shape.
+///
+/// The seed does double duty: [`GrammarSpec::draw`] derives the shape list
+/// itself from it, and [`GrammarSpec::stream`] derives every phase's content
+/// RNG from it (`seed ^ phase·φ`, the workspace's derived-stream rule) — so
+/// an explicitly composed spec with the same seed and shapes reproduces a
+/// drawn spec's tasks exactly. That is what makes fuzz shrinking sound:
+/// halving the shape list never perturbs the remaining phases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrammarSpec {
+    /// Content seed (and, for drawn specs, the shape-list seed).
+    pub seed: u64,
+    /// Ordered phases.
+    pub shapes: Vec<Shape>,
+}
+
+impl GrammarSpec {
+    /// Composes a spec explicitly (the fuzz-reproducer path).
+    pub fn new(seed: u64, shapes: Vec<Shape>) -> Self {
+        GrammarSpec { seed, shapes }
+    }
+
+    /// Draws a spec from a seed: 1–5 phases of random shapes. A pure
+    /// function of the seed.
+    pub fn draw(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let phases = 1 + rng.next_below(5) as usize;
+        let shapes = (0..phases).map(|_| Shape::draw(&mut rng)).collect();
+        GrammarSpec { seed, shapes }
+    }
+
+    /// Exact total task count across all phases.
+    pub fn task_count(&self) -> usize {
+        self.shapes.iter().map(Shape::task_count).sum()
+    }
+
+    /// Workload name carried into reports and snapshots.
+    pub fn name(&self) -> String {
+        format!("grammar-{}", self.seed)
+    }
+
+    /// Compact text form of the shape list, e.g. `chain:32,storm:64x4`
+    /// (what `bench_fuzz --shapes` replays).
+    pub fn encode(&self) -> String {
+        self.shapes
+            .iter()
+            .map(Shape::encode)
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Parses an [`encode`](GrammarSpec::encode)d shape list for `seed`.
+    pub fn parse(seed: u64, text: &str) -> Result<Self, String> {
+        let shapes = text
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(Shape::parse)
+            .collect::<Result<Vec<_>, _>>()?;
+        if shapes.is_empty() {
+            return Err("shape list is empty".to_string());
+        }
+        Ok(GrammarSpec { seed, shapes })
+    }
+
+    /// Produces the spec's lazy [`TaskStream`]. Phases materialise one at a
+    /// time inside the iterator (peak resident memory is one phase, a few
+    /// hundred specs at most), and every call yields the identical task
+    /// sequence.
+    pub fn stream(&self) -> TaskStream {
+        let seed = self.seed;
+        let shapes = self.shapes.clone();
+        let iter = shapes
+            .into_iter()
+            .enumerate()
+            .flat_map(move |(phase, shape)| {
+                let rng =
+                    SplitMix64::new(seed ^ (phase as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let base = GRAMMAR_BASE + phase as u64 * PHASE_STRIDE;
+                shape.build(rng, base)
+            });
+        TaskStream::new(self.name(), self.task_count(), iter)
+    }
+}
+
+/// Draws and streams a grammar workload from `seed` in one step.
+pub fn stream(seed: u64) -> TaskStream {
+    GrammarSpec::draw(seed).stream()
+}
+
+/// A single-phase renaming-storm stream (the alias-table stress regression
+/// workload).
+pub fn renaming_storm(seed: u64, writers: usize, addrs: usize) -> TaskStream {
+    GrammarSpec::new(seed, vec![Shape::RenamingStorm { writers, addrs }]).stream()
+}
+
+/// A single-phase reader-swarm stream (the reader-list chaining stress
+/// regression workload).
+pub fn reader_swarm(seed: u64, readers: usize, waves: usize) -> TaskStream {
+    GrammarSpec::new(seed, vec![Shape::ReaderSwarm { readers, waves }]).stream()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdm_runtime::stream::TaskSource;
+    use tdm_runtime::task::TaskRef;
+    use tdm_runtime::tdg::TaskGraph;
+
+    fn collect(spec: &GrammarSpec) -> Vec<TaskSpec> {
+        let mut stream = spec.stream();
+        let mut tasks = Vec::new();
+        while let Some(t) = stream.next_task() {
+            tasks.push(t);
+        }
+        tasks
+    }
+
+    #[test]
+    fn drawn_specs_are_pure_functions_of_the_seed() {
+        for seed in 0..32u64 {
+            let a = GrammarSpec::draw(seed);
+            let b = GrammarSpec::draw(seed);
+            assert_eq!(a, b);
+            assert_eq!(collect(&a), collect(&b), "seed {seed}");
+            assert!(!a.shapes.is_empty() && a.shapes.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn stream_length_matches_declared_count() {
+        for seed in 0..16u64 {
+            let spec = GrammarSpec::draw(seed);
+            // into_workload asserts produced == declared.
+            let w = spec.stream().into_workload();
+            assert_eq!(w.len(), spec.task_count(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn halving_the_shape_list_preserves_surviving_phases() {
+        let spec = GrammarSpec::draw(3);
+        let full = collect(&spec);
+        let mut half = spec.clone();
+        half.shapes.truncate(half.shapes.len().div_ceil(2));
+        let shrunk = collect(&half);
+        assert_eq!(shrunk.len(), half.task_count());
+        assert_eq!(full[..shrunk.len()], shrunk[..], "prefix must be stable");
+    }
+
+    #[test]
+    fn chain_is_fully_serial() {
+        let spec = GrammarSpec::new(1, vec![Shape::Chain { len: 12 }]);
+        let graph = TaskGraph::build(&spec.stream().into_workload());
+        assert_eq!(graph.critical_path_len(), 12);
+    }
+
+    #[test]
+    fn fan_has_wide_middle_and_single_sink() {
+        let spec = GrammarSpec::new(2, vec![Shape::Fan { width: 10 }]);
+        let w = spec.stream().into_workload();
+        assert_eq!(w.len(), 12);
+        let graph = TaskGraph::build(&w);
+        assert_eq!(graph.roots(), vec![TaskRef(0)]);
+        // The sink waits for all ten leaves.
+        assert_eq!(graph.predecessors(TaskRef(11)).len(), 10);
+        assert_eq!(graph.critical_path_len(), 3);
+    }
+
+    #[test]
+    fn renaming_storm_serialises_per_address() {
+        let spec = GrammarSpec::new(
+            4,
+            vec![Shape::RenamingStorm {
+                writers: 12,
+                addrs: 3,
+            }],
+        );
+        let graph = TaskGraph::build(&spec.stream().into_workload());
+        // Writers of the same address form a WAW chain: 12 writers over 3
+        // addresses = 4 per chain.
+        assert_eq!(graph.critical_path_len(), 4);
+        assert_eq!(graph.roots().len(), 3);
+    }
+
+    #[test]
+    fn reader_swarm_waves_serialise_through_war() {
+        let spec = GrammarSpec::new(
+            5,
+            vec![Shape::ReaderSwarm {
+                readers: 6,
+                waves: 2,
+            }],
+        );
+        let w = spec.stream().into_workload();
+        assert_eq!(w.len(), 14);
+        let graph = TaskGraph::build(&w);
+        // Wave 2's writer waits for every wave-1 reader (WAR) plus the
+        // wave-1 writer (WAW).
+        assert_eq!(graph.predecessors(TaskRef(7)).len(), 7);
+    }
+
+    #[test]
+    fn shape_encoding_round_trips() {
+        let spec = GrammarSpec::new(
+            9,
+            vec![
+                Shape::Chain { len: 32 },
+                Shape::Fan { width: 16 },
+                Shape::RenamingStorm {
+                    writers: 64,
+                    addrs: 4,
+                },
+                Shape::ReaderSwarm {
+                    readers: 24,
+                    waves: 2,
+                },
+                Shape::Mixed { tasks: 40 },
+            ],
+        );
+        let text = spec.encode();
+        assert_eq!(text, "chain:32,fan:16,storm:64x4,swarm:24x2,mixed:40");
+        assert_eq!(GrammarSpec::parse(9, &text).unwrap(), spec);
+        for seed in 0..8u64 {
+            let drawn = GrammarSpec::draw(seed);
+            assert_eq!(GrammarSpec::parse(seed, &drawn.encode()).unwrap(), drawn);
+        }
+    }
+
+    #[test]
+    fn malformed_shape_lists_are_named_errors() {
+        assert!(Shape::parse("chain").unwrap_err().contains("kind:params"));
+        assert!(Shape::parse("chain:0").unwrap_err().contains("at least 1"));
+        assert!(Shape::parse("storm:64").unwrap_err().contains("AxB"));
+        assert!(Shape::parse("nope:3").unwrap_err().contains("unknown kind"));
+        assert!(GrammarSpec::parse(1, " , ").unwrap_err().contains("empty"));
+        assert!(GrammarSpec::parse(1, "chain:4,bad").is_err());
+    }
+
+    #[test]
+    fn explicit_spec_reproduces_drawn_spec_tasks() {
+        let drawn = GrammarSpec::draw(11);
+        let explicit = GrammarSpec::new(11, drawn.shapes.clone());
+        assert_eq!(collect(&drawn), collect(&explicit));
+    }
+}

@@ -44,6 +44,7 @@ pub mod dedup;
 pub mod dense;
 pub mod ferret;
 pub mod fluidanimate;
+pub mod grammar;
 pub mod histogram;
 pub mod lu;
 pub mod qr;

@@ -23,11 +23,13 @@ mod common;
 
 mod batching;
 mod determinism;
+mod grammar;
 mod schedule;
 mod snapshot;
 mod stats;
 mod streaming;
 mod sweep;
+mod trace;
 
 use tdm::prelude::*;
 

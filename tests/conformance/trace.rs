@@ -1,0 +1,124 @@
+//! Trace replay conformance: a dumped run is the run.
+//!
+//! The `tdmtrace v1` line format ([`tdm::runtime::trace`]) is the bridge
+//! between the generators and offline replay. These tests pin the contract
+//! end to end: dumping any source and replaying the text must reproduce the
+//! original execution bit for bit on every backend, the canonical encoding
+//! must be a fixed point of `parse ∘ dump`, and malformed input must come
+//! back as named [`TraceError`](tdm::runtime::trace::TraceError)s — never
+//! panics. (Line-level corpus coverage — bad directions, truncated records,
+//! non-numeric costs — lives in the module's unit tests; here we check the
+//! replayed *execution*.)
+
+use tdm::prelude::*;
+use tdm::runtime::exec::simulate_stream;
+use tdm::runtime::trace::{self, TraceError, TraceSource};
+use tdm::workloads::grammar::{self, GrammarSpec};
+
+use crate::{all_backends, conformance_config};
+
+/// Grammar → dump → parse → replay reproduces the generator's streaming run
+/// field for field on every backend, and re-dumping the parsed source is
+/// byte-identical (the canonical encoding is a fixed point).
+#[test]
+fn trace_replay_reproduces_generator_run() {
+    let config = conformance_config();
+    for seed in [3, 42] {
+        let spec = GrammarSpec::draw(seed);
+        let text = trace::dump(&mut spec.stream()).expect("grammar dumps cleanly");
+        let replay = TraceSource::parse(&text).expect("dump parses back");
+        let again = trace::dump(&mut replay.clone()).expect("replay dumps cleanly");
+        assert_eq!(text, again, "dump → parse → dump must be byte-identical");
+        for backend in all_backends() {
+            let context = format!("{} on {}", spec.name(), backend.name());
+            let mut generated = spec.stream();
+            let expected = simulate_stream(&mut generated, &backend, SchedulerKind::Fifo, &config);
+            let mut replayed_source = replay.clone();
+            let replayed =
+                simulate_stream(&mut replayed_source, &backend, SchedulerKind::Fifo, &config);
+            assert_eq!(expected, replayed, "{context}: trace replay diverged");
+        }
+    }
+}
+
+/// The benchmark generators round-trip through the trace format too — the
+/// format is not grammar-specific.
+#[test]
+fn trace_replay_reproduces_benchmark_run() {
+    let config = conformance_config();
+    let bench = Benchmark::Blackscholes;
+    let text = trace::dump(&mut bench.tdm_stream()).expect("benchmark dumps cleanly");
+    let mut replay = TraceSource::parse(&text).expect("dump parses back");
+    let mut generated = bench.tdm_stream();
+    let expected = simulate_stream(
+        &mut generated,
+        &Backend::tdm_default(),
+        SchedulerKind::Locality,
+        &config,
+    );
+    let replayed = simulate_stream(
+        &mut replay,
+        &Backend::tdm_default(),
+        SchedulerKind::Locality,
+        &config,
+    );
+    assert_eq!(expected, replayed, "benchmark trace replay diverged");
+}
+
+/// Malformed traces are rejected with the named error for the offending
+/// line — bad direction, truncated record, non-numeric cost, bad count —
+/// and never panic.
+#[test]
+fn malformed_traces_are_rejected_with_named_errors() {
+    let valid = trace::dump(&mut grammar::stream(5)).expect("dump");
+    assert!(TraceSource::parse(&valid).is_ok());
+
+    let bad_dir = valid.replacen("out:", "sideways:", 1);
+    assert!(matches!(
+        TraceSource::parse(&bad_dir),
+        Err(TraceError::BadDirection { .. })
+    ));
+
+    let bad_cost = valid.lines().map(|l| {
+        if let Some(rest) = l.strip_prefix("t ") {
+            let mut parts = rest.split_whitespace();
+            let kind = parts.next().unwrap_or("");
+            return format!("t {kind} banana");
+        }
+        l.to_string()
+    });
+    let bad_cost: Vec<String> = bad_cost.collect();
+    assert!(matches!(
+        TraceSource::parse(&bad_cost.join("\n")),
+        Err(TraceError::BadCost { .. })
+    ));
+
+    let truncated: String = valid
+        .lines()
+        .map(|l| if l.starts_with("t ") { "t lonely" } else { l })
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(matches!(
+        TraceSource::parse(&truncated),
+        Err(TraceError::TruncatedRecord { .. })
+    ));
+
+    let missing_tasks: String = valid
+        .lines()
+        .filter(|l| !l.starts_with("t "))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(matches!(
+        TraceSource::parse(&missing_tasks),
+        Err(TraceError::TaskCountMismatch { found: 0, .. })
+    ));
+
+    assert!(matches!(
+        TraceSource::parse(""),
+        Err(TraceError::MissingHeader)
+    ));
+    assert!(matches!(
+        TraceSource::parse("tdmtrace v99\n"),
+        Err(TraceError::UnsupportedVersion { .. })
+    ));
+}

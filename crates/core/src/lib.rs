@@ -51,6 +51,7 @@
 //! # Ok::<(), tdm_core::dmu::DmuError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

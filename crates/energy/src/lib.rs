@@ -22,6 +22,7 @@
 //! assert!((area - 0.031).abs() < 0.005);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

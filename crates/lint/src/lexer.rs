@@ -1,0 +1,457 @@
+//! A hand-rolled Rust lexer, just deep enough for lint scoping.
+//!
+//! The analyzer needs to see identifiers, punctuation and brace structure
+//! while *not* seeing the contents of strings, char literals and comments
+//! (a `HashMap` mentioned in a doc comment is not a finding). This lexer
+//! produces exactly that: a stream of code [`Token`]s with line/column
+//! positions, plus the line comments as a side channel (the allow-comment
+//! syntax lives in comments, so they are data for the analyzer even though
+//! they are trivia for the lints).
+//!
+//! It is intentionally not a full Rust lexer — no float-suffix edge cases,
+//! no `c"…"` strings — but it must never mis-bracket real code in this
+//! workspace: brace matching feeds test-region and impl-block detection,
+//! so raw strings, nested block comments and lifetimes-vs-char-literals
+//! are handled precisely.
+
+/// What a code token is. Comments never appear here (see [`Comment`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `fn`, `as`, …).
+    Ident,
+    /// Punctuation, either one char (`{`, `<`) or a fused pair the lints
+    /// must not split (`::`, `->`, `=>`, `==`, `!=`, `<=`, `>=`, `..`).
+    Punct,
+    /// Integer or float literal (value is irrelevant to every lint).
+    Number,
+    /// String, raw string, byte string or char literal.
+    Literal,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+}
+
+/// One code token with its position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// The token text, verbatim (for [`TokenKind::Literal`] only the
+    /// opening character is kept — no lint looks inside literals).
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column (in characters).
+    pub col: usize,
+}
+
+impl Token {
+    /// True if this is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// True if this is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == p
+    }
+}
+
+/// One `//` or `/* */` comment, kept for allow-comment parsing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order, comments and whitespace stripped.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Rust keywords, used to tell `buf[i]` (indexing) from `let [a, b] = …`
+/// (pattern) and friends.
+pub const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true",
+    "type", "unsafe", "use", "where", "while",
+];
+
+/// True if `word` is a Rust keyword.
+pub fn is_keyword(word: &str) -> bool {
+    KEYWORDS.contains(&word)
+}
+
+/// Two-character punctuation fused into single tokens so downstream
+/// pattern matching never confuses `==` with `=` or `::` with a struct
+/// field's `:`.
+const FUSED: &[&str] = &[
+    "::", "->", "=>", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "&&",
+    "||",
+];
+
+/// Lexes `source` into tokens and comments. Total: every input produces a
+/// result (unterminated literals are closed at end of file).
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+
+    // Advances over chars[i..i+n], tracking line/col.
+    macro_rules! bump {
+        ($n:expr) => {{
+            for _ in 0..$n {
+                if i < chars.len() {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tok_line, tok_col) = (line, col);
+
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!(1);
+            continue;
+        }
+
+        // Line comment (also catches `///` and `//!`).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                bump!(1);
+            }
+            out.comments.push(Comment {
+                text: chars[start..i].iter().collect(),
+                line: tok_line,
+            });
+            continue;
+        }
+
+        // Block comment, nested.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start = i;
+            let mut depth = 0;
+            while i < chars.len() {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    bump!(2);
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    bump!(2);
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    bump!(1);
+                }
+            }
+            out.comments.push(Comment {
+                text: chars[start..i].iter().collect(),
+                line: tok_line,
+            });
+            continue;
+        }
+
+        // Raw / byte literal prefixes: r"…", r#"…"#, b"…", br#"…"#, b'…'.
+        if (c == 'r' || c == 'b') && is_string_start(&chars, i) {
+            let mut j = i + 1;
+            if c == 'b' && (chars.get(j) == Some(&'r')) {
+                j += 1;
+            }
+            let raw = c == 'r' || chars.get(i + 1) == Some(&'r');
+            let mut hashes = 0;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            // j is now at the opening quote (`"` or, for b'…', `'`).
+            let quote = chars.get(j).copied().unwrap_or('"');
+            bump!(j - i + 1);
+            if raw {
+                // Scan for `"` followed by `hashes` `#`s; no escapes.
+                while i < chars.len() {
+                    if chars[i] == '"' && (1..=hashes).all(|k| chars.get(i + k) == Some(&'#')) {
+                        bump!(1 + hashes);
+                        break;
+                    }
+                    bump!(1);
+                }
+            } else {
+                consume_quoted(&chars, &mut i, &mut line, &mut col, quote);
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                text: String::from(c),
+                line: tok_line,
+                col: tok_col,
+            });
+            continue;
+        }
+
+        // Plain string.
+        if c == '"' {
+            bump!(1);
+            consume_quoted(&chars, &mut i, &mut line, &mut col, '"');
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                text: "\"".to_string(),
+                line: tok_line,
+                col: tok_col,
+            });
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_char = match next {
+                Some('\\') => true,
+                Some(n) if (n.is_alphanumeric() || n == '_') && after == Some('\'') => true,
+                Some(n) if !n.is_alphanumeric() && n != '_' => true, // e.g. '(' … ')'
+                _ => false,
+            };
+            if is_char {
+                bump!(1);
+                consume_quoted(&chars, &mut i, &mut line, &mut col, '\'');
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: "'".to_string(),
+                    line: tok_line,
+                    col: tok_col,
+                });
+            } else {
+                // Lifetime or label: consume ident chars.
+                let start = i;
+                bump!(1);
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    bump!(1);
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: chars[start..i].iter().collect(),
+                    line: tok_line,
+                    col: tok_col,
+                });
+            }
+            continue;
+        }
+
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                bump!(1);
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line: tok_line,
+                col: tok_col,
+            });
+            continue;
+        }
+
+        // Number: digits, hex/octal/binary, suffixes; `.` only when it
+        // starts a fractional part (so `0..n` stays two tokens).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() {
+                let d = chars[i];
+                let fraction_dot = d == '.'
+                    && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                    && chars.get(i.wrapping_sub(1)) != Some(&'.');
+                if d.is_alphanumeric() || d == '_' || fraction_dot {
+                    bump!(1);
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Number,
+                text: chars[start..i].iter().collect(),
+                line: tok_line,
+                col: tok_col,
+            });
+            continue;
+        }
+
+        // Fused punctuation pairs first (`..=` lexes as `..` then `=`,
+        // which is fine — no lint distinguishes them).
+        let pair: String = chars[i..chars.len().min(i + 2)].iter().collect();
+        if pair.len() == 2 && (FUSED.contains(&pair.as_str()) || pair == "..") {
+            bump!(2);
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: pair,
+                line: tok_line,
+                col: tok_col,
+            });
+            continue;
+        }
+
+        // Single-char punctuation.
+        bump!(1);
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line: tok_line,
+            col: tok_col,
+        });
+    }
+
+    out
+}
+
+/// True if position `i` (at `r` or `b`) starts a string/byte-string
+/// literal rather than an identifier like `result`.
+fn is_string_start(chars: &[char], i: usize) -> bool {
+    // Not a literal prefix if the previous char continues an identifier.
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i + 1;
+    if chars[i] == 'b' && chars.get(j) == Some(&'r') {
+        j += 1;
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    matches!(chars.get(j), Some('"')) || (chars[i] == 'b' && chars.get(i + 1) == Some(&'\''))
+}
+
+/// Consumes a quoted literal body (after the opening quote), honouring
+/// backslash escapes, up to and including the closing `quote`.
+fn consume_quoted(chars: &[char], i: &mut usize, line: &mut usize, col: &mut usize, quote: char) {
+    while *i < chars.len() {
+        let c = chars[*i];
+        if c == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+        *i += 1;
+        if c == '\\' {
+            // Skip the escaped char.
+            if *i < chars.len() {
+                if chars[*i] == '\n' {
+                    *line += 1;
+                    *col = 1;
+                } else {
+                    *col += 1;
+                }
+                *i += 1;
+            }
+        } else if c == quote {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in /* a nested */ block */
+            let s = "HashMap in a string";
+            let r = r#"HashMap raw "quoted" here"#;
+            let b = b"HashMap bytes";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .collect();
+        assert_eq!(chars.len(), 1);
+    }
+
+    #[test]
+    fn fused_punctuation_stays_fused() {
+        let toks = lex("a == b; c != d; p::q; x -> y; m => n; 0..9");
+        let puncts: Vec<String> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text.clone())
+            .collect();
+        for expected in ["==", "!=", "::", "->", "=>", ".."] {
+            assert!(puncts.contains(&expected.to_string()), "{expected}");
+        }
+    }
+
+    #[test]
+    fn ranges_do_not_eat_numbers() {
+        let toks = lex("for i in 0..count {}").tokens;
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Number && t.text == "0"));
+        assert!(toks.iter().any(|t| t.is_punct("..")));
+        assert!(toks.iter().any(|t| t.is_ident("count")));
+    }
+
+    #[test]
+    fn positions_are_one_based_and_accurate() {
+        let toks = lex("ab\n  cd").tokens;
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let toks = lex(r#"let s = "a\"b"; after()"#).tokens;
+        assert!(toks.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_loop_forever() {
+        let _ = lex("let s = \"never closed");
+        let _ = lex("let r = r#\"never closed");
+        let _ = lex("/* never closed");
+    }
+}

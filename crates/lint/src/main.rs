@@ -1,0 +1,108 @@
+//! CLI front-end: `tdm-lint check [--root PATH] [--summary FILE]` and
+//! `tdm-lint list`.
+//!
+//! `check` exits 0 when the workspace is clean, 1 when findings exist, and
+//! 2 on usage or I/O errors — so CI can distinguish "lint failed" from
+//! "lint broke".
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use tdm_lint::runner::{check_workspace, render_registry, render_report};
+
+const USAGE: &str = "\
+usage: tdm-lint <command>
+
+commands:
+  check [--root PATH] [--summary FILE]   scan the workspace; exit 1 on findings
+  list                                   print the lint registry
+
+`--root` defaults to the nearest enclosing directory with a `[workspace]`
+Cargo.toml (falling back to the current directory). `--summary` also writes
+the report to FILE (CI uploads it as an artifact on failure).";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => run_check(&args[1..]),
+        Some("list") => {
+            print!("{}", render_registry());
+            ExitCode::SUCCESS
+        }
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("tdm-lint: unknown command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_check(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut summary: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage_error("--root needs a PATH"),
+            },
+            "--summary" => match it.next() {
+                Some(v) => summary = Some(PathBuf::from(v)),
+                None => return usage_error("--summary needs a FILE"),
+            },
+            other => return usage_error(&format!("unknown flag `{other}`")),
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+
+    let report = match check_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tdm-lint: scan of {} failed: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let rendered = render_report(&report);
+    print!("{rendered}");
+    if let Some(path) = summary {
+        if let Err(e) = std::fs::write(&path, &rendered) {
+            eprintln!("tdm-lint: writing summary {} failed: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Nearest enclosing directory whose `Cargo.toml` declares `[workspace]`,
+/// so `cargo run -p tdm-lint -- check` works from any subdirectory.
+fn workspace_root() -> PathBuf {
+    let start = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir: &Path = &start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir.to_path_buf();
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return start,
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("tdm-lint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

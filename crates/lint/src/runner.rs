@@ -1,0 +1,160 @@
+//! Workspace walking and report formatting.
+//!
+//! The runner owns all I/O: it discovers `.rs` files under the workspace
+//! root (skipping build output, VCS metadata, and the analyzer's own
+//! fixture corpus, which intentionally contains findings), feeds each file
+//! through [`crate::lints::check_file`], and renders the deterministic,
+//! path-sorted report that `tdm-lint check` prints and CI uploads.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lints::{check_file, classify, lint_info, Finding};
+use crate::scope::FileIndex;
+
+/// Directories never descended into, by terminal name.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github"];
+
+/// Workspace-relative prefixes excluded from scanning. The fixture corpus
+/// exists to *contain* findings, so scanning it would defeat `check`.
+const SKIP_PREFIXES: &[&str] = &["crates/lint/tests/fixtures"];
+
+/// Result of a full workspace scan.
+pub struct Report {
+    /// All findings, sorted by (file, line, col, id).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Scans every `.rs` file under `root` and returns the combined findings.
+pub fn check_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    // Deterministic order regardless of directory-iteration order.
+    files.sort();
+
+    let mut findings = Vec::new();
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))?;
+        let rel_str = rel_path_string(rel);
+        let class = classify(&rel_str);
+        let idx = FileIndex::build(&source);
+        findings.extend(check_file(&class, &idx));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.col, a.id).cmp(&(&b.file, b.line, b.col, b.id)));
+    Ok(Report {
+        findings,
+        files_scanned: files.len(),
+    })
+}
+
+/// Recursively collects `.rs` files as paths relative to `root`.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let file_type = entry.file_type()?;
+        if file_type.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            let rel = path.strip_prefix(root).unwrap_or(&path);
+            if SKIP_PREFIXES.contains(&rel_path_string(rel).as_str()) {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if file_type.is_file() && name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path);
+            out.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+/// Normalizes a relative path to `/`-separated form (classification and
+/// reports use forward slashes on every host).
+fn rel_path_string(rel: &Path) -> String {
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Formats one finding as the two-line `file:line:col` + hint block.
+pub fn format_finding(f: &Finding) -> String {
+    let (name, hint) = match lint_info(f.id) {
+        Some(info) => (info.name, info.hint),
+        None => ("unknown-lint", "no hint available"),
+    };
+    format!(
+        "{}:{}:{}: {} ({}): {}\n    hint: {}",
+        f.file, f.line, f.col, f.id, name, f.message, hint
+    )
+}
+
+/// Renders the full report: every finding block plus a one-line tally.
+pub fn render_report(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format_finding(f));
+        out.push('\n');
+    }
+    if report.findings.is_empty() {
+        out.push_str(&format!(
+            "tdm-lint: {} files scanned, no findings\n",
+            report.files_scanned
+        ));
+    } else {
+        out.push_str(&format!(
+            "tdm-lint: {} finding(s) across {} files scanned\n",
+            report.findings.len(),
+            report.files_scanned
+        ));
+    }
+    out
+}
+
+/// Renders the lint registry (the `tdm-lint list` output).
+pub fn render_registry() -> String {
+    let mut out = String::new();
+    out.push_str("tdm-lint registry:\n");
+    for l in crate::lints::LINTS {
+        out.push_str(&format!("  {}  {:<24} {}\n", l.id, l.name, l.summary));
+    }
+    out.push_str(
+        "\nSuppress a finding with `// tdm-lint: allow(<ids>): <rationale>` on the\n\
+         preceding line; unused or rationale-less allows are A1 findings.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_includes_position_id_and_hint() {
+        let f = Finding {
+            file: "crates/sim/src/x.rs".to_string(),
+            line: 7,
+            col: 13,
+            id: "D1",
+            message: "`HashMap` with the default SipHash hasher".to_string(),
+        };
+        let s = format_finding(&f);
+        assert!(s.starts_with("crates/sim/src/x.rs:7:13: D1 (default-hasher-map):"));
+        assert!(s.contains("hint: "));
+    }
+
+    #[test]
+    fn registry_lists_every_lint_id() {
+        let s = render_registry();
+        for l in crate::lints::LINTS {
+            assert!(s.contains(l.id), "registry output missing {}", l.id);
+        }
+    }
+}

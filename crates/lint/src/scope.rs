@@ -1,0 +1,457 @@
+//! Lightweight item/attribute indexing over the token stream.
+//!
+//! Builds, per file, the structural facts every lint needs:
+//!
+//! * **test regions** — brace spans introduced by a `#[test]`- or
+//!   `#[cfg(test)]`-attributed item (functions, `mod tests`, …). Findings
+//!   inside them are out of scope for the determinism/totality lints.
+//! * **`impl Persist for T` regions** — the codec impl blocks, including
+//!   the body spans of their `fn save` / `fn load`, for the cast (C1) and
+//!   field-symmetry (C2) lints.
+//! * **allow comments** — `// tdm-lint: allow(<IDs>): <rationale>` lines,
+//!   parsed with the token index of the guarded line's first token.
+
+use crate::lexer::{lex, Comment, Lexed, Token};
+
+/// A half-open token range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenRange {
+    /// Index of the first token in the range.
+    pub start: usize,
+    /// Index one past the last token.
+    pub end: usize,
+}
+
+impl TokenRange {
+    /// True if `idx` falls inside the range.
+    pub fn contains(&self, idx: usize) -> bool {
+        idx >= self.start && idx < self.end
+    }
+}
+
+/// One `impl Persist for T` block.
+#[derive(Debug, Clone)]
+pub struct PersistImpl {
+    /// The implementing type's final path segment (e.g. `SimStats`).
+    pub type_name: String,
+    /// The whole impl block, brace to brace.
+    pub span: TokenRange,
+    /// Body of `fn save`, if present.
+    pub save_body: Option<TokenRange>,
+    /// Body of `fn load`, if present.
+    pub load_body: Option<TokenRange>,
+}
+
+/// A parsed `tdm-lint: allow(...)` comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Lint ids listed inside the parentheses, e.g. `["T1", "C1"]`.
+    pub ids: Vec<String>,
+    /// Rationale text after the id list (empty string when missing).
+    pub rationale: String,
+    /// 1-based line of the comment itself.
+    pub line: usize,
+    /// 1-based line the allow guards: the next line carrying a code token.
+    /// `None` when the comment is the last thing in the file.
+    pub guarded_line: Option<usize>,
+}
+
+/// The fully indexed form of one source file.
+pub struct FileIndex {
+    /// Code tokens (trivia stripped).
+    pub tokens: Vec<Token>,
+    /// All comments, verbatim.
+    pub comments: Vec<Comment>,
+    /// Token spans under a `#[test]` / `#[cfg(test)]` item.
+    pub test_regions: Vec<TokenRange>,
+    /// Every `impl Persist for T` block.
+    pub persist_impls: Vec<PersistImpl>,
+    /// Parsed allow comments, in file order.
+    pub allows: Vec<Allow>,
+}
+
+impl FileIndex {
+    /// Lexes and indexes `source`.
+    pub fn build(source: &str) -> FileIndex {
+        let Lexed { tokens, comments } = lex(source);
+        let test_regions = find_test_regions(&tokens);
+        let persist_impls = find_persist_impls(&tokens);
+        let allows = parse_allows(&comments, &tokens);
+        FileIndex {
+            tokens,
+            comments,
+            test_regions,
+            persist_impls,
+            allows,
+        }
+    }
+
+    /// True if token `idx` sits inside a test-only region.
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test_regions.iter().any(|r| r.contains(idx))
+    }
+
+    /// True if the file carries the inner attribute
+    /// `#![forbid(unsafe_code)]` (or `#![deny(unsafe_code)]`).
+    pub fn forbids_unsafe(&self) -> bool {
+        let t = &self.tokens;
+        (0..t.len().saturating_sub(6)).any(|i| {
+            t[i].is_punct("#")
+                && t[i + 1].is_punct("!")
+                && t[i + 2].is_punct("[")
+                && (t[i + 3].is_ident("forbid") || t[i + 3].is_ident("deny"))
+                && t[i + 4].is_punct("(")
+                && t[i + 5].is_ident("unsafe_code")
+        })
+    }
+}
+
+/// Finds the matching close for the bracket opened at `open` (`tokens[open]`
+/// must be `{`, `(` or `[`). Returns the index one past the closer, or
+/// `tokens.len()` if unbalanced.
+pub fn matching_close(tokens: &[Token], open: usize) -> usize {
+    let (o, c) = match tokens[open].text.as_str() {
+        "{" => ("{", "}"),
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        _ => return open + 1,
+    };
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+    }
+    tokens.len()
+}
+
+/// Scans for outer attributes containing the ident `test` and marks the
+/// brace span of the item they introduce.
+fn find_test_regions(tokens: &[Token]) -> Vec<TokenRange> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Outer attribute `#[...]` (inner `#![...]` has a `!` in between).
+        if tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            let attr_end = matching_close(tokens, i + 1);
+            // `test` anywhere in the attribute marks a test item — except
+            // under `not(...)`, so `#[cfg(not(test))]` stays live code.
+            let attr = &tokens[i + 2..attr_end.saturating_sub(1)];
+            let is_test_attr = attr.iter().enumerate().any(|(k, t)| {
+                t.is_ident("test")
+                    && !(k >= 2 && attr[k - 2].is_ident("not") && attr[k - 1].is_punct("("))
+            });
+            if is_test_attr {
+                // Attach to the item: the next `{` before a `;` at this
+                // level starts its body; a `;` first means a braceless item.
+                let mut j = attr_end;
+                while j < tokens.len() {
+                    if tokens[j].is_punct("{") {
+                        let end = matching_close(tokens, j);
+                        regions.push(TokenRange { start: i, end });
+                        i = end;
+                        break;
+                    }
+                    if tokens[j].is_punct(";") {
+                        regions.push(TokenRange {
+                            start: i,
+                            end: j + 1,
+                        });
+                        i = j + 1;
+                        break;
+                    }
+                    // Skip nested brackets in the signature (generics use
+                    // `<`/`>` which never nest braces; parens do).
+                    if tokens[j].is_punct("(") || tokens[j].is_punct("[") {
+                        j = matching_close(tokens, j);
+                    } else {
+                        j += 1;
+                    }
+                }
+                if j >= tokens.len() {
+                    i = tokens.len();
+                }
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Scans for `impl … Persist for T { … }` blocks and the `fn save` /
+/// `fn load` bodies inside them.
+fn find_persist_impls(tokens: &[Token]) -> Vec<PersistImpl> {
+    let mut impls = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        // Collect the header up to the opening brace (or a `;`/EOF bail).
+        let mut j = i + 1;
+        let mut saw_persist = false;
+        let mut saw_for = false;
+        let mut angle = 0usize;
+        let mut type_name = String::new();
+        while j < tokens.len() && !tokens[j].is_punct("{") && !tokens[j].is_punct(";") {
+            if tokens[j].is_ident("Persist") {
+                saw_persist = true;
+            } else if saw_persist && tokens[j].is_ident("for") {
+                saw_for = true;
+            } else if saw_for {
+                // Track the last path segment of the implementing type,
+                // ignoring anything inside its generic arguments (so
+                // `Option<T>` names `Option`, not `T`).
+                match tokens[j].text.as_str() {
+                    "<" => angle += 1,
+                    ">" => angle = angle.saturating_sub(1),
+                    _ => {}
+                }
+                if angle == 0
+                    && tokens[j].kind == crate::lexer::TokenKind::Ident
+                    && !crate::lexer::is_keyword(&tokens[j].text)
+                {
+                    type_name = tokens[j].text.clone();
+                }
+            }
+            j += 1;
+        }
+        if !(saw_persist && saw_for) || j >= tokens.len() || !tokens[j].is_punct("{") {
+            i += 1;
+            continue;
+        }
+        let body_end = matching_close(tokens, j);
+        let span = TokenRange {
+            start: i,
+            end: body_end,
+        };
+        let save_body = find_fn_body(tokens, span, "save");
+        let load_body = find_fn_body(tokens, span, "load");
+        impls.push(PersistImpl {
+            type_name,
+            span,
+            save_body,
+            load_body,
+        });
+        i = body_end;
+    }
+    impls
+}
+
+/// Finds the brace-to-brace body of `fn <name>` inside `span`.
+fn find_fn_body(tokens: &[Token], span: TokenRange, name: &str) -> Option<TokenRange> {
+    let mut i = span.start;
+    while i + 1 < span.end {
+        if tokens[i].is_ident("fn") && tokens[i + 1].is_ident(name) {
+            let mut j = i + 2;
+            while j < span.end && !tokens[j].is_punct("{") {
+                if tokens[j].is_punct("(") || tokens[j].is_punct("[") {
+                    j = matching_close(tokens, j);
+                } else {
+                    j += 1;
+                }
+            }
+            if j < span.end {
+                return Some(TokenRange {
+                    start: j + 1,
+                    end: matching_close(tokens, j).saturating_sub(1),
+                });
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses every `tdm-lint: allow(...)` comment. The guarded line is the
+/// line of the first code token strictly after the comment's line.
+fn parse_allows(comments: &[Comment], tokens: &[Token]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for comment in comments {
+        // The directive must open the comment (after the `//`/`/*`
+        // introducer) — prose *mentioning* the syntax, like this file's
+        // module docs, is not an allow.
+        let content = comment
+            .text
+            .trim_start_matches(['/', '*', '!'])
+            .trim_start();
+        let Some(rest) = content.strip_prefix("tdm-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow") else {
+            // Unknown directive after `tdm-lint:` — surface as a malformed
+            // allow with no ids so A1 reports it.
+            allows.push(Allow {
+                ids: Vec::new(),
+                rationale: String::new(),
+                line: comment.line,
+                guarded_line: None,
+            });
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (ids, rationale) = match rest.strip_prefix('(').and_then(|r| r.split_once(')')) {
+            Some((inside, after)) => {
+                let ids = inside
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                let rationale = after
+                    .trim_start_matches([':', '—', '-', ' '])
+                    .trim()
+                    .to_string();
+                (ids, rationale)
+            }
+            None => (Vec::new(), String::new()),
+        };
+        let guarded_line = tokens.iter().map(|t| t.line).find(|&l| l > comment.line);
+        allows.push(Allow {
+            ids,
+            rationale,
+            line: comment.line,
+            guarded_line,
+        });
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let src = "
+            fn live() { body(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { h(); }
+            }
+        ";
+        let idx = FileIndex::build(src);
+        let helper = idx
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("helper"))
+            .unwrap();
+        let live = idx.tokens.iter().position(|t| t.is_ident("live")).unwrap();
+        assert!(idx.in_test(helper));
+        assert!(!idx.in_test(live));
+    }
+
+    #[test]
+    fn test_attribute_on_fn_is_a_test_region() {
+        let src = "
+            #[test]
+            fn checks_something() { assert!(true); }
+            fn not_a_test() {}
+        ";
+        let idx = FileIndex::build(src);
+        let inside = idx
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("assert"))
+            .unwrap();
+        let outside = idx
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("not_a_test"))
+            .unwrap();
+        assert!(idx.in_test(inside));
+        assert!(!idx.in_test(outside));
+    }
+
+    #[test]
+    fn cfg_test_attribute_with_return_type_generics() {
+        let src = "
+            #[cfg(test)]
+            fn gen() -> Vec<(u8, u8)> { make() }
+        ";
+        let idx = FileIndex::build(src);
+        let inside = idx.tokens.iter().position(|t| t.is_ident("make")).unwrap();
+        assert!(idx.in_test(inside));
+    }
+
+    #[test]
+    fn persist_impl_and_fn_bodies_are_found() {
+        let src = "
+            impl Persist for Foo {
+                fn save(&self, out: &mut Vec<u8>) { self.a.save(out); }
+                fn load(r: &mut Reader<'_>) -> Result<Self, E> { Ok(Foo { a: u8::load(r)? }) }
+            }
+            impl crate::snapshot::Persist for Bar { fn save(&self, o: &mut Vec<u8>) {} }
+        ";
+        let idx = FileIndex::build(src);
+        assert_eq!(idx.persist_impls.len(), 2);
+        assert_eq!(idx.persist_impls[0].type_name, "Foo");
+        assert_eq!(idx.persist_impls[1].type_name, "Bar");
+        assert!(idx.persist_impls[0].save_body.is_some());
+        assert!(idx.persist_impls[0].load_body.is_some());
+        assert!(idx.persist_impls[1].load_body.is_none());
+    }
+
+    #[test]
+    fn generic_persist_impl_is_found() {
+        let src = "impl<T: Persist> Persist for Option<T> { fn save(&self, o: &mut Vec<u8>) {} }";
+        let idx = FileIndex::build(src);
+        assert_eq!(idx.persist_impls.len(), 1);
+        assert_eq!(idx.persist_impls[0].type_name, "Option");
+    }
+
+    #[test]
+    fn non_persist_impls_are_ignored() {
+        let src = "impl Display for Foo { fn fmt(&self) {} } impl Foo { fn save(&self) {} }";
+        let idx = FileIndex::build(src);
+        assert!(idx.persist_impls.is_empty());
+    }
+
+    #[test]
+    fn allow_comments_parse_ids_rationale_and_guarded_line() {
+        let src = "
+// tdm-lint: allow(T1, C1): table index is masked to 8 bits.
+let x = table[i];
+// tdm-lint: allow(D1)
+let y = 1;
+";
+        let idx = FileIndex::build(src);
+        assert_eq!(idx.allows.len(), 2);
+        assert_eq!(idx.allows[0].ids, vec!["T1", "C1"]);
+        assert!(idx.allows[0].rationale.contains("masked"));
+        assert_eq!(idx.allows[0].guarded_line, Some(3));
+        assert_eq!(idx.allows[1].ids, vec!["D1"]);
+        assert!(idx.allows[1].rationale.is_empty());
+        assert_eq!(idx.allows[1].guarded_line, Some(5));
+    }
+
+    #[test]
+    fn prose_mentioning_the_allow_syntax_is_not_an_allow() {
+        let src = "
+//! Suppress with `// tdm-lint: allow(<id>): <why>` on the line above.
+// docs talk about tdm-lint: allow here too, mid-sentence.
+fn f() {}
+";
+        assert!(FileIndex::build(src).allows.is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_is_detected() {
+        assert!(FileIndex::build("#![forbid(unsafe_code)]\nfn f() {}").forbids_unsafe());
+        assert!(FileIndex::build("//! doc\n#![deny(unsafe_code)]").forbids_unsafe());
+        assert!(!FileIndex::build("fn f() {}").forbids_unsafe());
+        // An outer `#[forbid(unsafe_code)]` on an item is not the crate root
+        // attribute, but accepting it would be harmless; the current
+        // matcher only skips the `!`, so keep the test honest:
+        assert!(!FileIndex::build("#[allow(dead_code)] fn f() {}").forbids_unsafe());
+    }
+}

@@ -1,0 +1,122 @@
+//! Fixture-corpus harness: every file under `tests/fixtures/` is checked
+//! as if it lived at the workspace path named by its first line
+//! (`// path: <rel-path>`), and the findings must match the `//~ <IDS>`
+//! markers exactly.
+//!
+//! Marker syntax, scanned from the raw fixture text:
+//!
+//! * `//~ D1` — a D1 finding is expected on this line (repeat ids for
+//!   multiple findings on one line: `//~ D1 D1`).
+//! * `//~v A1` — the finding is expected on the *next* line (used when
+//!   appending the marker would change the line being tested, e.g. the
+//!   rationale of an allow comment).
+//!
+//! Clean fixtures simply carry no markers. The corpus is excluded from
+//! `tdm-lint check`'s workspace walk, so the firing snippets don't fail CI.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+use tdm_lint::check_source;
+
+/// (line, lint id) pairs, sorted, with multiplicity.
+type Expectations = Vec<(usize, String)>;
+
+fn parse_markers(source: &str) -> Expectations {
+    let mut expected = Vec::new();
+    for (i, line) in source.lines().enumerate() {
+        let lineno = i + 1;
+        let (marker, target) = if let Some(at) = line.find("//~v") {
+            (&line[at + 4..], lineno + 1)
+        } else if let Some(at) = line.find("//~") {
+            (&line[at + 3..], lineno)
+        } else {
+            continue;
+        };
+        for id in marker.split_whitespace() {
+            expected.push((target, id.to_string()));
+        }
+    }
+    expected.sort();
+    expected
+}
+
+fn pretend_path(source: &str, file: &str) -> String {
+    let first = source.lines().next().unwrap_or_default();
+    let path = first
+        .split_once("path:")
+        .map(|(_, rest)| rest)
+        .unwrap_or_else(|| panic!("{file}: first line must be `// path: <rel-path>`"));
+    let path = path.split("//~").next().unwrap_or(path).trim();
+    assert!(!path.is_empty(), "{file}: empty pretend path");
+    path.to_string()
+}
+
+#[test]
+fn every_fixture_matches_its_markers() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut entries: Vec<_> = fs::read_dir(&dir)
+        .expect("fixture corpus directory")
+        .map(|e| e.expect("fixture dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "fixture corpus is empty");
+
+    let mut failures = Vec::new();
+    let mut fired: BTreeMap<String, usize> = BTreeMap::new();
+    for path in &entries {
+        let file = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("fixture file name")
+            .to_string();
+        let source = fs::read_to_string(path).expect("fixture read");
+        let expected = parse_markers(&source);
+        let mut actual: Expectations = check_source(&pretend_path(&source, &file), &source)
+            .into_iter()
+            .map(|f| (f.line, f.id.to_string()))
+            .collect();
+        actual.sort();
+        for (_, id) in &actual {
+            *fired.entry(id.clone()).or_default() += 1;
+        }
+        if actual != expected {
+            failures.push(format!("{file}: expected {expected:?}, got {actual:?}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "fixture mismatches:\n{}",
+        failures.join("\n")
+    );
+
+    // The corpus must demonstrably fire every lint in the registry.
+    for lint in tdm_lint::LINTS {
+        assert!(
+            fired.get(lint.id).copied().unwrap_or(0) > 0,
+            "no fixture fires {} — add a firing snippet",
+            lint.id
+        );
+    }
+}
+
+#[test]
+fn firing_and_clean_snippets_exist_per_lint() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let names: Vec<String> = fs::read_dir(&dir)
+        .expect("fixture corpus directory")
+        .filter_map(|e| e.ok()?.file_name().into_string().ok())
+        .collect();
+    for prefix in ["d1", "d2", "t1", "c1", "c2", "u1", "a1"] {
+        let fires = names
+            .iter()
+            .any(|n| n.starts_with(prefix) && (n.contains("fires") || n.contains("hygiene")));
+        let clean = names
+            .iter()
+            .any(|n| n.starts_with(prefix) && n.contains("clean"));
+        assert!(fires, "no firing fixture for {prefix}");
+        assert!(clean, "no clean fixture for {prefix}");
+    }
+}

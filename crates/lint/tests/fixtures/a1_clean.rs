@@ -1,0 +1,14 @@
+// path: crates/sim/src/a1_clean.rs
+// A well-formed allow that suppresses a real finding: no A1, no D1.
+
+// tdm-lint: allow(D1): diagnostic-only map, drained into a sorted Vec before any iteration.
+use std::collections::HashMap;
+
+fn diagnostics() -> Vec<(u64, u64)> {
+    // One allow suppresses every finding on the line it guards.
+    // tdm-lint: allow(D1): same diagnostic-only map as above.
+    let counts: HashMap<u64, u64> = HashMap::new();
+    let mut pairs: Vec<(u64, u64)> = counts.into_iter().collect();
+    pairs.sort_unstable();
+    pairs
+}

@@ -1,0 +1,14 @@
+// path: crates/sim/src/a1_hygiene.rs
+// Allow hygiene: unused, rationale-less, and unknown-id allows all fire.
+
+//~v A1
+// tdm-lint: allow(D1): stale — the map this once guarded was deleted.
+fn nothing_to_suppress() {}
+
+//~v A1
+// tdm-lint: allow(D1)
+use std::collections::HashMap; //~ D1
+
+//~v A1
+// tdm-lint: allow(Z9): no such lint id exists.
+fn unknown_id() {}

@@ -1,0 +1,20 @@
+// path: crates/runtime/src/trace.rs
+// Non-firing C1 shapes: widening casts, checked conversions, and one
+// masked cast behind an allow.
+
+fn encode_cursor(cursor: u32, len: usize) -> Result<(u64, u32), Error> {
+    // Widening to u64 cannot lose bits.
+    let wide = cursor as u64;
+    // The total alternative the lint asks for.
+    let checked = u32::try_from(len).map_err(|_| Error::TooLong)?;
+    Ok((wide, checked))
+}
+
+fn tag_of(word: u64) -> u8 {
+    // tdm-lint: allow(C1): the value is masked to 8 bits on the previous line.
+    (word & 0xFF) as u8
+}
+
+enum Error {
+    TooLong,
+}

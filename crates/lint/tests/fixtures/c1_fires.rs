@@ -1,0 +1,9 @@
+// path: crates/runtime/src/trace.rs
+// Narrowing / sign-changing `as` casts in codec code.
+
+fn encode_cursor(cursor: u64, delta: i64) -> (u32, usize, i8) {
+    let lo = cursor as u32; //~ C1
+    let idx = cursor as usize; //~ C1
+    let small = delta as i8; //~ C1
+    (lo, idx, small)
+}

@@ -1,0 +1,24 @@
+// path: crates/sim/src/c1_persist_scope.rs
+// Outside decoder modules, C1 applies only inside `Persist` impls: the
+// same cast fires in the codec and stays silent in ordinary model code.
+
+pub struct Gauge {
+    level: u64,
+}
+
+impl Gauge {
+    /// Ordinary model code: out of C1 scope (clippy still watches it).
+    pub fn level_class(&self) -> u32 {
+        (self.level / 1000) as u32
+    }
+}
+
+impl Persist for Gauge {
+    fn save(&self, out: &mut Vec<u8>) {
+        (self.level as u32).save(out); //~ C1
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let level = u64::from(u32::load(r)?);
+        Ok(Gauge { level })
+    }
+}

@@ -1,0 +1,17 @@
+// path: crates/sim/src/c2_fires.rs
+// save/load field drift: same fields, different order.
+
+impl Persist for CoreState { //~ C2
+    fn save(&self, out: &mut Vec<u8>) {
+        self.cycle.save(out);
+        self.phase.save(out);
+        self.backlog.save(out);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(CoreState {
+            cycle: u64::load(r)?,
+            backlog: u64::load(r)?,
+            phase: u8::load(r)?,
+        })
+    }
+}

@@ -1,0 +1,29 @@
+// path: crates/sim/src/d1_clean.rs
+// Non-firing D1 shapes: named hashers, test-only maps, and a used allow.
+
+use crate::fast_map::FastMap;
+
+type Holders = HashMap<u64, Vec<u32>, BuildHasherDefault<FastHasher>>;
+type SeenSet = HashSet<u64, BuildHasherDefault<FastHasher>>;
+
+fn build_index() {
+    let by_addr: FastMap<u64, Vec<u32>> = FastMap::default();
+    let _ = by_addr;
+}
+
+// tdm-lint: allow(D1): this map feeds a sorted report, iteration order never escapes.
+fn report() -> HashMap<u64, u64> {
+    // The allow above guards the signature line only; the body is clean.
+    Default::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_helpers_may_use_std_maps() {
+        let m: HashMap<u8, u8> = HashMap::new();
+        assert!(m.is_empty());
+    }
+}

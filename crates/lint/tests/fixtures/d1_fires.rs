@@ -1,0 +1,11 @@
+// path: crates/sim/src/d1_fires.rs
+// Default-hasher maps in modeled code: every use site fires.
+
+use std::collections::HashMap; //~ D1
+use std::collections::HashSet; //~ D1
+
+fn build_index() {
+    let by_addr: HashMap<u64, Vec<u32>> = HashMap::new(); //~ D1 D1
+    let mut seen: HashSet<u64> = HashSet::default(); //~ D1 D1
+    let _ = (by_addr, seen);
+}

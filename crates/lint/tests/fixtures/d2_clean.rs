@@ -1,0 +1,27 @@
+// path: crates/sim/src/d2_clean.rs
+// Non-firing D2 shapes: time threaded in from the harness, env reads only
+// in test code, and idents that merely resemble the banned ones.
+
+pub fn advance(now_cycles: u64, step: u64) -> u64 {
+    now_cycles + step
+}
+
+// `env` not followed by a read accessor is not an environment read.
+mod env {
+    pub fn seed() -> u64 {
+        42
+    }
+}
+
+pub fn seeded() -> u64 {
+    env::seed()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn harness_side_code_may_read_the_clock() {
+        let _t = Instant::now();
+        let _v = std::env::var("TDM_TEST_KNOB");
+    }
+}

@@ -1,0 +1,10 @@
+// path: crates/sim/src/d2_fires.rs
+// Wall-clock and environment reads in modeled code.
+
+fn stamp() -> u64 {
+    let t0 = Instant::now(); //~ D2
+    let wall = SystemTime::now(); //~ D2
+    let tuning = std::env::var("TDM_TUNING").ok(); //~ D2
+    let _ = (t0, wall, tuning);
+    0
+}

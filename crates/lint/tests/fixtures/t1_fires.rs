@@ -1,0 +1,17 @@
+// path: crates/sim/src/snapshot.rs
+// Panicking constructs inside a total-decoder module.
+
+fn decode(bytes: &[u8], table: &[u32]) -> u32 {
+    let first = bytes.first().unwrap(); //~ T1
+    let second = bytes.get(1).expect("at least two bytes"); //~ T1
+    if *first > 7 {
+        panic!("bad tag"); //~ T1
+    }
+    let direct = bytes[2]; //~ T1
+    let looked_up = table[*second as usize]; //~ T1 C1
+    u32::from(direct) + looked_up
+}
+
+fn unfinished() -> u8 {
+    unreachable!("decoder state machine") //~ T1
+}

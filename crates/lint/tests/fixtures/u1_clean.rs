@@ -1,0 +1,7 @@
+// path: crates/sim/src/lib.rs
+//! A crate root carrying the required attribute.
+
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod clock;

@@ -1,0 +1,5 @@
+// path: crates/sim/src/lib.rs //~ U1
+//! A crate root without `#![forbid(unsafe_code)]`.
+
+pub mod cache;
+pub mod clock;

@@ -46,13 +46,14 @@
 //! assert!(report.makespan() > Cycle::new(350_000));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod cost;
 pub mod engine;
 pub mod exec;
-pub(crate) mod fast_map;
+pub(crate) use tdm_sim::fast_map;
 pub mod scheduler;
 pub mod stream;
 pub mod task;

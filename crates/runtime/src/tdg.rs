@@ -17,10 +17,9 @@
 //! once (software has no capacity limits), which also gives the cost model
 //! the per-task edge counts it needs.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
+use crate::fast_map::FastMap;
 use crate::task::{TaskRef, Workload};
 
 /// The dependence graph of a workload: predecessor/successor adjacency in
@@ -55,7 +54,7 @@ impl TaskGraph {
             last_writer: Option<TaskRef>,
             readers: Vec<TaskRef>,
         }
-        let mut addr_state: HashMap<u64, AddrState> = HashMap::new();
+        let mut addr_state: FastMap<u64, AddrState> = FastMap::default();
 
         for (task, spec) in workload.iter() {
             for dep in &spec.deps {

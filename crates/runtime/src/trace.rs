@@ -245,7 +245,10 @@ impl TraceSource {
 
         for (line, text) in lines {
             let mut fields = text.split_ascii_whitespace();
-            let keyword = fields.next().expect("blank lines were filtered");
+            // Blank lines are filtered above, but stay total anyway.
+            let Some(keyword) = fields.next() else {
+                continue;
+            };
             match keyword {
                 "name" | "locality" | "jitter" | "tasks" => {
                     if !tasks.is_empty() {
@@ -435,7 +438,9 @@ impl TaskSource for TraceSource {
     }
 
     fn resume_at(&mut self, cursor: u64) {
-        self.next = (cursor as usize).min(self.tasks.len());
+        // A cursor beyond the trace (or beyond usize on a 32-bit host)
+        // clamps to "fully drained" rather than wrapping.
+        self.next = usize::try_from(cursor).map_or(self.tasks.len(), |c| c.min(self.tasks.len()));
     }
 }
 
@@ -565,6 +570,18 @@ mod tests {
         resumed.resume_at(cursor);
         assert_eq!(resumed.next_task(), src.next_task());
         assert_eq!(resumed.next_task(), None);
+    }
+
+    #[test]
+    fn resume_past_the_end_clamps_to_drained() {
+        // A cursor from a longer (or corrupt) checkpoint must not wrap or
+        // panic: anything past the end means "no tasks left".
+        let w = sample();
+        let text = dump(&mut WorkloadSource::new(&w)).unwrap();
+        let mut src = TraceSource::parse(&text).unwrap();
+        src.resume_at(u64::MAX);
+        assert_eq!(src.next_task(), None);
+        assert_eq!(src.checkpoint_cursor(), Some(w.len() as u64));
     }
 
     #[test]

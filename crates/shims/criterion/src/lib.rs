@@ -13,6 +13,8 @@
 //! `[workspace.dependencies]` for the registry crate when statistical rigor
 //! is needed.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -10,6 +10,8 @@
 //! `[workspace.dependencies]` with a registry version; no source change is
 //! needed in the model crates.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// No-op replacement for `serde::Serialize`'s derive macro.

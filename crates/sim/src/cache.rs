@@ -14,9 +14,11 @@
 //! were just produced here" versus "my inputs live in another core's cache or
 //! in L2/memory", which an LRU over dependence blocks captures.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
+
+use crate::fast_map::FastMap;
 
 /// Identifier of a data block: the base address of a dependence range.
 pub type BlockAddr = u64;
@@ -72,7 +74,7 @@ impl CoreResidency {
         addr: BlockAddr,
         size: u64,
         capacity: u64,
-        holders: &mut HashMap<BlockAddr, Vec<u32>>,
+        holders: &mut FastMap<BlockAddr, Vec<u32>>,
     ) {
         if let Some(pos) = self.blocks.iter().position(|&(a, _)| a == addr) {
             let entry = self.blocks.remove(pos).expect("position came from iter");
@@ -96,7 +98,7 @@ impl CoreResidency {
         &mut self,
         core: usize,
         addr: BlockAddr,
-        holders: &mut HashMap<BlockAddr, Vec<u32>>,
+        holders: &mut FastMap<BlockAddr, Vec<u32>>,
     ) {
         if let Some(pos) = self.blocks.iter().position(|&(a, _)| a == addr) {
             let entry = self.blocks.remove(pos).expect("position came from iter");
@@ -108,7 +110,7 @@ impl CoreResidency {
 
 /// Drops `core` from the holder list of `addr`, removing the map entry when
 /// the list empties.
-fn remove_holder(holders: &mut HashMap<BlockAddr, Vec<u32>>, addr: BlockAddr, core: usize) {
+fn remove_holder(holders: &mut FastMap<BlockAddr, Vec<u32>>, addr: BlockAddr, core: usize) {
     if let Some(list) = holders.get_mut(&addr) {
         if let Some(pos) = list.iter().position(|&c| c as usize == core) {
             list.swap_remove(pos);
@@ -144,7 +146,7 @@ pub struct LocalityModel {
     /// blocks) per written block). Purely an actual-work accelerator: the
     /// per-core residency contents — and therefore every probe outcome —
     /// are unchanged. Never iterated, so map order is unobservable.
-    holders: HashMap<BlockAddr, Vec<u32>>,
+    holders: FastMap<BlockAddr, Vec<u32>>,
     /// Scratch holder snapshot reused across `record_writes` calls.
     scratch: Vec<u32>,
 }
@@ -163,7 +165,7 @@ impl LocalityModel {
         LocalityModel {
             capacity_bytes,
             cores: vec![CoreResidency::default(); num_cores],
-            holders: HashMap::new(),
+            holders: FastMap::default(),
             scratch: Vec::new(),
         }
     }
@@ -243,7 +245,7 @@ impl LocalityModel {
     fn debug_check_holders(&self) {
         #[cfg(debug_assertions)]
         {
-            let mut expected: HashMap<BlockAddr, Vec<u32>> = HashMap::new();
+            let mut expected: FastMap<BlockAddr, Vec<u32>> = FastMap::default();
             for (i, residency) in self.cores.iter().enumerate() {
                 for &(addr, _) in &residency.blocks {
                     expected.entry(addr).or_default().push(i as u32);
@@ -273,7 +275,7 @@ impl LocalityModel {
 impl crate::snapshot::Persist for LocalityModel {
     fn save(&self, out: &mut Vec<u8>) {
         self.capacity_bytes.save(out);
-        (self.cores.len() as u64).save(out);
+        self.cores.len().save(out);
         for core in &self.cores {
             core.blocks.save(out);
         }
@@ -281,7 +283,7 @@ impl crate::snapshot::Persist for LocalityModel {
 
     fn load(r: &mut crate::snapshot::Reader<'_>) -> Result<Self, crate::snapshot::SnapshotError> {
         let capacity_bytes = u64::load(r)?;
-        let num_cores = u64::load(r)? as usize;
+        let num_cores = usize::load(r)?;
         if capacity_bytes == 0 || num_cores == 0 {
             return Err(crate::snapshot::SnapshotError::Corrupt {
                 context: format!(
@@ -296,6 +298,7 @@ impl crate::snapshot::Persist for LocalityModel {
             let residency = &mut model.cores[core];
             residency.bytes = blocks.iter().map(|&(_, size)| size).sum();
             for &(addr, _) in &blocks {
+                // tdm-lint: allow(C1): `core < num_cores` and the codec already bounds num_cores via usize::load; the holder index stores u32 core ids by construction.
                 model.holders.entry(addr).or_default().push(core as u32);
             }
             residency.blocks = blocks;

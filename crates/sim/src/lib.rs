@@ -27,6 +27,7 @@
 //! assert_eq!(cycles, Cycle::new(366_000));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -34,6 +35,7 @@ pub mod cache;
 pub mod clock;
 pub mod config;
 pub mod event;
+pub mod fast_map;
 pub mod noc;
 pub mod rng;
 pub mod snapshot;
@@ -43,6 +45,7 @@ pub use cache::LocalityModel;
 pub use clock::{Cycle, Frequency};
 pub use config::{ChipConfig, CoreConfig, MemoryConfig};
 pub use event::EventQueue;
+pub use fast_map::{FastHasher, FastMap};
 pub use noc::NocModel;
 pub use snapshot::{Persist, Snapshot, SnapshotError};
 pub use stats::{CoreBreakdown, Phase, SimStats};

@@ -289,6 +289,7 @@ const fn crc32_table() -> [u32; 256] {
     let mut table = [0u32; 256];
     let mut i = 0;
     while i < 256 {
+        // tdm-lint: allow(C1): `i < 256` always fits in u32, and const fns cannot use try_from.
         let mut crc = i as u32;
         let mut bit = 0;
         while bit < 8 {
@@ -299,6 +300,7 @@ const fn crc32_table() -> [u32; 256] {
             };
             bit += 1;
         }
+        // tdm-lint: allow(T1): `i` is the loop bound of this 256-entry table, and const fns cannot use iterators.
         table[i] = crc;
         i += 1;
     }
@@ -311,7 +313,8 @@ const CRC32_TABLE: [u32; 256] = crc32_table();
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in bytes {
-        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        // tdm-lint: allow(T1, C1): the index is masked to 8 bits, so both the 256-entry lookup and the usize cast are total.
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
     }
     !crc
 }
@@ -319,6 +322,24 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 // ---------------------------------------------------------------------------
 // Container
 // ---------------------------------------------------------------------------
+
+/// Reads `N` bytes at `offset`, or `Truncated { context }` when `bytes` is
+/// too short. The container decoder's only primitive — bounds-checked, so
+/// the decoder stays total.
+fn read_le<const N: usize>(
+    bytes: &[u8],
+    offset: usize,
+    context: &'static str,
+) -> Result<[u8; N], SnapshotError> {
+    let Some(slice) = offset.checked_add(N).and_then(|end| bytes.get(offset..end)) else {
+        return Err(SnapshotError::Truncated { context });
+    };
+    let mut array = [0u8; N];
+    for (dst, src) in array.iter_mut().zip(slice) {
+        *dst = *src;
+    }
+    Ok(array)
+}
 
 /// Size of the fixed header (magic + version + section count).
 const HEADER_LEN: usize = 16;
@@ -378,6 +399,7 @@ impl Snapshot {
         let mut out = Vec::with_capacity(HEADER_LEN + table_len + payload_total);
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        // tdm-lint: allow(C1): section ids are unique u32s (add_section asserts), so the count fits; this is the writer, not the untrusted decoder.
         out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
         let mut offset = (HEADER_LEN + table_len) as u64;
         for (id, payload) in &self.sections {
@@ -394,46 +416,54 @@ impl Snapshot {
     }
 
     /// Parses and validates a snapshot from `bytes`: magic, version,
-    /// section-table bounds and every per-section CRC.
+    /// section-table bounds and every per-section CRC. Total: any byte
+    /// string maps to `Ok` or a typed [`SnapshotError`], never a panic.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
-        if bytes.len() < HEADER_LEN {
-            return Err(SnapshotError::Truncated {
-                context: "file header",
-            });
+        let magic: [u8; 8] = read_le(bytes, 0, "file header")?;
+        if magic != MAGIC {
+            return Err(SnapshotError::BadMagic { found: magic });
         }
-        if bytes[..8] != MAGIC {
-            let mut found = [0u8; 8];
-            found.copy_from_slice(&bytes[..8]);
-            return Err(SnapshotError::BadMagic { found });
-        }
-        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        let version = u32::from_le_bytes(read_le(bytes, 8, "file header")?);
         if version > FORMAT_VERSION {
             return Err(SnapshotError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
             });
         }
-        let count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
-        let table_end = HEADER_LEN + count * TABLE_ENTRY_LEN;
-        if bytes.len() < table_end {
+        let raw_count = u32::from_le_bytes(read_le(bytes, 12, "file header")?);
+        let count = usize::try_from(raw_count).map_err(|_| SnapshotError::Truncated {
+            context: "section table",
+        })?;
+        let table_end = count
+            .checked_mul(TABLE_ENTRY_LEN)
+            .and_then(|t| t.checked_add(HEADER_LEN))
+            .filter(|&end| end <= bytes.len());
+        if table_end.is_none() {
             return Err(SnapshotError::Truncated {
                 context: "section table",
             });
         }
         let mut sections = Vec::with_capacity(count);
         for i in 0..count {
-            let entry = &bytes[HEADER_LEN + i * TABLE_ENTRY_LEN..];
-            let id = u32::from_le_bytes(entry[0..4].try_into().expect("4 bytes"));
-            let offset = u64::from_le_bytes(entry[4..12].try_into().expect("8 bytes")) as usize;
-            let len = u64::from_le_bytes(entry[12..20].try_into().expect("8 bytes")) as usize;
-            let crc = u32::from_le_bytes(entry[20..24].try_into().expect("4 bytes"));
-            let end = offset.checked_add(len).filter(|&e| e <= bytes.len());
-            let Some(end) = end else {
+            // In bounds: `i < count` and the whole table fits (checked above).
+            let entry = HEADER_LEN + i * TABLE_ENTRY_LEN;
+            let id = u32::from_le_bytes(read_le(bytes, entry, "section table")?);
+            let offset = u64::from_le_bytes(read_le(bytes, entry + 4, "section table")?);
+            let len = u64::from_le_bytes(read_le(bytes, entry + 12, "section table")?);
+            let crc = u32::from_le_bytes(read_le(bytes, entry + 20, "section table")?);
+            let (Ok(offset), Ok(len)) = (usize::try_from(offset), usize::try_from(len)) else {
                 return Err(SnapshotError::Truncated {
                     context: "section payload",
                 });
             };
-            let payload = &bytes[offset..end];
+            let Some(payload) = offset
+                .checked_add(len)
+                .and_then(|end| bytes.get(offset..end))
+            else {
+                return Err(SnapshotError::Truncated {
+                    context: "section payload",
+                });
+            };
             if crc32(payload) != crc {
                 return Err(SnapshotError::CrcMismatch { section: id });
             }
@@ -480,14 +510,28 @@ impl<'a> Reader<'a> {
 
     /// Consumes exactly `n` bytes.
     pub fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
-        if self.remaining() < n {
+        let Some(slice) = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| self.bytes.get(self.pos..end))
+        else {
             return Err(SnapshotError::Truncated {
                 context: "section field",
             });
-        }
-        let slice = &self.bytes[self.pos..self.pos + n];
+        };
         self.pos += n;
         Ok(slice)
+    }
+
+    /// Consumes exactly `N` bytes as a fixed-size array (the `from_le_bytes`
+    /// feeder — total by construction, no length `expect` needed).
+    pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N], SnapshotError> {
+        let slice = self.take(N)?;
+        let mut array = [0u8; N];
+        for (dst, src) in array.iter_mut().zip(slice) {
+            *dst = *src;
+        }
+        Ok(array)
     }
 
     /// Asserts the payload was consumed exactly; trailing bytes mean the
@@ -524,9 +568,7 @@ macro_rules! persist_int {
                 out.extend_from_slice(&self.to_le_bytes());
             }
             fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
-                let n = std::mem::size_of::<$t>();
-                let bytes = r.take(n)?;
-                Ok(<$t>::from_le_bytes(bytes.try_into().expect("sized take")))
+                Ok(<$t>::from_le_bytes(r.take_array()?))
             }
         }
     )*};
@@ -548,7 +590,7 @@ impl Persist for usize {
 
 impl Persist for bool {
     fn save(&self, out: &mut Vec<u8>) {
-        out.push(*self as u8);
+        out.push(u8::from(*self));
     }
     fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
         match u8::load(r)? {
@@ -618,13 +660,13 @@ impl<T: Persist> Persist for Option<T> {
 /// actually remaining (every element occupies at least one byte), so a
 /// corrupt length cannot trigger an enormous allocation.
 fn checked_len(r: &mut Reader<'_>) -> Result<usize, SnapshotError> {
-    let len = u64::load(r)? as usize;
-    if len > r.remaining() {
-        return Err(SnapshotError::Truncated {
+    let raw = u64::load(r)?;
+    usize::try_from(raw)
+        .ok()
+        .filter(|&len| len <= r.remaining())
+        .ok_or(SnapshotError::Truncated {
             context: "length-prefixed sequence",
-        });
-    }
-    Ok(len)
+        })
 }
 
 impl<T: Persist> Persist for Vec<T> {
@@ -883,6 +925,51 @@ mod tests {
         let mut snap = Snapshot::new();
         snap.add_section(section::META, Vec::new());
         snap.add_section(section::META, Vec::new());
+    }
+
+    #[test]
+    fn take_array_on_short_input_is_truncated_not_a_panic() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        let err = r.take_array::<8>().unwrap_err();
+        assert!(matches!(err, SnapshotError::Truncated { .. }));
+        // The reader did not advance past the failed read.
+        assert_eq!(r.take_array::<2>().unwrap(), [1, 2]);
+    }
+
+    #[test]
+    fn section_table_offset_overflow_is_truncated_not_a_panic() {
+        // One table entry whose offset + len wraps u64/usize arithmetic:
+        // the bounds check must use checked math, not panic or wrap.
+        let mut snap = Snapshot::new();
+        snap.add_section(section::DRIVER, vec![0xAB; 4]);
+        let mut bytes = snap.to_bytes();
+        // Entry layout after the 16-byte header: id(4) offset(8) len(8) crc(4).
+        bytes[20..28].copy_from_slice(&u64::MAX.to_le_bytes());
+        bytes[28..36].copy_from_slice(&8u64.to_le_bytes());
+        let err = Snapshot::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, SnapshotError::Truncated { .. }));
+    }
+
+    #[test]
+    fn huge_section_count_is_truncated_not_an_allocation() {
+        // count * TABLE_ENTRY_LEN is attacker-controlled; a count claiming
+        // billions of sections in a 16-byte file must fail the table bound.
+        let mut bytes = Snapshot::new().to_bytes();
+        bytes[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = Snapshot::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, SnapshotError::Truncated { .. }));
+    }
+
+    #[test]
+    fn section_payload_past_end_is_truncated() {
+        let mut snap = Snapshot::new();
+        snap.add_section(section::DRIVER, vec![7; 16]);
+        let mut bytes = snap.to_bytes();
+        // Point the payload just past the end of the file (no overflow).
+        let offset = bytes.len() as u64 - 8;
+        bytes[20..28].copy_from_slice(&offset.to_le_bytes());
+        let err = Snapshot::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, SnapshotError::Truncated { .. }));
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! assert!(big.len() >= 1_000_000);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

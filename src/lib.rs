@@ -34,6 +34,7 @@
 //! assert_eq!(report.stats.tasks_executed, 5_984);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use tdm_core as core;

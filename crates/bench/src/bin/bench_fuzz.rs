@@ -16,7 +16,15 @@
 //! * **windowed validity** — one rotating cell per case replays through a
 //!   tight master window and must still conform and bound residency;
 //! * **trace round-trip** — the case dumps to a `tdmtrace v1` file that
-//!   re-dumps byte-identically and replays with a bit-identical report.
+//!   re-dumps byte-identically and replays with a bit-identical report;
+//! * **fault leg** (`--fault-rate R`, R > 0) — one rotating cell per case
+//!   replays under a survivable fault schedule (per-task fault cap below
+//!   the retry budget, sticky core faults at `R/8`): the typed outcomes of
+//!   the eager and streaming drivers must agree field for field (with
+//!   `peak_resident_tasks` excluded, exactly as in the fault-free driver
+//!   identity), the faulted schedule must still pass the golden model with
+//!   every fault retried (no lost work), and resume from every mid-fault
+//!   checkpoint must be bit-identical.
 //!
 //! A failing case is shrunk by halving its shape list while the failure
 //! persists (sound because phases are mutually independent and derive their
@@ -25,6 +33,7 @@
 //!
 //! ```text
 //! bench_fuzz run [--cases N] [--seed S] [--case I] [--shapes LIST]
+//!                [--fault-rate R] [--retry-budget B]
 //!                [--shrink] [--reproducer PATH]
 //! ```
 //!
@@ -39,9 +48,11 @@ use std::process::ExitCode;
 use tdm_bench::cli::{self, Args};
 use tdm_bench::sweep::point_seed;
 use tdm_runtime::exec::{
-    resume, resume_stream, simulate, simulate_checkpointed, simulate_stream,
-    simulate_stream_checkpointed, Backend, ExecConfig, RunReport,
+    resume, resume_outcome, resume_stream, simulate, simulate_checkpointed,
+    simulate_checkpointed_outcome, simulate_outcome, simulate_stream, simulate_stream_checkpointed,
+    simulate_stream_outcome, Backend, ExecConfig, RunOutcome, RunReport,
 };
+use tdm_runtime::fault::FaultConfig;
 use tdm_runtime::scheduler::SchedulerKind;
 use tdm_runtime::task::{TaskRef, Workload};
 use tdm_runtime::tdg::TaskGraph;
@@ -52,7 +63,8 @@ use tdm_sim::snapshot::Snapshot;
 use tdm_workloads::grammar::GrammarSpec;
 
 const USAGE: &str = "usage: bench_fuzz run [--cases N] [--seed S] [--case I] \
-    [--shapes chain:32,storm:64x4,...] [--shrink] [--reproducer PATH]";
+    [--shapes chain:32,storm:64x4,...] [--fault-rate R] [--retry-budget B] \
+    [--shrink] [--reproducer PATH]";
 
 /// Default number of fuzz cases.
 const DEFAULT_CASES: usize = 16;
@@ -66,8 +78,23 @@ struct Options {
     seed: u64,
     case: Option<usize>,
     shapes: Option<String>,
+    fault: Option<FaultConfig>,
     shrink: bool,
     reproducer: Option<String>,
+}
+
+impl Options {
+    /// The `--fault-rate R [--retry-budget B]` suffix for reproducer
+    /// commands, so a replayed failure re-runs the same fault leg.
+    fn fault_flags(&self) -> String {
+        match &self.fault {
+            Some(fault) => format!(
+                " --fault-rate {} --retry-budget {}",
+                fault.fault_rate, fault.retry_budget
+            ),
+            None => String::new(),
+        }
+    }
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -76,9 +103,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         seed: DEFAULT_SEED,
         case: None,
         shapes: None,
+        fault: None,
         shrink: false,
         reproducer: None,
     };
+    let mut fault_rate: Option<f64> = None;
+    let mut retry_budget: Option<u32> = None;
     let mut args = Args::new(args);
     while let Some(flag) = args.next_flag() {
         match flag.as_str() {
@@ -92,9 +122,40 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 options.case = Some(index);
             }
             "--shapes" => options.shapes = Some(args.value("--shapes")?),
+            "--fault-rate" => {
+                fault_rate = Some(cli::parse_rate(
+                    "--fault-rate",
+                    &args.value("--fault-rate")?,
+                )?);
+            }
+            "--retry-budget" => {
+                let n =
+                    cli::parse_count("--retry-budget", &args.value("--retry-budget")?, " retry")?;
+                retry_budget = Some(u32::try_from(n).unwrap_or(u32::MAX));
+            }
             "--shrink" => options.shrink = true,
             "--reproducer" => options.reproducer = Some(args.value("--reproducer")?),
             other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if retry_budget.is_some() && fault_rate.is_none() {
+        return Err("--retry-budget needs --fault-rate".to_string());
+    }
+    if let Some(rate) = fault_rate {
+        if rate > 0.0 {
+            // Survivable by construction: the per-task fault cap stays at 2,
+            // and the budget is clamped to at least the cap, so no task can
+            // exhaust its retries — the fuzz contract checks completed runs.
+            let budget = retry_budget
+                .unwrap_or(FaultConfig::default().retry_budget)
+                .max(2);
+            options.fault = Some(
+                FaultConfig::default()
+                    .with_fault_rate(rate)
+                    .with_max_faults_per_task(2)
+                    .with_retry_budget(budget)
+                    .with_core_fault_rate(rate / 8.0),
+            );
         }
     }
     if let Some(index) = options.case {
@@ -174,14 +235,52 @@ fn cross_driver_diff(eager: &RunReport, streamed: &RunReport) -> Option<&'static
         Some("schedule trace")
     } else if eager.tasks != streamed.tasks {
         Some("task count")
+    } else if (eager.faults_injected, eager.retries, eager.retired_cores)
+        != (
+            streamed.faults_injected,
+            streamed.retries,
+            streamed.retired_cores,
+        )
+    {
+        Some("fault counters")
     } else {
         None
     }
 }
 
+/// [`cross_driver_diff`] lifted to typed outcomes: completed runs compare
+/// report-wise, aborts must agree on the offending task and attempt count
+/// (and their partial reports), and a completed/aborted mismatch is itself
+/// a divergence.
+fn outcome_diff(eager: &RunOutcome, streamed: &RunOutcome) -> Option<&'static str> {
+    match (eager, streamed) {
+        (RunOutcome::Completed(e), RunOutcome::Completed(s)) => cross_driver_diff(e, s),
+        (
+            RunOutcome::Aborted {
+                task: e_task,
+                attempts: e_attempts,
+                report: e_report,
+            },
+            RunOutcome::Aborted {
+                task: s_task,
+                attempts: s_attempts,
+                report: s_report,
+            },
+        ) => {
+            if (e_task, e_attempts) != (s_task, s_attempts) {
+                Some("aborting task")
+            } else {
+                cross_driver_diff(e_report, s_report)
+            }
+        }
+        _ => Some("completion outcome"),
+    }
+}
+
 /// Runs the full differential contract on one spec. Returns the number of
-/// simulations executed, or the first failure.
-fn check_case(spec: &GrammarSpec) -> Result<usize, String> {
+/// simulations executed, or the first failure. `fault`, when set, adds the
+/// fault leg on the rotating cell.
+fn check_case(spec: &GrammarSpec, fault: Option<&FaultConfig>) -> Result<usize, String> {
     let config = fuzz_config();
     let workload: Workload = spec.stream().into_workload();
     let graph = TaskGraph::build(&workload);
@@ -346,6 +445,85 @@ fn check_case(spec: &GrammarSpec) -> Result<usize, String> {
         ));
     }
 
+    // Fault leg on the rotating cell: typed-outcome identity across
+    // drivers, golden validity of the faulted schedule, no lost work, and
+    // bit-exact resume through mid-fault checkpoints.
+    if let Some(fault) = fault {
+        let context = format!(
+            "{} with {} (faults)",
+            cell_backend.name(),
+            cell_scheduler.name()
+        );
+        let fault_config = config.clone().with_faults(fault.clone());
+        let eager = simulate_outcome(&workload, cell_backend, cell_scheduler, &fault_config);
+        let mut stream = spec.stream();
+        let streamed =
+            simulate_stream_outcome(&mut stream, cell_backend, cell_scheduler, &fault_config);
+        sims += 2;
+        if let Some(field) = outcome_diff(&eager, &streamed) {
+            return Err(format!(
+                "{context}: eager and streaming outcomes diverged on {field}"
+            ));
+        }
+        let report = match &eager {
+            RunOutcome::Completed(report) => report,
+            RunOutcome::Aborted { task, attempts, .. } => {
+                return Err(format!(
+                    "{context}: survivable schedule aborted on task {task} \
+                     after {attempts} attempts"
+                ));
+            }
+        };
+        check_golden(&graph, report, &context)?;
+        if report.faults_injected != report.retries {
+            return Err(format!(
+                "{context}: {} faults but {} retries — lost work",
+                report.faults_injected, report.retries
+            ));
+        }
+
+        let ckpt_config = fault_config
+            .clone()
+            .with_checkpoint_every(quarter_interval(report));
+        let mut snaps: Vec<Snapshot> = Vec::new();
+        let mut codec_err: Option<String> = None;
+        let checkpointed = simulate_checkpointed_outcome(
+            &workload,
+            cell_backend,
+            cell_scheduler,
+            &ckpt_config,
+            &mut |snap| match Snapshot::from_bytes(&snap.to_bytes()) {
+                Ok(snap) => {
+                    snaps.push(snap);
+                    true
+                }
+                Err(e) => {
+                    codec_err = Some(e.to_string());
+                    false
+                }
+            },
+        );
+        if let Some(e) = codec_err {
+            return Err(format!("{context}: snapshot codec round trip failed: {e}"));
+        }
+        let checkpointed = checkpointed.ok_or_else(|| format!("{context}: sink halted the run"))?;
+        sims += 1;
+        if checkpointed != eager {
+            return Err(format!("{context}: capture perturbed the run"));
+        }
+        if snaps.is_empty() {
+            return Err(format!("{context}: no checkpoints captured"));
+        }
+        for (i, snap) in snaps.iter().enumerate() {
+            let resumed = resume_outcome(&workload, snap, &ckpt_config)
+                .map_err(|e| format!("{context}: checkpoint {i}: {e}"))?;
+            sims += 1;
+            if resumed != eager {
+                return Err(format!("{context}: resume from checkpoint {i} diverged"));
+            }
+        }
+    }
+
     Ok(sims)
 }
 
@@ -353,13 +531,13 @@ fn check_case(spec: &GrammarSpec) -> Result<usize, String> {
 /// persists. Truncation is the only sound reduction: phase `p` derives its
 /// content from `seed ^ p`, so dropping a *suffix* never perturbs the
 /// surviving phases.
-fn shrink(mut spec: GrammarSpec) -> GrammarSpec {
+fn shrink(mut spec: GrammarSpec, fault: Option<&FaultConfig>) -> GrammarSpec {
     while spec.shapes.len() > 1 {
         let mut candidate = spec.clone();
         candidate
             .shapes
             .truncate(candidate.shapes.len().div_ceil(2));
-        if check_case(&candidate).is_err() {
+        if check_case(&candidate, fault).is_err() {
             spec = candidate;
         } else {
             break;
@@ -389,7 +567,7 @@ fn run(options: &Options) -> Result<(), Failure> {
             spec.encode(),
             spec.task_count()
         );
-        return match check_case(&spec) {
+        return match check_case(&spec, options.fault.as_ref()) {
             Ok(sims) => {
                 println!(
                     "fuzz: 1 case, {} tasks, {sims} simulations, all checks passed",
@@ -399,9 +577,10 @@ fn run(options: &Options) -> Result<(), Failure> {
             }
             Err(message) => Err(Failure {
                 reproduce: vec![format!(
-                    "bench_fuzz run --seed {} --shapes {}",
+                    "bench_fuzz run --seed {} --shapes {}{}",
                     spec.seed,
-                    spec.encode()
+                    spec.encode(),
+                    options.fault_flags()
                 )],
                 message,
             }),
@@ -416,7 +595,7 @@ fn run(options: &Options) -> Result<(), Failure> {
         let content_seed = point_seed(options.seed, index as u64);
         let spec = GrammarSpec::draw(content_seed);
         total_tasks += spec.task_count();
-        match check_case(&spec) {
+        match check_case(&spec, options.fault.as_ref()) {
             Ok(sims) => {
                 total_sims += sims;
                 println!(
@@ -427,15 +606,17 @@ fn run(options: &Options) -> Result<(), Failure> {
             }
             Err(message) => {
                 let mut reproduce = vec![format!(
-                    "bench_fuzz run --seed {} --case {index}",
-                    options.seed
+                    "bench_fuzz run --seed {} --case {index}{}",
+                    options.seed,
+                    options.fault_flags()
                 )];
                 if options.shrink {
-                    let small = shrink(spec);
+                    let small = shrink(spec, options.fault.as_ref());
                     reproduce.push(format!(
-                        "bench_fuzz run --seed {} --shapes {}",
+                        "bench_fuzz run --seed {} --shapes {}{}",
                         small.seed,
-                        small.encode()
+                        small.encode(),
+                        options.fault_flags()
                     ));
                 }
                 return Err(Failure {

@@ -4,6 +4,7 @@
 //! ```text
 //! bench_scale run    [--tasks N] [--window W] [--bench NAME] [--backend B]
 //!                    [--checkpoint-every CYCLES] [--checkpoint-file PATH] [--halt-after K]
+//!                    [--fault-rate P] [--retry-budget R]
 //! bench_scale smoke  [--tasks N] [--window W] [...]  # CI: small run, asserts bounds
 //! bench_scale verify                                 # CI: Table II, 36 cells, bit-identical
 //! bench_scale resume [--checkpoint-file PATH] [--verify]
@@ -32,6 +33,11 @@
 //!   run to completion. With `--verify` it also replays the same run
 //!   uninterrupted and fails unless the two reports are bit-identical —
 //!   the CI checkpoint smoke uses exactly this.
+//! * `--fault-rate P` injects deterministic transient task failures with
+//!   probability `P` per attempt (see `tdm_runtime::fault`); `--retry-budget
+//!   R` bounds re-issues per task (default 3). The fault configuration is
+//!   persisted in the BENCH section, so `resume` rebuilds the identical
+//!   fault schedule without re-passing the flags.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -42,6 +48,7 @@ use tdm_bench::standard_config;
 use tdm_runtime::exec::{
     resume_stream, simulate, simulate_stream, simulate_stream_checkpointed, Backend, ExecConfig,
 };
+use tdm_runtime::fault::FaultConfig;
 use tdm_runtime::scheduler::SchedulerKind;
 use tdm_sim::clock::Cycle;
 use tdm_sim::snapshot::{section, Persist, Reader, Snapshot};
@@ -70,6 +77,7 @@ struct Options {
     checkpoint_every: Option<u64>,
     checkpoint_file: String,
     halt_after: Option<usize>,
+    fault: Option<FaultConfig>,
 }
 
 fn parse_options(args: &[String], tasks: usize, window: usize) -> Result<Options, String> {
@@ -81,7 +89,10 @@ fn parse_options(args: &[String], tasks: usize, window: usize) -> Result<Options
         checkpoint_every: None,
         checkpoint_file: DEFAULT_CHECKPOINT_FILE.to_string(),
         halt_after: None,
+        fault: None,
     };
+    let mut fault_rate: Option<f64> = None;
+    let mut retry_budget: Option<u32> = None;
     let mut args = Args::new(args);
     while let Some(flag) = args.next_flag() {
         match flag.as_str() {
@@ -119,11 +130,33 @@ fn parse_options(args: &[String], tasks: usize, window: usize) -> Result<Options
                     " checkpoint",
                 )?);
             }
+            "--fault-rate" => {
+                fault_rate = Some(cli::parse_rate(
+                    "--fault-rate",
+                    &args.value("--fault-rate")?,
+                )?);
+            }
+            "--retry-budget" => {
+                retry_budget = Some(
+                    cli::parse_count("--retry-budget", &args.value("--retry-budget")?, " retry")?
+                        .min(u32::MAX as usize) as u32,
+                );
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     if options.halt_after.is_some() && options.checkpoint_every.is_none() {
         return Err("--halt-after needs --checkpoint-every".to_string());
+    }
+    if retry_budget.is_some() && fault_rate.is_none() {
+        return Err("--retry-budget needs --fault-rate".to_string());
+    }
+    if let Some(rate) = fault_rate {
+        let mut fault = FaultConfig::default().with_fault_rate(rate);
+        if let Some(budget) = retry_budget {
+            fault = fault.with_retry_budget(budget);
+        }
+        options.fault = Some(fault);
     }
     Ok(options)
 }
@@ -143,17 +176,19 @@ fn bench_section(bench: Benchmark, options: &Options) -> Vec<u8> {
     bench.name().to_string().save(&mut out);
     options.tasks.save(&mut out);
     options.window.save(&mut out);
+    options.fault.save(&mut out);
     out
 }
 
 /// One scaled streaming run; returns `(tasks, peak_resident, tasks_per_sec,
-/// makespan)`, or `Ok(None)` when `--halt-after` stopped the run at a
-/// checkpoint.
+/// makespan, faults, retries)`, or `Ok(None)` when `--halt-after` stopped
+/// the run at a checkpoint.
+#[allow(clippy::type_complexity)]
 fn scaled_run(
     bench: Benchmark,
     options: &Options,
     config: &ExecConfig,
-) -> Result<Option<(u64, usize, f64, u64)>, String> {
+) -> Result<Option<(u64, usize, f64, u64, u64, u64)>, String> {
     let mut stream = bench.scaled_stream(options.tasks);
     let start = Instant::now();
     let report = if config.checkpoint_every.is_some() {
@@ -202,6 +237,8 @@ fn scaled_run(
         report.peak_resident_tasks,
         report.tasks as f64 / wall.max(1e-9),
         report.makespan().raw(),
+        report.faults_injected,
+        report.retries,
     )))
 }
 
@@ -210,6 +247,7 @@ fn run_or_smoke(options: &Options) -> ExitCode {
     let config = ExecConfig {
         window: options.window,
         checkpoint_every: options.checkpoint_every.map(Cycle::new),
+        fault: options.fault.clone(),
         ..standard_config()
     };
     println!(
@@ -225,18 +263,23 @@ fn run_or_smoke(options: &Options) -> ExitCode {
     );
     println!("|{}|", "-".repeat(78));
     let mut failures = 0;
+    let mut total_faults = 0u64;
+    let mut total_retries = 0u64;
     for bench in selected(options) {
-        let (tasks, peak, throughput, makespan) = match scaled_run(bench, options, &config) {
-            Ok(Some(outcome)) => outcome,
-            // Halted at a checkpoint on request: the snapshot on disk is the
-            // deliverable, not a completed run.
-            Ok(None) => continue,
-            Err(message) => {
-                eprintln!("FAIL {}: {message}", bench.name());
-                failures += 1;
-                continue;
-            }
-        };
+        let (tasks, peak, throughput, makespan, faults, retries) =
+            match scaled_run(bench, options, &config) {
+                Ok(Some(outcome)) => outcome,
+                // Halted at a checkpoint on request: the snapshot on disk is
+                // the deliverable, not a completed run.
+                Ok(None) => continue,
+                Err(message) => {
+                    eprintln!("FAIL {}: {message}", bench.name());
+                    failures += 1;
+                    continue;
+                }
+            };
+        total_faults += faults;
+        total_retries += retries;
         println!(
             "| {:<14} | {:>9} | {:>13} | {:>16} | {:>12.0} |",
             bench.name(),
@@ -260,6 +303,17 @@ fn run_or_smoke(options: &Options) -> ExitCode {
                 bench.name(),
                 config.window + 1
             );
+            failures += 1;
+        }
+    }
+    if let Some(fault) = &options.fault {
+        println!(
+            "\nfault injection (rate {}, retry budget {}): {total_faults} faults, \
+             {total_retries} retries across all runs",
+            fault.fault_rate, fault.retry_budget
+        );
+        if total_faults != total_retries {
+            eprintln!("FAIL: {total_faults} faults but {total_retries} retries — lost work");
             failures += 1;
         }
     }
@@ -351,11 +405,13 @@ fn resume_mode(checkpoint_file: &str, verify_against_straight: bool) -> Result<E
     let bench_name = String::load(&mut r).map_err(|e| e.to_string())?;
     let tasks = usize::load(&mut r).map_err(|e| e.to_string())?;
     let window = usize::load(&mut r).map_err(|e| e.to_string())?;
+    let fault = Option::<FaultConfig>::load(&mut r).map_err(|e| e.to_string())?;
     r.expect_end("BENCH").map_err(|e| e.to_string())?;
     let bench = cli::parse_benchmark(&bench_name)?;
 
     let config = ExecConfig {
         window,
+        fault,
         ..standard_config()
     };
     let mut stream = bench.scaled_stream(tasks);

@@ -1,31 +1,37 @@
 //! Section VI-C (final paragraph): adding an extra core dedicated to the
 //! runtime system barely helps a pure-software runtime (≈0.8 % on average),
 //! because dependence tracking stays serialized on one thread.
+//!
+//! The 9 software-granularity benchmarks × {32, 33} cores form one
+//! [`SweepGrid`] (core-count axis) executed in parallel across host
+//! threads. Results are bit-identical to the old serial eager harness.
 
-use tdm_bench::{geometric_mean, print_table, ratio, Benchmark};
-use tdm_runtime::exec::{simulate, Backend, ExecConfig};
+use tdm_bench::sweep::{run_sweep, BackendSpec, SweepGrid, WorkloadSpec};
+use tdm_bench::{default_threads, geometric_mean, print_table, ratio, standard_config, Benchmark};
+use tdm_runtime::exec::Backend;
 use tdm_runtime::scheduler::SchedulerKind;
 
 fn main() {
-    let base_config = ExecConfig::default();
-    let extra_config = ExecConfig::default().with_cores(33);
+    let base_cores = standard_config().chip.num_cores;
+    let grid = SweepGrid::new()
+        .with_workloads(
+            Benchmark::ALL
+                .iter()
+                .map(|&b| WorkloadSpec::software_granularity(b))
+                .collect(),
+        )
+        .with_backends(vec![BackendSpec::from(Backend::Software)])
+        .with_schedulers(vec![SchedulerKind::Fifo])
+        .with_core_counts(vec![base_cores, base_cores + 1]);
+    let results = run_sweep(&grid, default_threads(1));
+
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
-    for bench in Benchmark::ALL {
-        let workload = bench.software_workload();
-        let base = simulate(
-            &workload,
-            &Backend::Software,
-            SchedulerKind::Fifo,
-            &base_config,
-        );
-        let extra = simulate(
-            &workload,
-            &Backend::Software,
-            SchedulerKind::Fifo,
-            &extra_config,
-        );
-        let speedup = extra.speedup_over(&base);
+    for (b, bench) in Benchmark::ALL.iter().enumerate() {
+        // Grid order per benchmark: [32 cores, 33 cores].
+        let base = &results[b * 2];
+        let extra = &results[b * 2 + 1];
+        let speedup = extra.report.speedup_over(&base.report);
         speedups.push(speedup);
         rows.push(vec![bench.abbrev().to_string(), ratio(speedup)]);
     }

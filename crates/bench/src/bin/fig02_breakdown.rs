@@ -1,16 +1,31 @@
 //! Figure 2: execution-time breakdown (DEPS / SCHED / EXEC / IDLE) of the
 //! master and worker threads under the pure software runtime.
+//!
+//! The 9 software-granularity benchmarks form one [`SweepGrid`] executed in
+//! parallel across host threads. Results are bit-identical to the old
+//! serial eager harness.
 
-use tdm_bench::{pct, print_table, run, Benchmark};
+use tdm_bench::sweep::{run_sweep, BackendSpec, SweepGrid, WorkloadSpec};
+use tdm_bench::{default_threads, pct, print_table, Benchmark};
 use tdm_runtime::exec::Backend;
 use tdm_runtime::scheduler::SchedulerKind;
 use tdm_sim::stats::Phase;
 
 fn main() {
+    let grid = SweepGrid::new()
+        .with_workloads(
+            Benchmark::ALL
+                .iter()
+                .map(|&b| WorkloadSpec::software_granularity(b))
+                .collect(),
+        )
+        .with_backends(vec![BackendSpec::from(Backend::Software)])
+        .with_schedulers(vec![SchedulerKind::Fifo]);
+    let results = run_sweep(&grid, default_threads(1));
+
     let mut rows = Vec::new();
-    for bench in Benchmark::ALL {
-        let workload = bench.software_workload();
-        let report = run(&workload, &Backend::Software, SchedulerKind::Fifo);
+    for (b, bench) in Benchmark::ALL.iter().enumerate() {
+        let report = &results[b].report;
         let master = report.stats.master_breakdown();
         let workers = report.stats.worker_breakdown();
         rows.push(vec![

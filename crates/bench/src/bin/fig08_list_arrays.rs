@@ -1,54 +1,71 @@
 //! Figure 8: average performance with different list-array sizes, normalized
 //! to an ideal DMU with unlimited entries and the same latency.
+//!
+//! The 9 benchmarks × 17 DMU geometries (the ideal baseline plus the 4×4
+//! readers × successor/deps list-array grid) form one [`SweepGrid`]
+//! executed in parallel across host threads; the ideal column of each
+//! benchmark's chunk is the normalization base. Results are bit-identical
+//! to the old serial eager harness.
 
-use tdm_bench::{geometric_mean, print_table, ratio, run, Benchmark};
+use tdm_bench::sweep::{run_sweep, BackendSpec, SweepGrid, WorkloadSpec};
+use tdm_bench::{default_threads, geometric_mean, print_table, ratio, Benchmark};
 use tdm_core::config::DmuConfig;
 use tdm_runtime::exec::Backend;
 use tdm_runtime::scheduler::SchedulerKind;
 
-fn average_perf(config: &DmuConfig, ideal: &[(Benchmark, f64)]) -> f64 {
-    let perfs: Vec<f64> = Benchmark::ALL
-        .iter()
-        .map(|&bench| {
-            let report = run(
-                &bench.tdm_workload(),
-                &Backend::Tdm(config.clone()),
-                SchedulerKind::Fifo,
-            );
-            let ideal_time = ideal.iter().find(|(b, _)| *b == bench).unwrap().1;
-            ideal_time / report.makespan().as_f64()
-        })
-        .collect();
-    geometric_mean(&perfs)
-}
-
 fn main() {
     let sizes = [128usize, 512, 1024, 2048];
-    let ideal: Vec<(Benchmark, f64)> = Benchmark::ALL
-        .iter()
-        .map(|&b| {
-            let report = run(
-                &b.tdm_workload(),
-                &Backend::Tdm(DmuConfig::ideal()),
-                SchedulerKind::Fifo,
-            );
-            (b, report.makespan().as_f64())
-        })
-        .collect();
 
-    // Sweep the successor and dependence list arrays jointly (the paper's
-    // X axis) against the reader list array size (the grouped series).
-    let mut rows = Vec::new();
+    // Backend axis: the ideal DMU first, then the readers-outer ×
+    // successor/deps-inner size grid (the row order of the table).
+    let mut backends = vec![BackendSpec::labelled(
+        "tdm-ideal",
+        Backend::Tdm(DmuConfig::ideal()),
+    )];
     for &readers in &sizes {
         for &succ_deps in &sizes {
-            let config = DmuConfig::default().with_list_array_sizes(succ_deps, succ_deps, readers);
-            let perf = average_perf(&config, &ideal);
-            rows.push(vec![
-                format!("{readers}"),
-                format!("{succ_deps}"),
-                ratio(perf),
-            ]);
+            backends.push(BackendSpec::labelled(
+                format!("tdm-r{readers}-sd{succ_deps}"),
+                Backend::Tdm(
+                    DmuConfig::default().with_list_array_sizes(succ_deps, succ_deps, readers),
+                ),
+            ));
         }
+    }
+    let per_bench = backends.len();
+
+    let grid = SweepGrid::new()
+        .with_workloads(
+            Benchmark::ALL
+                .iter()
+                .map(|&b| WorkloadSpec::tdm_granularity(b))
+                .collect(),
+        )
+        .with_backends(backends)
+        .with_schedulers(vec![SchedulerKind::Fifo]);
+    let results = run_sweep(&grid, default_threads(1));
+
+    // Geometric mean across benchmarks of each geometry's performance
+    // relative to the ideal DMU (chunk position 0 of every benchmark).
+    let mut rows = Vec::new();
+    for (c, (&readers, &succ_deps)) in sizes
+        .iter()
+        .flat_map(|r| sizes.iter().map(move |s| (r, s)))
+        .enumerate()
+    {
+        let perfs: Vec<f64> = Benchmark::ALL
+            .iter()
+            .enumerate()
+            .map(|(b, _)| {
+                let chunk = &results[b * per_bench..(b + 1) * per_bench];
+                chunk[0].report.makespan().as_f64() / chunk[1 + c].report.makespan().as_f64()
+            })
+            .collect();
+        rows.push(vec![
+            format!("{readers}"),
+            format!("{succ_deps}"),
+            ratio(geometric_mean(&perfs)),
+        ]);
     }
     print_table(
         "Figure 8: average performance vs list-array sizes (normalized to ideal DMU)",

@@ -1,27 +1,47 @@
 //! Figure 10: percentage of time the master thread spends creating tasks and
 //! managing their dependences, with the pure software runtime and with TDM.
+//!
+//! Two [`SweepGrid`]s executed in parallel across host threads: the
+//! software-granularity benchmarks on the software runtime and the
+//! TDM-granularity benchmarks on TDM (each backend at its optimal
+//! granularity, exactly like Figure 13). Results are bit-identical to the
+//! old serial eager harness.
 
-use tdm_bench::{geometric_mean, pct, print_table, run, Benchmark};
+use tdm_bench::sweep::{run_sweep, BackendSpec, SweepGrid, WorkloadSpec};
+use tdm_bench::{default_threads, geometric_mean, pct, print_table, Benchmark};
 use tdm_runtime::exec::Backend;
 use tdm_runtime::scheduler::SchedulerKind;
 
 fn main() {
+    let threads = default_threads(1);
+    let sw_grid = SweepGrid::new()
+        .with_workloads(
+            Benchmark::ALL
+                .iter()
+                .map(|&b| WorkloadSpec::software_granularity(b))
+                .collect(),
+        )
+        .with_backends(vec![BackendSpec::from(Backend::Software)])
+        .with_schedulers(vec![SchedulerKind::Fifo]);
+    let sw_results = run_sweep(&sw_grid, threads);
+
+    let tdm_grid = SweepGrid::new()
+        .with_workloads(
+            Benchmark::ALL
+                .iter()
+                .map(|&b| WorkloadSpec::tdm_granularity(b))
+                .collect(),
+        )
+        .with_backends(vec![BackendSpec::from(Backend::tdm_default())])
+        .with_schedulers(vec![SchedulerKind::Fifo]);
+    let tdm_results = run_sweep(&tdm_grid, threads);
+
     let mut rows = Vec::new();
     let mut sw_fracs = Vec::new();
     let mut tdm_fracs = Vec::new();
-    for bench in Benchmark::ALL {
-        let sw = run(
-            &bench.software_workload(),
-            &Backend::Software,
-            SchedulerKind::Fifo,
-        );
-        let tdm = run(
-            &bench.tdm_workload(),
-            &Backend::tdm_default(),
-            SchedulerKind::Fifo,
-        );
-        let sw_frac = sw.master_deps_fraction();
-        let tdm_frac = tdm.master_deps_fraction();
+    for (b, bench) in Benchmark::ALL.iter().enumerate() {
+        let sw_frac = sw_results[b].report.master_deps_fraction();
+        let tdm_frac = tdm_results[b].report.master_deps_fraction();
         sw_fracs.push(sw_frac.max(1e-6));
         tdm_fracs.push(tdm_frac.max(1e-6));
         rows.push(vec![

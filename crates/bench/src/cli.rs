@@ -74,6 +74,18 @@ pub fn parse_u64(flag: &str, value: &str) -> Result<u64, String> {
     value.parse().map_err(|e| format!("{flag}: {e}"))
 }
 
+/// Parses a probability flag (`--fault-rate` and the like): a finite `f64`
+/// in `[0, 1]`.
+pub fn parse_rate(flag: &str, value: &str) -> Result<f64, String> {
+    let rate: f64 = value.parse().map_err(|e| format!("{flag}: {e}"))?;
+    if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+        return Err(format!(
+            "{flag} must be a probability in [0, 1], got {value}"
+        ));
+    }
+    Ok(rate)
+}
+
 /// Parses a Table II benchmark by (case-insensitive) name.
 pub fn parse_benchmark(name: &str) -> Result<Benchmark, String> {
     Benchmark::ALL
@@ -168,6 +180,16 @@ mod tests {
         assert!(parse_count("--tasks", "x", "").is_err());
         assert_eq!(parse_u64("--seed", "0").unwrap(), 0);
         assert!(parse_u64("--seed", "?").is_err());
+    }
+
+    #[test]
+    fn rates_must_be_finite_probabilities() {
+        assert_eq!(parse_rate("--fault-rate", "0").unwrap(), 0.0);
+        assert_eq!(parse_rate("--fault-rate", "0.25").unwrap(), 0.25);
+        assert_eq!(parse_rate("--fault-rate", "1").unwrap(), 1.0);
+        for bad in ["-0.1", "1.5", "NaN", "inf", "x"] {
+            assert!(parse_rate("--fault-rate", bad).is_err(), "{bad} accepted");
+        }
     }
 
     #[test]

@@ -63,7 +63,9 @@ use crate::baseline::json;
 use crate::standard_config;
 
 /// Schema version of the `bench_sweep` JSON output; bump when fields change.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version 2 added the fault-injection counters (`faults_injected`,
+/// `retries`, `retired_cores`) to every row.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One workload axis entry: a label plus a factory producing a fresh
 /// [`TaskStream`] for every simulation point that uses it.
@@ -499,7 +501,8 @@ pub fn results_to_json(results: &[SweepResult]) -> String {
                 "{{\"workload\": {}, \"backend\": {}, \"scheduler\": {}, \
                  \"window\": {}, \"cores\": {}, \"seed\": {}, \"tasks\": {}, \
                  \"makespan_cycles\": {}, \"dmu_accesses\": {}, \"dmu_stalls\": {}, \
-                 \"peak_resident_tasks\": {}, \"wall_ms\": {:.3}}}",
+                 \"peak_resident_tasks\": {}, \"faults_injected\": {}, \
+                 \"retries\": {}, \"retired_cores\": {}, \"wall_ms\": {:.3}}}",
                 json::escape(&r.workload),
                 json::escape(&r.backend),
                 json::escape(&r.scheduler),
@@ -511,6 +514,9 @@ pub fn results_to_json(results: &[SweepResult]) -> String {
                 r.dmu_accesses(),
                 r.dmu_stalls(),
                 r.report.peak_resident_tasks,
+                r.report.faults_injected,
+                r.report.retries,
+                r.report.retired_cores,
                 json::finite(r.wall_ms, "wall_ms"),
             )
         })
@@ -535,7 +541,8 @@ fn window_json(window: usize) -> String {
 pub fn results_to_csv(results: &[SweepResult]) -> String {
     let mut out = String::from(
         "workload,backend,scheduler,window,cores,seed,tasks,makespan_cycles,\
-         dmu_accesses,dmu_stalls,peak_resident_tasks,wall_ms\n",
+         dmu_accesses,dmu_stalls,peak_resident_tasks,faults_injected,retries,\
+         retired_cores,wall_ms\n",
     );
     for r in results {
         let window = if r.window == usize::MAX {
@@ -544,7 +551,7 @@ pub fn results_to_csv(results: &[SweepResult]) -> String {
             r.window.to_string()
         };
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{:.3}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3}\n",
             csv_field(&r.workload),
             csv_field(&r.backend),
             csv_field(&r.scheduler),
@@ -556,6 +563,9 @@ pub fn results_to_csv(results: &[SweepResult]) -> String {
             r.dmu_accesses(),
             r.dmu_stalls(),
             r.report.peak_resident_tasks,
+            r.report.faults_injected,
+            r.report.retries,
+            r.report.retired_cores,
             r.wall_ms,
         ));
     }
@@ -716,6 +726,18 @@ mod tests {
                 .unwrap(),
             results[0].makespan_cycles()
         );
+        // The fault counters ride along in every row (all zero without a
+        // fault configuration on the grid's exec config).
+        for counter in ["faults_injected", "retries", "retired_cores"] {
+            assert_eq!(
+                json::field(first, counter)
+                    .unwrap()
+                    .as_u64(counter)
+                    .unwrap(),
+                0,
+                "{counter} must be present and zero in a fault-free sweep"
+            );
+        }
         // Unbounded window serialises as null, bounded as a number.
         assert!(matches!(
             json::field(first, "window").unwrap(),
@@ -784,7 +806,8 @@ mod tests {
         // separated records when quotes are respected.
         let data = csv.strip_prefix(
             "workload,backend,scheduler,window,cores,seed,tasks,makespan_cycles,\
-             dmu_accesses,dmu_stalls,peak_resident_tasks,wall_ms\n",
+             dmu_accesses,dmu_stalls,peak_resident_tasks,faults_injected,retries,\
+             retired_cores,wall_ms\n",
         );
         let row = data.expect("header must be unquoted and exact");
         assert!(row.starts_with("\"evil,\"\"label\"\"\nx\",\"geom,512\","));

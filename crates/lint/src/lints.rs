@@ -85,8 +85,12 @@ pub fn lint_info(id: &str) -> Option<&'static LintInfo> {
     LINTS.iter().find(|l| l.id == id)
 }
 
-/// The two modules whose decoders must be total (T1) and cast-clean (C1).
-pub const DECODER_MODULES: &[&str] = &["crates/sim/src/snapshot.rs", "crates/runtime/src/trace.rs"];
+/// The modules whose decoders must be total (T1) and cast-clean (C1).
+pub const DECODER_MODULES: &[&str] = &[
+    "crates/sim/src/snapshot.rs",
+    "crates/runtime/src/trace.rs",
+    "crates/runtime/src/fault.rs",
+];
 
 /// Coarse classification of a file, derived from its workspace-relative
 /// path. Decides which lints apply.

@@ -161,6 +161,26 @@ pub trait DependenceEngine: Send {
         }
     }
 
+    /// Notifies that `task`'s execution attempt *failed* at time `now` on
+    /// core `core`, returning the cycles the engine itself spends reacting
+    /// (the driver charges its own failure-detection cost on top).
+    ///
+    /// A failed execution never reached [`finish_task`], so the task's
+    /// dependents were never unblocked and nothing in the dependence state
+    /// needs rolling back: the task simply stays in flight (software live
+    /// slab, DMU tables, descriptor slot) until a retry succeeds. This hook
+    /// must therefore leave every modeled Walk/access counter untouched —
+    /// it exists to *validate* that invariant (panicking on a task that is
+    /// not in flight, exactly like [`finish_task`] would) and to give
+    /// engines a seam for future failure-aware behaviour.
+    ///
+    /// [`finish_task`]: DependenceEngine::finish_task
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is not in flight (created and unfinished).
+    fn fail_task(&mut self, now: Cycle, task: TaskRef, core: usize) -> Cycle;
+
     /// Hardware statistics, if this engine models a hardware tracker.
     fn hardware_report(&self) -> Option<HardwareReport> {
         None
@@ -413,6 +433,17 @@ impl DependenceEngine for SoftwareEngine {
             }
         }
         self.cost.sw_finish_cost(live.successors.len() as u32)
+    }
+
+    fn fail_task(&mut self, _now: Cycle, task: TaskRef, _core: usize) -> Cycle {
+        // Nothing to roll back: the task never finished, so no successor
+        // edges were walked and no modeled costs accrued. Validate that it
+        // really is in flight and leave the tracking state untouched.
+        assert!(
+            self.live.get_mut(task.index()).is_some(),
+            "{task} failed without being in flight"
+        );
+        Cycle::ZERO
     }
 
     // Snapshot support. The address map is canonicalized to a key-sorted list
@@ -882,6 +913,17 @@ impl DependenceEngine for HardwareEngine {
             spans.push((start, ready.len()));
         }
         self.woken_buf = woken;
+    }
+
+    fn fail_task(&mut self, _now: Cycle, task: TaskRef, _core: usize) -> Cycle {
+        // The descriptor stays allocated and the DMU tables keep the task in
+        // flight — a failed attempt issues no TDM instructions and touches
+        // no SRAM, so Walk/access counters are untouched by construction.
+        assert!(
+            self.task_slot.contains_key(&task.index()),
+            "{task} failed without an allocated descriptor slot"
+        );
+        Cycle::ZERO
     }
 
     fn hardware_report(&self) -> Option<HardwareReport> {

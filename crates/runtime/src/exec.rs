@@ -64,6 +64,7 @@ use crate::engine::{
     DependenceEngine, HardwareEngine, HardwareFlavor, HardwareReport, ReadyInfo, SoftwareEngine,
 };
 use crate::fast_map::FastMap;
+use crate::fault::{FaultConfig, FaultPlan, FaultState};
 use crate::scheduler::{FifoScheduler, ReadyEntry, Scheduler, SchedulerKind};
 use crate::stream::TaskSource;
 use crate::task::{TaskRef, TaskSpec, Workload};
@@ -198,6 +199,14 @@ pub struct ExecConfig {
     /// time, so the reports stay bit-identical either way (see
     /// `SNAPSHOT_FORMAT.md`).
     pub checkpoint_every: Option<Cycle>,
+    /// Deterministic fault injection ([`crate::fault`]): seeded transient
+    /// task failures with bounded retry, plus sticky core faults that retire
+    /// a core mid-run. `None` (the default) disables injection entirely;
+    /// a configuration with both rates at zero is bit-identical to `None`
+    /// (fault draws are pure per-decision functions, so a rate of zero
+    /// perturbs nothing). Part of the resume-compatibility fingerprint —
+    /// the fault schedule is part of the run's semantics.
+    pub fault: Option<FaultConfig>,
 }
 
 impl Default for ExecConfig {
@@ -214,6 +223,7 @@ impl Default for ExecConfig {
             window: usize::MAX,
             per_op_dmu: false,
             checkpoint_every: None,
+            fault: None,
         }
     }
 }
@@ -255,6 +265,13 @@ impl ExecConfig {
     /// `*_checkpointed` entry points act on it.
     pub fn with_checkpoint_every(mut self, every: Cycle) -> Self {
         self.checkpoint_every = Some(every);
+        self
+    }
+
+    /// Same configuration with deterministic fault injection enabled (see
+    /// [`fault`](ExecConfig::fault)).
+    pub fn with_faults(mut self, fault: FaultConfig) -> Self {
+        self.fault = Some(fault);
         self
     }
 }
@@ -341,6 +358,15 @@ pub struct RunReport {
     /// the number `bench_scale` reports to show million-task runs stay in
     /// bounded memory.
     pub peak_resident_tasks: usize,
+    /// Transient task failures injected by the fault plan
+    /// ([`ExecConfig::fault`]); 0 when fault injection is off.
+    pub faults_injected: u64,
+    /// Failed tasks re-issued to the ready pool after their modeled
+    /// backoff; 0 when fault injection is off.
+    pub retries: u64,
+    /// Cores retired by sticky faults during the run; 0 when fault
+    /// injection is off.
+    pub retired_cores: u64,
     /// The executed schedule, in finish order — **empty unless
     /// [`ExecConfig::trace_schedule`] is set**, because the trace costs
     /// O(tasks) memory. Conformance tests opt in and replay this against the
@@ -374,6 +400,67 @@ impl RunReport {
     /// The tasks in the order they finished, extracted from the schedule.
     pub fn finish_order(&self) -> Vec<TaskRef> {
         self.schedule.iter().map(|s| s.task).collect()
+    }
+}
+
+/// The typed result of a run under fault injection: either the run
+/// completed (every created task eventually finished) or a task exhausted
+/// its retry budget and the run aborted cleanly.
+///
+/// An aborted run is a *result*, not a panic: the report carries every
+/// phase breakdown and counter accumulated up to the abort point, with the
+/// makespan covering the work done so far — a production runtime would
+/// surface exactly this to its caller. Runs without fault injection can
+/// never abort, which is why the classic entry points ([`simulate`] and
+/// friends) keep returning a bare [`RunReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// Every created task finished; the report is final.
+    Completed(RunReport),
+    /// `task` failed `attempts` times, exceeding
+    /// [`FaultConfig::retry_budget`]; the run stopped at the cycle the
+    /// budget was exhausted.
+    Aborted {
+        /// The task whose retry budget ran out.
+        task: TaskRef,
+        /// Total failed attempts of that task (budget + 1).
+        attempts: u32,
+        /// Statistics accumulated up to the abort point.
+        report: RunReport,
+    },
+}
+
+impl RunOutcome {
+    /// The run's report, whether it completed or aborted.
+    pub fn report(&self) -> &RunReport {
+        match self {
+            RunOutcome::Completed(report) | RunOutcome::Aborted { report, .. } => report,
+        }
+    }
+
+    /// Consumes the outcome, returning the report.
+    pub fn into_report(self) -> RunReport {
+        match self {
+            RunOutcome::Completed(report) | RunOutcome::Aborted { report, .. } => report,
+        }
+    }
+
+    /// True if the run aborted on an exhausted retry budget.
+    pub fn is_aborted(&self) -> bool {
+        matches!(self, RunOutcome::Aborted { .. })
+    }
+}
+
+/// Unwraps a completed outcome for the classic entry points, which predate
+/// fault injection and cannot observe an abort (aborts require
+/// [`ExecConfig::fault`], whose users call the `*_outcome` variants).
+fn completed_or_panic(outcome: RunOutcome) -> RunReport {
+    match outcome {
+        RunOutcome::Completed(report) => report,
+        RunOutcome::Aborted { task, attempts, .. } => panic!(
+            "run aborted: {task} exhausted its retry budget after {attempts} failed attempts — \
+             call the *_outcome entry point to receive RunOutcome::Aborted instead"
+        ),
     }
 }
 
@@ -643,13 +730,31 @@ impl<S: TaskSource + ?Sized> TaskFeed for StreamFeed<'_, S> {
 /// # Panics
 ///
 /// Panics if the simulation deadlocks, which would indicate a bug in a
-/// dependence engine (the workload graphs are acyclic by construction).
+/// dependence engine (the workload graphs are acyclic by construction), or
+/// if fault injection aborts the run (use [`simulate_outcome`] to receive
+/// [`RunOutcome::Aborted`] instead).
 pub fn simulate(
     workload: &Workload,
     backend: &Backend,
     scheduler: SchedulerKind,
     config: &ExecConfig,
 ) -> RunReport {
+    completed_or_panic(simulate_outcome(workload, backend, scheduler, config))
+}
+
+/// Like [`simulate`], but surfaces retry-budget exhaustion as a typed
+/// [`RunOutcome::Aborted`] instead of a panic. Without
+/// [`ExecConfig::fault`] the outcome is always `Completed`.
+///
+/// # Panics
+///
+/// Panics on dependence-engine deadlock (see [`simulate`]).
+pub fn simulate_outcome(
+    workload: &Workload,
+    backend: &Backend,
+    scheduler: SchedulerKind,
+    config: &ExecConfig,
+) -> RunOutcome {
     run_core(
         EagerFeed { workload },
         backend,
@@ -674,13 +779,29 @@ pub fn simulate(
 ///
 /// # Panics
 ///
-/// Panics if the simulation deadlocks (see [`simulate`]).
+/// Panics if the simulation deadlocks (see [`simulate`]), or if fault
+/// injection aborts the run (use [`simulate_stream_outcome`]).
 pub fn simulate_stream<S: TaskSource + ?Sized>(
     source: &mut S,
     backend: &Backend,
     scheduler: SchedulerKind,
     config: &ExecConfig,
 ) -> RunReport {
+    completed_or_panic(simulate_stream_outcome(source, backend, scheduler, config))
+}
+
+/// Like [`simulate_stream`], but surfaces retry-budget exhaustion as a typed
+/// [`RunOutcome::Aborted`] instead of a panic.
+///
+/// # Panics
+///
+/// Panics on dependence-engine deadlock (see [`simulate`]).
+pub fn simulate_stream_outcome<S: TaskSource + ?Sized>(
+    source: &mut S,
+    backend: &Backend,
+    scheduler: SchedulerKind,
+    config: &ExecConfig,
+) -> RunOutcome {
     run_core(
         StreamFeed::new(source),
         backend,
@@ -714,6 +835,23 @@ pub fn simulate_checkpointed(
     config: &ExecConfig,
     sink: &mut dyn FnMut(Snapshot) -> bool,
 ) -> Option<RunReport> {
+    simulate_checkpointed_outcome(workload, backend, scheduler, config, sink)
+        .map(completed_or_panic)
+}
+
+/// Like [`simulate_checkpointed`], but surfaces retry-budget exhaustion as a
+/// typed [`RunOutcome::Aborted`] instead of a panic.
+///
+/// # Panics
+///
+/// Panics on dependence-engine deadlock (see [`simulate`]).
+pub fn simulate_checkpointed_outcome(
+    workload: &Workload,
+    backend: &Backend,
+    scheduler: SchedulerKind,
+    config: &ExecConfig,
+    sink: &mut dyn FnMut(Snapshot) -> bool,
+) -> Option<RunOutcome> {
     let ctl = config.checkpoint_every.map(|every| CheckpointCtl {
         every,
         next_at: every,
@@ -750,6 +888,23 @@ pub fn simulate_stream_checkpointed<S: TaskSource + ?Sized>(
     config: &ExecConfig,
     sink: &mut dyn FnMut(Snapshot) -> bool,
 ) -> Option<RunReport> {
+    simulate_stream_checkpointed_outcome(source, backend, scheduler, config, sink)
+        .map(completed_or_panic)
+}
+
+/// Like [`simulate_stream_checkpointed`], but surfaces retry-budget
+/// exhaustion as a typed [`RunOutcome::Aborted`] instead of a panic.
+///
+/// # Panics
+///
+/// As for [`simulate_stream_checkpointed`], minus the abort panic.
+pub fn simulate_stream_checkpointed_outcome<S: TaskSource + ?Sized>(
+    source: &mut S,
+    backend: &Backend,
+    scheduler: SchedulerKind,
+    config: &ExecConfig,
+    sink: &mut dyn FnMut(Snapshot) -> bool,
+) -> Option<RunOutcome> {
     assert!(
         config.checkpoint_every.is_none() || source.checkpoint_cursor().is_some(),
         "cannot checkpoint source {:?}: TaskSource::checkpoint_cursor returned None",
@@ -790,13 +945,27 @@ pub fn resume(
     snapshot: &Snapshot,
     config: &ExecConfig,
 ) -> Result<RunReport, SnapshotError> {
+    resume_outcome(workload, snapshot, config).map(completed_or_panic)
+}
+
+/// Like [`resume`], but surfaces retry-budget exhaustion as a typed
+/// [`RunOutcome::Aborted`] instead of a panic.
+///
+/// # Panics
+///
+/// Panics on dependence-engine deadlock (see [`simulate`]).
+pub fn resume_outcome(
+    workload: &Workload,
+    snapshot: &Snapshot,
+    config: &ExecConfig,
+) -> Result<RunOutcome, SnapshotError> {
     let meta = RunMeta::from_snapshot(snapshot)?;
     meta.validate(FEED_EAGER, &workload.name, config)?;
     // The eager FEED payload is just the kind tag; check it is well-formed.
     let mut r = Reader::new(snapshot.section(section::FEED)?);
     let _tag = u8::load(&mut r)?;
     r.expect_end("FEED")?;
-    let report = run_core(
+    let outcome = run_core(
         EagerFeed { workload },
         &meta.backend,
         meta.scheduler,
@@ -804,7 +973,7 @@ pub fn resume(
         Some(snapshot),
         None,
     )?;
-    Ok(report.expect("resumed runs have no checkpoint sink and cannot halt"))
+    Ok(outcome.expect("resumed runs have no checkpoint sink and cannot halt"))
 }
 
 /// Resumes a streaming run from `snapshot`, driving it to completion.
@@ -823,10 +992,24 @@ pub fn resume_stream<S: TaskSource + ?Sized>(
     snapshot: &Snapshot,
     config: &ExecConfig,
 ) -> Result<RunReport, SnapshotError> {
+    resume_stream_outcome(source, snapshot, config).map(completed_or_panic)
+}
+
+/// Like [`resume_stream`], but surfaces retry-budget exhaustion as a typed
+/// [`RunOutcome::Aborted`] instead of a panic.
+///
+/// # Panics
+///
+/// Panics on dependence-engine deadlock (see [`simulate`]).
+pub fn resume_stream_outcome<S: TaskSource + ?Sized>(
+    source: &mut S,
+    snapshot: &Snapshot,
+    config: &ExecConfig,
+) -> Result<RunOutcome, SnapshotError> {
     let meta = RunMeta::from_snapshot(snapshot)?;
     meta.validate(FEED_STREAM, source.name(), config)?;
     let feed = StreamFeed::restore(source, snapshot.section(section::FEED)?)?;
-    let report = run_core(
+    let outcome = run_core(
         feed,
         &meta.backend,
         meta.scheduler,
@@ -834,7 +1017,36 @@ pub fn resume_stream<S: TaskSource + ?Sized>(
         Some(snapshot),
         None,
     )?;
-    Ok(report.expect("resumed runs have no checkpoint sink and cannot halt"))
+    Ok(outcome.expect("resumed runs have no checkpoint sink and cannot halt"))
+}
+
+/// Timing-wheel payload marking a retry dispatch instead of a core event.
+/// Scheduled at each failed task's backoff due time; on firing, every due
+/// entry of the retry queue is re-issued to the scheduling pool. No real
+/// core can carry this id (cores are `0..num_cores`).
+const RETRY_EVENT: usize = usize::MAX;
+
+/// A task in flight on a core, carrying the successor count its
+/// [`ReadyEntry`] arrived with so a faulted task can be re-issued under the
+/// exact same scheduling inputs (the Successor policy orders by it).
+#[derive(Clone, Copy)]
+struct RunningTask {
+    task: TaskRef,
+    num_successors: u32,
+}
+
+impl Persist for RunningTask {
+    fn save(&self, out: &mut Vec<u8>) {
+        self.task.save(out);
+        self.num_successors.save(out);
+    }
+
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(RunningTask {
+            task: TaskRef::load(r)?,
+            num_successors: u32::load(r)?,
+        })
+    }
 }
 
 /// What the master core does in Phase 2 of the current batch, decided while
@@ -866,6 +1078,8 @@ struct CheckpointCtl<'a> {
 /// ([`simulate`] / [`simulate_stream`]), checkpointed (`checkpoint` set) and
 /// resumed (`restore` set). Returns `Ok(None)` when a checkpoint sink halted
 /// the run, and an error only when `restore` holds an inconsistent snapshot.
+/// Fault injection aborting the run is a normal return
+/// ([`RunOutcome::Aborted`]), not an error.
 fn run_core<F: TaskFeed>(
     mut feed: F,
     backend: &Backend,
@@ -873,7 +1087,7 @@ fn run_core<F: TaskFeed>(
     config: &ExecConfig,
     restore: Option<&Snapshot>,
     mut checkpoint: Option<CheckpointCtl<'_>>,
-) -> Result<Option<RunReport>, SnapshotError> {
+) -> Result<Option<RunOutcome>, SnapshotError> {
     let num_cores = config.chip.num_cores;
     let master = 0usize;
     let window = config.window.max(1);
@@ -903,9 +1117,20 @@ fn run_core<F: TaskFeed>(
     let mut stats = SimStats::new(num_cores, master);
     let mut locality = LocalityModel::new(num_cores, config.locality_capacity_bytes.max(1));
     let mut events: EventQueue<usize> = EventQueue::new();
-    let mut running: Vec<Option<TaskRef>> = vec![None; num_cores];
+    let mut running: Vec<Option<RunningTask>> = vec![None; num_cores];
     let mut idle_since: Vec<Option<Cycle>> = vec![None; num_cores];
     let mut idle_set = IdleSet::new(num_cores);
+    // Fault injection: the plan is a pure function of the run seed and the
+    // fault configuration (dedicated stream, so fault draws never perturb
+    // duration jitter), the state is the mutable bookkeeping. Completion
+    // boundaries are counted even with faults disabled so the FAULT snapshot
+    // section — and therefore whole snapshots — are bit-identical between
+    // `fault: None` and an all-zero-rate config.
+    let fault_plan = config
+        .fault
+        .as_ref()
+        .map(|fc| FaultPlan::new(config.seed, fc.clone()));
+    let mut fault_state = FaultState::new(num_cores);
     // Batch buffers reused across cycles: the tasks finishing this cycle in
     // event order (paired with their core), the per-finish costs, the tasks
     // those finishes readied (with per-finish `[start, end)` spans into the
@@ -915,6 +1140,10 @@ fn run_core<F: TaskFeed>(
     let mut fin_spans: Vec<(usize, usize)> = Vec::new();
     let mut fin_ready: Vec<ReadyInfo> = Vec::new();
     let mut create_ready: Vec<ReadyInfo> = Vec::new();
+    // Injected failures of this batch, in event order: the failing task
+    // (with the successor count its re-issue must carry), the core it
+    // failed on, and the engine's failure-path cost.
+    let mut fail_events: Vec<(RunningTask, usize, Cycle)> = Vec::new();
     let mut next_create = 0usize;
     let mut finished = 0usize;
     let mut peak_resident = feed.resident();
@@ -929,6 +1158,10 @@ fn run_core<F: TaskFeed>(
     // count reached the configured window. The master then behaves as a
     // worker (runtime-system throttling) and retries after tasks finish.
     let mut master_throttled = false;
+    // First task to exhaust its retry budget (with its final failure
+    // count): the run halts at the end of that batch and reports
+    // `RunOutcome::Aborted` instead of completing.
+    let mut aborted: Option<(TaskRef, u32)> = None;
 
     // Deterministic per-task duration jitter: the same task gets the same
     // duration regardless of scheduler or backend, so comparisons are fair.
@@ -997,6 +1230,15 @@ fn run_core<F: TaskFeed>(
             });
         }
         idle_set.words = idle_words;
+        fault_state = snapshot::from_payload(snap.section(section::FAULT)?, "FAULT")?;
+        if fault_state.num_cores() != num_cores {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "FAULT section covers {} cores, expected {num_cores}",
+                    fault_state.num_cores()
+                ),
+            });
+        }
         if config.trace_schedule {
             schedule = snapshot::from_payload(snap.section(section::TRACE)?, "TRACE")?;
         }
@@ -1034,13 +1276,46 @@ fn run_core<F: TaskFeed>(
         fin_spans.clear();
         fin_ready.clear();
         create_ready.clear();
+        fail_events.clear();
         let mut master_plan = MasterPlan::None;
+        // Set when the master's own task failed this batch: the cycle its
+        // creation attempt is pushed back to (engine failure path plus
+        // detection latency), standing in for the finish-cost path below.
+        let mut master_fail_cost: Option<Cycle> = None;
 
         let master_pos = batch.iter().position(|&c| c == master);
         let split = master_pos.map_or(batch.len(), |pos| pos + 1);
         for &core in &batch[..split] {
-            if let Some(task) = running[core].take() {
-                fin_tasks.push((task, core));
+            if core == RETRY_EVENT {
+                continue;
+            }
+            if let Some(rt) = running[core].take() {
+                // Completion boundary: decide transient failure (the task's
+                // result is lost, it must re-run) and sticky core retirement
+                // (this completion is the core's last). Both are pure draws
+                // keyed on stable identities, so the decisions are identical
+                // across backends, schedulers and resume.
+                let completion = fault_state.record_completion(core);
+                let failed = fault_plan.as_ref().is_some_and(|plan| {
+                    plan.should_fail(rt.task, fault_state.failure_count(rt.task))
+                });
+                if failed {
+                    let cost = engine.fail_task(now, rt.task, core);
+                    if core == master {
+                        let detect = fault_plan
+                            .as_ref()
+                            .map_or(Cycle::ZERO, |plan| plan.config().detect_cost);
+                        master_fail_cost = Some(cost + detect);
+                    }
+                    fail_events.push((rt, core, cost));
+                } else {
+                    fin_tasks.push((rt.task, core));
+                }
+                if let Some(plan) = &fault_plan {
+                    if core != master && plan.should_retire(core, completion) {
+                        fault_state.retire(core);
+                    }
+                }
             }
         }
         engine.finish_batch(
@@ -1067,9 +1342,12 @@ fn run_core<F: TaskFeed>(
                 } else {
                     // The cycle the master reaches its creation attempt at:
                     // its own finish cost plus one push per task that finish
-                    // readied.
+                    // readied — or, if its own task failed this batch, the
+                    // failure-detection path instead.
                     let mut t_master = now;
-                    if let Some(&(_, last_core)) = fin_tasks.last() {
+                    if let Some(cost) = master_fail_cost {
+                        t_master = now + cost;
+                    } else if let Some(&(_, last_core)) = fin_tasks.last() {
                         if last_core == master {
                             let (start, end) = fin_spans[first_run - 1];
                             t_master = now
@@ -1091,8 +1369,25 @@ fn run_core<F: TaskFeed>(
             }
             let before = fin_tasks.len();
             for &core in &batch[split..] {
-                if let Some(task) = running[core].take() {
-                    fin_tasks.push((task, core));
+                if core == RETRY_EVENT {
+                    continue;
+                }
+                if let Some(rt) = running[core].take() {
+                    let completion = fault_state.record_completion(core);
+                    let failed = fault_plan.as_ref().is_some_and(|plan| {
+                        plan.should_fail(rt.task, fault_state.failure_count(rt.task))
+                    });
+                    if failed {
+                        let cost = engine.fail_task(now, rt.task, core);
+                        fail_events.push((rt, core, cost));
+                    } else {
+                        fin_tasks.push((rt.task, core));
+                    }
+                    if let Some(plan) = &fault_plan {
+                        if plan.should_retire(core, completion) {
+                            fault_state.retire(core);
+                        }
+                    }
                 }
             }
             engine.finish_batch(
@@ -1111,8 +1406,65 @@ fn run_core<F: TaskFeed>(
         // Pass B: driver bookkeeping, replayed per event in batch order.
         // ------------------------------------------------------------------
         let mut fin_idx = 0usize;
+        let mut fail_idx = 0usize;
         for &core in &batch {
+            // ------------------------------------------------------------------
+            // Phase 0: retry dispatch. A sentinel event re-issues every due
+            // entry of the retry queue to the scheduling pool, in insertion
+            // order, and wakes idle cores to pick them up. Re-issue itself
+            // is modeled free: the retry watchdog runs off the critical
+            // path, and the backoff delay already charged the latency.
+            // ------------------------------------------------------------------
+            if core == RETRY_EVENT {
+                let dispatched = fault_state.drain_due(now, |task, num_successors| {
+                    pool.push(ReadyEntry {
+                        task,
+                        num_successors,
+                        creation_seq: task.index(),
+                        ready_at: now,
+                        producer_core: None,
+                    });
+                });
+                for _ in 0..dispatched {
+                    let Some(idle_core) = idle_set.pop_min() else {
+                        break;
+                    };
+                    events.schedule(now, idle_core);
+                }
+                continue;
+            }
             let mut t = now;
+
+            // ------------------------------------------------------------------
+            // Phase 0b: the injected failure this core contributed, if any.
+            // The task never finished: dependents stay blocked, the window
+            // stays occupied and the master throttle is NOT reset. The core
+            // pays the engine's failure path plus fault-detection latency,
+            // then the task is queued for re-issue after a linear backoff —
+            // or, past the retry budget, the run aborts at the end of this
+            // batch.
+            // ------------------------------------------------------------------
+            if fail_idx < fail_events.len() && fail_events[fail_idx].1 == core {
+                let (rt, _, engine_cost) = fail_events[fail_idx];
+                fail_idx += 1;
+                let plan = fault_plan
+                    .as_ref()
+                    .expect("failures are only injected when a fault plan exists");
+                let cost = engine_cost + plan.config().detect_cost;
+                stats.cores[core].add(Phase::Deps, cost);
+                t += cost;
+                makespan = makespan.max(t);
+                let count = fault_state.record_failure(rt.task);
+                if count > plan.config().retry_budget {
+                    if aborted.is_none() {
+                        aborted = Some((rt.task, count));
+                    }
+                } else {
+                    let due = t + plan.backoff_delay(count);
+                    fault_state.push_retry(due, rt.task, rt.num_successors);
+                    events.schedule(due, RETRY_EVENT);
+                }
+            }
 
             // ------------------------------------------------------------------
             // Phase 1: the finish this core contributed to the batch, if any.
@@ -1211,6 +1563,18 @@ fn run_core<F: TaskFeed>(
             if feed.exhausted(next_create) && finished >= next_create {
                 continue;
             }
+            // A retired core never takes new work and never joins the idle
+            // set (it cannot be woken). If ready work is pending, hand the
+            // wake-up to an idle survivor so the pool is never stranded on
+            // a core that just died.
+            if fault_state.is_retired(core) {
+                if !pool.is_empty() {
+                    if let Some(idle_core) = idle_set.pop_min() {
+                        events.schedule(t, idle_core);
+                    }
+                }
+                continue;
+            }
             if let Some(entry) = pool.pop(core) {
                 if let Some(since) = idle_since[core].take() {
                     stats.cores[core].add(Phase::Idle, t.saturating_sub(since));
@@ -1232,7 +1596,10 @@ fn run_core<F: TaskFeed>(
                 locality.record_writes(core, &writes);
 
                 stats.cores[core].add(Phase::Exec, duration);
-                running[core] = Some(entry.task);
+                running[core] = Some(RunningTask {
+                    task: entry.task,
+                    num_successors: entry.num_successors,
+                });
                 events.schedule(t + duration, core);
             } else {
                 if idle_since[core].is_none() {
@@ -1240,6 +1607,13 @@ fn run_core<F: TaskFeed>(
                 }
                 idle_set.insert(core);
             }
+        }
+
+        // Retry-budget exhaustion: the rest of the batch was processed
+        // normally (its bookkeeping is already committed), but no further
+        // cycle runs and no checkpoint is taken at the abort point.
+        if aborted.is_some() {
+            break;
         }
 
         // Periodic checkpoint capture. The bottom of the batch is the one
@@ -1267,6 +1641,7 @@ fn run_core<F: TaskFeed>(
                     peak_resident,
                     makespan,
                     master_throttled,
+                    &fault_state,
                     &schedule,
                 );
                 if !(ctl.sink)(snap) {
@@ -1277,7 +1652,7 @@ fn run_core<F: TaskFeed>(
     }
 
     assert!(
-        feed.exhausted(next_create) && finished == next_create,
+        aborted.is_some() || (feed.exhausted(next_create) && finished == next_create),
         "simulation ended with {finished} of {next_create} created tasks finished \
          (stream exhausted: {}) — dependence engine deadlock",
         feed.exhausted(next_create)
@@ -1292,7 +1667,7 @@ fn run_core<F: TaskFeed>(
     }
     stats.normalize_to_makespan();
 
-    Ok(Some(RunReport {
+    let report = RunReport {
         workload: feed.name().to_string(),
         backend: backend.name().to_string(),
         scheduler: scheduler_name,
@@ -1300,7 +1675,18 @@ fn run_core<F: TaskFeed>(
         hardware,
         tasks: finished as u64,
         peak_resident_tasks: peak_resident,
+        faults_injected: fault_state.faults_injected,
+        retries: fault_state.retries,
+        retired_cores: fault_state.retired_cores(),
         schedule,
+    };
+    Ok(Some(match aborted {
+        Some((task, attempts)) => RunOutcome::Aborted {
+            task,
+            attempts,
+            report,
+        },
+        None => RunOutcome::Completed(report),
     }))
 }
 
@@ -1319,7 +1705,7 @@ fn capture_snapshot<F: TaskFeed>(
     stats: &SimStats,
     locality: &LocalityModel,
     events: &EventQueue<usize>,
-    running: &[Option<TaskRef>],
+    running: &[Option<RunningTask>],
     idle_since: &[Option<Cycle>],
     idle_set: &IdleSet,
     next_create: usize,
@@ -1327,6 +1713,7 @@ fn capture_snapshot<F: TaskFeed>(
     peak_resident: usize,
     makespan: Cycle,
     master_throttled: bool,
+    fault_state: &FaultState,
     schedule: &[ScheduledTask],
 ) -> Snapshot {
     let feed_state = feed
@@ -1345,6 +1732,7 @@ fn capture_snapshot<F: TaskFeed>(
         per_op_dmu: config.per_op_dmu,
         cost_hash: debug_hash(&config.cost),
         chip_hash: debug_hash(&config.chip),
+        fault_hash: debug_hash(&config.fault),
     };
 
     let mut driver = Vec::new();
@@ -1371,6 +1759,7 @@ fn capture_snapshot<F: TaskFeed>(
     snap.add_section(section::SCHEDULER, sched_state);
     snap.add_section(section::ENGINE, engine_state);
     snap.add_section(section::FEED, feed_state);
+    snap.add_section(section::FAULT, snapshot::to_payload(fault_state));
     if config.trace_schedule {
         snap.add_section(section::TRACE, snapshot::to_payload(&schedule.to_vec()));
     }
@@ -1493,6 +1882,7 @@ struct RunMeta {
     per_op_dmu: bool,
     cost_hash: u64,
     chip_hash: u64,
+    fault_hash: u64,
 }
 
 impl Persist for RunMeta {
@@ -1509,6 +1899,7 @@ impl Persist for RunMeta {
         self.per_op_dmu.save(out);
         self.cost_hash.save(out);
         self.chip_hash.save(out);
+        self.fault_hash.save(out);
     }
 
     fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
@@ -1525,6 +1916,7 @@ impl Persist for RunMeta {
             per_op_dmu: bool::load(r)?,
             cost_hash: u64::load(r)?,
             chip_hash: u64::load(r)?,
+            fault_hash: u64::load(r)?,
         })
     }
 }
@@ -1605,6 +1997,9 @@ impl RunMeta {
         }
         if self.chip_hash != debug_hash(&config.chip) {
             return fail("snapshot was taken under a different chip configuration".to_string());
+        }
+        if self.fault_hash != debug_hash(&config.fault) {
+            return fail("snapshot was taken under a different fault configuration".to_string());
         }
         Ok(())
     }

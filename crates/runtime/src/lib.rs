@@ -14,6 +14,9 @@
 //! * the five software scheduling policies of Section VI ([`scheduler`]),
 //! * the dependence-management backends — pure software, TDM's DMU, Carbon
 //!   and Task Superscalar ([`engine`]),
+//! * deterministic fault injection — seeded transient task failures with
+//!   bounded retry, and sticky core faults with graceful degradation
+//!   ([`fault`]),
 //! * and the discrete-event execution driver that ties everything to the
 //!   simulated 32-core chip and produces per-phase time breakdowns
 //!   ([`exec`]). It runs either eagerly over a materialised [`Workload`]
@@ -53,6 +56,7 @@
 pub mod cost;
 pub mod engine;
 pub mod exec;
+pub mod fault;
 pub(crate) use tdm_sim::fast_map;
 pub mod scheduler;
 pub mod stream;
@@ -62,7 +66,11 @@ pub mod trace;
 
 pub use cost::CostModel;
 pub use engine::{DependenceEngine, HardwareEngine, HardwareFlavor, SoftwareEngine};
-pub use exec::{simulate, simulate_stream, Backend, ExecConfig, RunReport, ScheduledTask};
+pub use exec::{
+    simulate, simulate_outcome, simulate_stream, simulate_stream_outcome, Backend, ExecConfig,
+    RunOutcome, RunReport, ScheduledTask,
+};
+pub use fault::{FaultConfig, FaultPlan, FaultState};
 pub use scheduler::{ReadyEntry, Scheduler, SchedulerKind};
 pub use stream::{TaskSource, WorkloadSource};
 pub use task::{DependenceSpec, TaskRef, TaskSpec, Workload};

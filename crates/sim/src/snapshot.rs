@@ -24,7 +24,7 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic  b"TDMSNAP\0"
-//! 8       4     format version (currently 1)
+//! 8       4     format version (currently 2)
 //! 12      4     section count N
 //! 16      24*N  section table: { id: u32, offset: u64, len: u64, crc: u32 }
 //! ...           payloads, at the offsets recorded in the table
@@ -73,7 +73,7 @@ pub const MAGIC: [u8; 8] = *b"TDMSNAP\0";
 /// written by a *newer* format outright (no forward compatibility), and
 /// this reproduction keeps no legacy decoders — an old snapshot is
 /// regenerated, not migrated (see `SNAPSHOT_FORMAT.md`, "Versioning").
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Well-known section identifiers.
 ///
@@ -113,6 +113,10 @@ pub mod section {
     /// `bench_scale` resume parameters: benchmark name, scaled task count,
     /// and the flags needed to rebuild the generator on resume.
     pub const BENCH: u32 = 0x0A;
+    /// Fault-injection bookkeeping: per-task failure counts, per-core
+    /// completion counts, the retired-core bitmap, the pending-retry queue
+    /// and the fault/retry counters. All-zero when fault injection is off.
+    pub const FAULT: u32 = 0x0B;
 }
 
 /// One entry of the [`SECTIONS`] registry.
@@ -182,6 +186,11 @@ pub const SECTIONS: &[SectionInfo] = &[
         id: section::BENCH,
         name: "BENCH",
         summary: "bench_scale generator parameters for resume",
+    },
+    SectionInfo {
+        id: section::FAULT,
+        name: "FAULT",
+        summary: "fault-injection bookkeeping and retry queue",
     },
 ];
 

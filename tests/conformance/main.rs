@@ -23,6 +23,7 @@ mod common;
 
 mod batching;
 mod determinism;
+mod faults;
 mod grammar;
 mod schedule;
 mod snapshot;
